@@ -1,0 +1,271 @@
+package perm_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"perm"
+	"perm/internal/workload"
+)
+
+// This file holds one benchmark per experiment of DESIGN.md §4 — the
+// regenerating targets for every figure of the paper (E1–E4) and for the
+// performance-shaped experiments (E5–E8). cmd/permbench prints the same
+// measurements as tables; these benches integrate them with `go test -bench`.
+
+// mustForum returns a DB loaded with the scaled forum workload.
+func mustForum(b *testing.B, n int) *perm.DB {
+	b.Helper()
+	db := perm.Open()
+	if err := workload.LoadForum(db.Engine(), workload.DefaultForum(n)); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// mustPaperDB returns the exact Figure 1 database.
+func mustPaperDB(b *testing.B) *perm.DB {
+	b.Helper()
+	db := perm.Open()
+	if err := workload.LoadPaperExample(db.Engine()); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func runQuery(b *testing.B, db *perm.DB, q string) {
+	b.Helper()
+	if _, err := db.Exec(q); err != nil {
+		b.Fatalf("%v\nquery: %s", err, q)
+	}
+}
+
+// BenchmarkFigure1QueryExecution (E1): the paper's example queries q1 and q3
+// on the Figure 1 database.
+func BenchmarkFigure1QueryExecution(b *testing.B) {
+	db := mustPaperDB(b)
+	b.Run("q1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runQuery(b, db, `SELECT mId, text FROM messages UNION SELECT mId, text FROM imports`)
+		}
+	})
+	b.Run("q3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runQuery(b, db, `SELECT count(*), text FROM v1 JOIN approved a ON v1.mId = a.mId GROUP BY v1.mId, text`)
+		}
+	})
+}
+
+// BenchmarkFigure2Provenance (E2): computing the Figure 2 provenance table.
+func BenchmarkFigure2Provenance(b *testing.B) {
+	db := mustPaperDB(b)
+	for i := 0; i < b.N; i++ {
+		runQuery(b, db, `SELECT PROVENANCE mId, text FROM messages UNION SELECT mId, text FROM imports`)
+	}
+}
+
+// BenchmarkFigure3Stages (E3): the pipeline of the architecture diagram —
+// parse, analyze (with provenance rewrite), plan, execute — measured end to
+// end for the provenance aggregation query.
+func BenchmarkFigure3Stages(b *testing.B) {
+	db := mustPaperDB(b)
+	q := `SELECT PROVENANCE count(*), text FROM v1 JOIN approved a ON v1.mId = a.mId GROUP BY v1.mId, text`
+	b.ResetTimer()
+	var rewrite, execute int64
+	for i := 0; i < b.N; i++ {
+		res, err := db.Exec(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rewrite += res.RewriteTime.Nanoseconds()
+		execute += res.ExecuteTime.Nanoseconds()
+	}
+	b.ReportMetric(float64(rewrite)/float64(b.N), "rewrite-ns/op")
+	b.ReportMetric(float64(execute)/float64(b.N), "execute-ns/op")
+}
+
+// BenchmarkFigure4Browser (E4): producing the Perm-browser artifacts
+// (original tree, rewritten tree, rewritten SQL).
+func BenchmarkFigure4Browser(b *testing.B) {
+	db := perm.Open()
+	db.MustExecScript(`
+		CREATE TABLE s (i int); CREATE TABLE r (i int);
+		INSERT INTO s VALUES (1), (2); INSERT INTO r VALUES (1), (2);`)
+	q := `SELECT PROVENANCE * FROM s JOIN r ON s.i = r.i`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex, err := db.Explain(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !strings.Contains(ex.RewrittenSQL, "prov_public_s_i") {
+			b.Fatal("missing provenance attribute")
+		}
+	}
+}
+
+// BenchmarkProvenanceOverhead (E5): plain vs provenance per query class and
+// dataset size. The interesting output is the plain/prov ratio per class.
+func BenchmarkProvenanceOverhead(b *testing.B) {
+	classes := []struct {
+		name  string
+		plain string
+		prov  string
+	}{
+		{"SPJ",
+			`SELECT m.mid, u.name FROM messages m JOIN users u ON m.uid = u.uid WHERE m.mid % 10 = 0`,
+			`SELECT PROVENANCE m.mid, u.name FROM messages m JOIN users u ON m.uid = u.uid WHERE m.mid % 10 = 0`},
+		{"AGG",
+			`SELECT count(*), text FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text`,
+			`SELECT PROVENANCE count(*), text FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text`},
+		{"UNION",
+			`SELECT mid, text FROM messages UNION SELECT mid, text FROM imports`,
+			`SELECT PROVENANCE mid, text FROM messages UNION SELECT mid, text FROM imports`},
+		{"NESTED",
+			`SELECT mid FROM messages WHERE mid IN (SELECT mid FROM approved)`,
+			`SELECT PROVENANCE mid FROM messages WHERE mid IN (SELECT mid FROM approved)`},
+	}
+	for _, n := range []int{100, 1000} {
+		db := mustForum(b, n)
+		for _, c := range classes {
+			b.Run(fmt.Sprintf("%s/n=%d/plain", c.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runQuery(b, db, c.plain)
+				}
+			})
+			b.Run(fmt.Sprintf("%s/n=%d/prov", c.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runQuery(b, db, c.prov)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkStrategy (E6): the rewrite-strategy ablation.
+func BenchmarkStrategy(b *testing.B) {
+	db := mustForum(b, 1000)
+	unionQ := `SELECT PROVENANCE mid, text FROM messages UNION SELECT mid, text FROM imports`
+	aggQ := `SELECT PROVENANCE count(*), text FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text`
+	cases := []struct {
+		name    string
+		setting string
+		query   string
+	}{
+		{"SetPad", "SET provenance_set_strategy = 'pad'", unionQ},
+		{"SetJoin", "SET provenance_set_strategy = 'join'", unionQ},
+		{"AggJoinGroup", "SET provenance_agg_strategy = 'joingroup'", aggQ},
+		{"AggCrossFilter", "SET provenance_agg_strategy = 'crossfilter'", aggQ},
+		{"CostBased", "SET provenance_strategy = 'cost'", aggQ},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			sess := db.NewSession()
+			if _, err := sess.Exec(c.setting); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Exec(c.query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLazyVsEager (E7): recompute provenance per use vs query the
+// materialized provenance table.
+func BenchmarkLazyVsEager(b *testing.B) {
+	db := mustForum(b, 1000)
+	db.MustExec(`CREATE TABLE provmat AS
+		SELECT PROVENANCE count(*), text
+		FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text`)
+	lazy := `SELECT text, prov_public_imports_origin
+		FROM (SELECT PROVENANCE count(*), text
+		      FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text) AS p
+		WHERE count > 1 AND prov_public_imports_origin IS NOT NULL`
+	eager := `SELECT text, prov_public_imports_origin FROM provmat
+		WHERE count > 1 AND prov_public_imports_origin IS NOT NULL`
+	b.Run("lazy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runQuery(b, db, lazy)
+		}
+	})
+	b.Run("eager", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runQuery(b, db, eager)
+		}
+	})
+}
+
+// BenchmarkIncremental (E8): full rewrite vs BASERELATION stop vs external
+// provenance reuse.
+func BenchmarkIncremental(b *testing.B) {
+	db := mustForum(b, 1000)
+	db.MustExec(`CREATE VIEW v2 AS
+		SELECT v1.mid AS mid, text, count(*) AS cnt
+		FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text`)
+	db.MustExec(`CREATE TABLE v2prov AS SELECT PROVENANCE mid, text, cnt FROM v2`)
+	var provCols []string
+	for _, c := range db.Engine().Catalog().Table("v2prov").Columns {
+		if strings.HasPrefix(c.Name, "prov_") {
+			provCols = append(provCols, c.Name)
+		}
+	}
+	external := `SELECT PROVENANCE mid, cnt FROM v2prov PROVENANCE (` +
+		strings.Join(provCols, ", ") + `) WHERE cnt > 1`
+	cases := []struct{ name, q string }{
+		{"full", `SELECT PROVENANCE mid, cnt FROM v2 WHERE cnt > 1`},
+		{"baserelation", `SELECT PROVENANCE mid, cnt FROM v2 BASERELATION WHERE cnt > 1`},
+		{"external", external},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				runQuery(b, db, c.q)
+			}
+		})
+	}
+}
+
+// BenchmarkOptimizerAblation measures the planner's contribution on a
+// provenance query (DESIGN.md S8): the same rewritten plan with and without
+// the logical optimizer (predicate pushdown, filter merging, projection
+// collapsing).
+func BenchmarkOptimizerAblation(b *testing.B) {
+	db := mustForum(b, 1000)
+	q := `SELECT text, prov_public_imports_origin
+		FROM (SELECT PROVENANCE count(*), text
+		      FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text) AS p
+		WHERE count > 1 AND prov_public_imports_origin IS NOT NULL`
+	for _, mode := range []string{"on", "off"} {
+		b.Run("optimizer="+mode, func(b *testing.B) {
+			sess := db.NewSession()
+			if _, err := sess.Exec(`SET optimizer = '` + mode + `'`); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRewriteOnly isolates the provenance rewriter itself (analysis +
+// rewrite, no execution) — the cost Perm adds in front of the host DBMS's
+// optimizer in Figure 3.
+func BenchmarkRewriteOnly(b *testing.B) {
+	db := mustForum(b, 100)
+	q := `SELECT PROVENANCE count(*), text FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Explain(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

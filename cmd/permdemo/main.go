@@ -1,0 +1,182 @@
+// Command permdemo replays the demonstration of Section 3 of the paper on
+// the terminal: it loads the Figure 1 example database, executes the example
+// queries, reproduces the Figure 2 provenance table, shows the Figure 3
+// pipeline stage timings, and prints the Figure 4 Perm-browser artifacts
+// (query, rewritten SQL, original and rewritten algebra trees, result).
+//
+// Usage:
+//
+//	permdemo                 # run the whole demonstration
+//	permdemo -part figure2   # one part: figure1 | figure2 | figure3 | figure4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"perm"
+)
+
+func main() {
+	part := flag.String("part", "all", "demo part: figure1, figure2, figure3, figure4, or all")
+	flag.Parse()
+
+	if err := run(*part); err != nil {
+		fmt.Fprintln(os.Stderr, "permdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(part string) error {
+	switch part {
+	case "figure1":
+		return figure1()
+	case "figure2":
+		return figure2()
+	case "figure3":
+		return figure3()
+	case "figure4":
+		return figure4()
+	case "all":
+		for _, f := range []func() error{figure1, figure2, figure3, figure4} {
+			if err := f(); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown part %q", part)
+}
+
+// paperDB loads the Figure 1 example database.
+func paperDB() *perm.DB {
+	db := perm.Open()
+	db.MustExecScript(`
+		CREATE TABLE messages (mId int, text text, uId int);
+		CREATE TABLE users (uId int, name text);
+		CREATE TABLE imports (mId int, text text, origin text);
+		CREATE TABLE approved (uId int, mId int);
+		INSERT INTO messages VALUES (1, 'lorem ipsum ...', 3), (4, 'hi there ...', 2);
+		INSERT INTO users VALUES (1, 'Bert'), (2, 'Gert'), (3, 'Gertrud');
+		INSERT INTO imports VALUES (2, 'hello ...', 'superForum'), (3, 'I don''t ...', 'HiBoard');
+		INSERT INTO approved VALUES (2, 2), (1, 4), (2, 4), (3, 4);
+		CREATE VIEW v1 AS SELECT mId, text FROM messages UNION SELECT mId, text FROM imports;
+		ANALYZE;
+	`)
+	return db
+}
+
+func header(s string) { fmt.Printf("=== %s ===\n", s) }
+
+func showQuery(db *perm.DB, label, q string) error {
+	fmt.Printf("%s: %s\n", label, q)
+	res, err := db.Query(q)
+	if err != nil {
+		return err
+	}
+	fmt.Print(perm.FormatTable(res))
+	return nil
+}
+
+// figure1 loads the example database and runs q1–q3.
+func figure1() error {
+	header("Figure 1: example database and queries")
+	db := paperDB()
+	if err := showQuery(db, "q1",
+		`SELECT mId, text FROM messages UNION SELECT mId, text FROM imports ORDER BY mId`); err != nil {
+		return err
+	}
+	fmt.Println("q2: CREATE VIEW v1 AS q1  (created)")
+	return showQuery(db, "q3", `SELECT count(*), text
+ FROM v1 JOIN approved a ON (v1.mId = a.mId)
+ GROUP BY v1.mId, text ORDER BY v1.mId`)
+}
+
+// figure2 reproduces the provenance table of query q1.
+func figure2() error {
+	header("Figure 2: query q1 provenance")
+	db := paperDB()
+	return showQuery(db, "q1+",
+		`SELECT PROVENANCE mId, text FROM messages UNION SELECT mId, text FROM imports ORDER BY mId`)
+}
+
+// figure3 shows the pipeline stage timings of the architecture diagram.
+func figure3() error {
+	header("Figure 3: Perm architecture — pipeline stages")
+	db := paperDB()
+	queries := []string{
+		`SELECT mId, text FROM messages UNION SELECT mId, text FROM imports`,
+		`SELECT PROVENANCE mId, text FROM messages UNION SELECT mId, text FROM imports`,
+		`SELECT PROVENANCE count(*), text FROM v1 JOIN approved a ON v1.mId = a.mId GROUP BY v1.mId, text`,
+	}
+	fmt.Println("stage timings (parser & analyzer -> provenance rewriter -> planner -> executor):")
+	for _, q := range queries {
+		res, err := db.Query(q)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  parse=%-10v analyze=%-10v rewrite=%-10v plan=%-10v execute=%-10v  %s\n",
+			res.ParseTime, res.AnalyzeTime, res.RewriteTime, res.PlanTime, res.ExecuteTime, q)
+	}
+	return nil
+}
+
+// figure4 reproduces the Perm-browser panes for the public.s/public.r
+// example of the paper's screenshot.
+func figure4() error {
+	header("Figure 4: the Perm browser")
+	db := perm.Open()
+	db.MustExecScript(`
+		CREATE TABLE s (i int);
+		CREATE TABLE r (i int);
+		INSERT INTO s VALUES (1), (2);
+		INSERT INTO r VALUES (1), (2);
+	`)
+	q := `SELECT PROVENANCE * FROM s JOIN r ON s.i = r.i`
+	fmt.Println("[1] query input:")
+	fmt.Println("   ", q)
+	ex, err := db.Explain(q)
+	if err != nil {
+		return err
+	}
+	fmt.Println("[2] rewritten SQL:")
+	fmt.Println("   ", ex.RewrittenSQL)
+	fmt.Println("[3] original algebra tree:")
+	fmt.Print(indent(ex.OriginalTree))
+	fmt.Println("[4] rewritten algebra tree:")
+	fmt.Print(indent(ex.RewrittenTree))
+	fmt.Println("[5] query result:")
+	res, err := db.Query(q + " ORDER BY s.i")
+	if err != nil {
+		return err
+	}
+	fmt.Print(perm.FormatTable(res))
+	return nil
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

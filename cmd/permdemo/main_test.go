@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+// TestRunAllParts executes the entire scripted demonstration; each part must
+// complete without error (the golden content is asserted by the root-level
+// figure tests; this guards the tool's wiring).
+func TestRunAllParts(t *testing.T) {
+	for _, part := range []string{"figure1", "figure2", "figure3", "figure4", "all"} {
+		if err := run(part); err != nil {
+			t.Errorf("part %s: %v", part, err)
+		}
+	}
+}
+
+func TestUnknownPart(t *testing.T) {
+	if err := run("figure9"); err == nil {
+		t.Error("unknown part must error")
+	}
+}

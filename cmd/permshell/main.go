@@ -1,0 +1,256 @@
+// Command permshell is the terminal analog of the Perm browser used in the
+// demonstration (Figure 4): an interactive SQL shell against an in-memory
+// Perm database that can display, for every query, the result table, the
+// rewritten SQL, and the original and rewritten algebra trees.
+//
+// Meta commands:
+//
+//	\d [table]        list relations / describe one
+//	\load example     load the paper's Figure 1 database
+//	\load forum N     load a scaled synthetic forum database
+//	\load star N      load a synthetic sales star schema
+//	\trees on|off     show algebra trees for each query (default off)
+//	\timing on|off    show per-stage timings (default off)
+//	\set name value   session setting (shorthand for SET)
+//	\q                quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"perm"
+	"perm/internal/workload"
+)
+
+type shell struct {
+	db     *perm.DB
+	out    *bufio.Writer
+	trees  bool
+	timing bool
+}
+
+func main() {
+	fmt.Println("Perm shell — provenance management system (SQL-PLE dialect)")
+	fmt.Println(`type SQL statements terminated by ';', \? for help, \q to quit`)
+
+	sh := &shell{db: perm.Open(), out: bufio.NewWriter(os.Stdout)}
+	defer sh.out.Flush()
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "perm=# "
+	for {
+		sh.out.Flush()
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			return
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !sh.meta(trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			sh.run(buf.String())
+			buf.Reset()
+			prompt = "perm=# "
+		} else if strings.TrimSpace(buf.String()) != "" {
+			prompt = "perm-# "
+		}
+	}
+}
+
+func (s *shell) run(sqlText string) {
+	sqlText = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sqlText), ";"))
+	if sqlText == "" {
+		return
+	}
+	if s.trees && looksLikeQuery(sqlText) {
+		if ex, err := s.db.Explain(sqlText); err == nil {
+			fmt.Fprintln(s.out, "original algebra tree:")
+			fmt.Fprint(s.out, ex.OriginalTree)
+			fmt.Fprintln(s.out, "rewritten algebra tree:")
+			fmt.Fprint(s.out, ex.RewrittenTree)
+			fmt.Fprintln(s.out, "rewritten SQL:", ex.RewrittenSQL)
+			for _, d := range ex.Decisions {
+				fmt.Fprintln(s.out, "decision:", d)
+			}
+		}
+	}
+	res, err := s.db.Exec(sqlText)
+	if err != nil {
+		fmt.Fprintln(s.out, "ERROR:", err)
+		return
+	}
+	if len(res.Columns) > 0 {
+		fmt.Fprint(s.out, perm.FormatTable(res))
+	}
+	fmt.Fprintln(s.out, res.Tag)
+	if s.timing {
+		fmt.Fprintf(s.out, "timing: parse=%v analyze=%v rewrite=%v plan=%v execute=%v\n",
+			res.ParseTime, res.AnalyzeTime, res.RewriteTime, res.PlanTime, res.ExecuteTime)
+	}
+}
+
+func looksLikeQuery(sqlText string) bool {
+	lower := strings.ToLower(strings.TrimSpace(sqlText))
+	return strings.HasPrefix(lower, "select") || strings.HasPrefix(lower, "(") ||
+		strings.HasPrefix(lower, "values")
+}
+
+// meta handles backslash commands; it returns false to quit.
+func (s *shell) meta(cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return false
+	case "\\?", "\\h", "\\help":
+		fmt.Fprintln(s.out, `meta commands:
+  \d [table]       list relations / describe one
+  \load example    load the paper's Figure 1 database
+  \load forum N    load a scaled synthetic forum database
+  \load star N     load a synthetic star schema
+  \save file       persist the database (incl. materialized provenance)
+  \open file       load a persisted database
+  \trees on|off    show algebra trees per query
+  \timing on|off   show stage timings per query
+  \set name value  change a session setting
+  \q               quit`)
+	case "\\d":
+		if len(fields) == 1 {
+			s.listRelations()
+		} else {
+			s.describe(fields[1])
+		}
+	case "\\trees":
+		s.trees = len(fields) > 1 && fields[1] == "on"
+		fmt.Fprintf(s.out, "trees: %v\n", s.trees)
+	case "\\timing":
+		s.timing = len(fields) > 1 && fields[1] == "on"
+		fmt.Fprintf(s.out, "timing: %v\n", s.timing)
+	case "\\load":
+		s.load(fields[1:])
+	case "\\save":
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: \\save file")
+			break
+		}
+		f, err := os.Create(fields[1])
+		if err != nil {
+			fmt.Fprintln(s.out, "ERROR:", err)
+			break
+		}
+		err = s.db.Save(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(s.out, "ERROR:", err)
+			break
+		}
+		fmt.Fprintf(s.out, "saved to %s\n", fields[1])
+	case "\\open":
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: \\open file")
+			break
+		}
+		f, err := os.Open(fields[1])
+		if err != nil {
+			fmt.Fprintln(s.out, "ERROR:", err)
+			break
+		}
+		db, err := perm.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(s.out, "ERROR:", err)
+			break
+		}
+		s.db = db
+		fmt.Fprintf(s.out, "opened %s\n", fields[1])
+	case "\\set":
+		if len(fields) == 3 {
+			s.run(fmt.Sprintf("SET %s = '%s'", fields[1], fields[2]))
+		} else {
+			fmt.Fprintln(s.out, "usage: \\set name value")
+		}
+	default:
+		fmt.Fprintf(s.out, "unknown meta command %s (try \\?)\n", fields[0])
+	}
+	return true
+}
+
+func (s *shell) load(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(s.out, "usage: \\load example | forum N | star N")
+		return
+	}
+	// Loading replaces the database.
+	db := perm.Open()
+	var err error
+	switch args[0] {
+	case "example":
+		err = workload.LoadPaperExample(db.Engine())
+	case "forum":
+		n := 1000
+		if len(args) > 1 {
+			n, _ = strconv.Atoi(args[1])
+		}
+		err = workload.LoadForum(db.Engine(), workload.DefaultForum(n))
+	case "star":
+		n := 1000
+		if len(args) > 1 {
+			n, _ = strconv.Atoi(args[1])
+		}
+		err = workload.LoadStar(db.Engine(), workload.DefaultStar(n))
+	default:
+		fmt.Fprintf(s.out, "unknown dataset %q\n", args[0])
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(s.out, "ERROR:", err)
+		return
+	}
+	s.db = db
+	fmt.Fprintf(s.out, "loaded %s\n", strings.Join(args, " "))
+}
+
+func (s *shell) listRelations() {
+	cat := s.db.Engine().Catalog()
+	fmt.Fprintln(s.out, "tables:")
+	for _, t := range cat.TableNames() {
+		st := cat.TableStats(t)
+		fmt.Fprintf(s.out, "  %s (%d rows)\n", t, st.RowCount)
+	}
+	fmt.Fprintln(s.out, "views:")
+	for _, v := range cat.ViewNames() {
+		fmt.Fprintf(s.out, "  %s\n", v)
+	}
+}
+
+func (s *shell) describe(name string) {
+	cat := s.db.Engine().Catalog()
+	if t := cat.Table(name); t != nil {
+		fmt.Fprintf(s.out, "table %s:\n", t.Name)
+		for _, c := range t.Columns {
+			nn := ""
+			if c.NotNull {
+				nn = " NOT NULL"
+			}
+			fmt.Fprintf(s.out, "  %-20s %s%s\n", c.Name, c.Type, nn)
+		}
+		return
+	}
+	if v := cat.View(name); v != nil {
+		fmt.Fprintf(s.out, "view %s AS %s\n", v.Name, v.Text)
+		return
+	}
+	fmt.Fprintf(s.out, "relation %q not found\n", name)
+}

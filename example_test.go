@@ -1,0 +1,63 @@
+package perm_test
+
+import (
+	"fmt"
+
+	"perm"
+)
+
+// ExampleOpen shows the minimal provenance workflow: create data, ask a
+// query, and ask the same query with PROVENANCE.
+func ExampleOpen() {
+	db := perm.Open()
+	db.MustExec(`CREATE TABLE r (i int)`)
+	db.MustExec(`INSERT INTO r VALUES (1), (2)`)
+
+	res := db.MustExec(`SELECT PROVENANCE i FROM r ORDER BY i`)
+	fmt.Println(res.Columns)
+	for _, row := range res.Rows {
+		fmt.Println(row[0].Int(), row[1].Int())
+	}
+	// Output:
+	// [i prov_public_r_i]
+	// 1 1
+	// 2 2
+}
+
+// ExampleDB_Explain shows the Perm-browser artifacts: rewrite decisions and
+// the rewritten SQL for a provenance aggregation.
+func ExampleDB_Explain() {
+	db := perm.Open()
+	db.MustExec(`CREATE TABLE sales (region text, amount int)`)
+	db.MustExec(`INSERT INTO sales VALUES ('north', 10), ('north', 5), ('south', 7)`)
+
+	res := db.MustExec(`SELECT PROVENANCE region, sum(amount) FROM sales GROUP BY region ORDER BY region, prov_public_sales_amount`)
+	for _, row := range res.Rows {
+		fmt.Printf("%s total=%d from sale of %d\n",
+			row[0].Str(), row[1].Int(), row[3].Int())
+	}
+	// Output:
+	// north total=15 from sale of 5
+	// north total=15 from sale of 10
+	// south total=7 from sale of 7
+}
+
+// ExampleDB_Exec_contribution demonstrates Where-provenance (COPY): the
+// amount column is aggregated — not copied — so its provenance is masked,
+// while the copied region survives.
+func ExampleDB_Exec_contribution() {
+	db := perm.Open()
+	db.MustExec(`CREATE TABLE sales (region text, amount int)`)
+	db.MustExec(`INSERT INTO sales VALUES ('north', 10)`)
+
+	res := db.MustExec(`SELECT PROVENANCE ON CONTRIBUTION (COPY)
+		region, sum(amount) FROM sales GROUP BY region`)
+	for i, col := range res.Columns {
+		fmt.Printf("%s = %s\n", col, res.Rows[0][i])
+	}
+	// Output:
+	// region = north
+	// sum = 10
+	// prov_public_sales_region = north
+	// prov_public_sales_amount = null
+}

@@ -1,0 +1,79 @@
+// External provenance: Perm's rewrite rules do not care how the provenance
+// attributes of their input were produced (§2.2). This example feeds the
+// system provenance that Perm never computed — curation annotations recorded
+// by hand — and lets the rewriter propagate it through a query, combined
+// with provenance Perm derives itself.
+//
+// Run with: go run ./examples/external
+package main
+
+import (
+	"fmt"
+
+	"perm"
+)
+
+func main() {
+	db := perm.Open()
+
+	// A curated gene table, imported from an external source. The curators
+	// recorded, per row, which source database and accession the entry was
+	// copied from — manually created provenance.
+	db.MustExecScript(`
+		CREATE TABLE genes (gene text, organism text, src_db text, src_acc text);
+		INSERT INTO genes VALUES
+			('BRCA1', 'human', 'GenBank', 'U14680'),
+			('BRCA2', 'human', 'GenBank', 'U43746'),
+			('TP53',  'human', 'EMBL',    'X54156'),
+			('MYC',   'mouse', 'EMBL',    'L00039');
+		CREATE TABLE expression (gene text, tissue text, level float);
+		INSERT INTO expression VALUES
+			('BRCA1', 'breast', 8.1), ('BRCA1', 'ovary', 6.5),
+			('BRCA2', 'breast', 5.2), ('TP53', 'colon', 9.7),
+			('MYC', 'liver', 7.3);
+	`)
+
+	// PROVENANCE (src_db, src_acc) declares the curators' columns as the
+	// provenance attributes of genes: the rewriter propagates them untouched
+	// instead of deriving its own, while expression still gets computed
+	// provenance.
+	res := db.MustExec(`
+		SELECT PROVENANCE g.gene, e.tissue, e.level
+		FROM genes g PROVENANCE (src_db, src_acc)
+		     JOIN expression e ON g.gene = e.gene
+		WHERE g.organism = 'human'
+		ORDER BY g.gene, e.tissue`)
+	fmt.Println("human expression with mixed external + computed provenance:")
+	fmt.Print(perm.FormatTable(res))
+
+	// The external attributes behave exactly like Perm's own provenance:
+	// query them with plain SQL — everything we ultimately copied from
+	// GenBank.
+	genbank := db.MustExec(`
+		SELECT DISTINCT src_acc
+		FROM (SELECT PROVENANCE g.gene, e.tissue
+		      FROM genes g PROVENANCE (src_db, src_acc)
+		           JOIN expression e ON g.gene = e.gene) AS p
+		WHERE src_db = 'GenBank'
+		ORDER BY src_acc`)
+	fmt.Println("\naccessions this analysis depends on (GenBank only):")
+	fmt.Print(perm.FormatTable(genbank))
+
+	// Incremental: a second system can hand the full result (data +
+	// provenance) onwards; downstream queries keep the lineage without
+	// access to the original tables.
+	db.MustExec(`CREATE TABLE handoff AS
+		SELECT PROVENANCE g.gene, e.tissue, e.level
+		FROM genes g PROVENANCE (src_db, src_acc)
+		     JOIN expression e ON g.gene = e.gene`)
+	downstream := db.MustExec(`
+		SELECT PROVENANCE gene, level
+		FROM handoff PROVENANCE (src_db, src_acc,
+		                         prov_public_expression_gene,
+		                         prov_public_expression_tissue,
+		                         prov_public_expression_level)
+		WHERE level > 7
+		ORDER BY gene`)
+	fmt.Println("\ndownstream query over the handed-off provenance:")
+	fmt.Print(perm.FormatTable(downstream))
+}

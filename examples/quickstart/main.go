@@ -1,0 +1,54 @@
+// Quickstart: open a Perm database, create a table, and ask the system
+// WHERE a query result came from with SELECT PROVENANCE.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"perm"
+)
+
+func main() {
+	db := perm.Open()
+
+	// Ordinary SQL works as usual.
+	db.MustExec(`CREATE TABLE cities (name text, country text, population int)`)
+	db.MustExec(`INSERT INTO cities VALUES
+		('Zurich',  'CH', 400000),
+		('Geneva',  'CH', 200000),
+		('Berlin',  'DE', 3700000),
+		('Hamburg', 'DE', 1800000)`)
+
+	res := db.MustExec(`SELECT country, sum(population) AS total
+	                    FROM cities GROUP BY country ORDER BY country`)
+	fmt.Println("aggregate result:")
+	fmt.Print(perm.FormatTable(res))
+
+	// Now the same query with PROVENANCE: every output row is annotated with
+	// the base tuples that contributed to it (one row per witness).
+	prov := db.MustExec(`SELECT PROVENANCE country, sum(population) AS total
+	                     FROM cities GROUP BY country ORDER BY country, prov_public_cities_name`)
+	fmt.Println("\nwith provenance (one row per contributing tuple):")
+	fmt.Print(perm.FormatTable(prov))
+
+	// Provenance is ordinary relational data — filter it with plain SQL:
+	// which input rows explain the German total?
+	why := db.MustExec(`SELECT prov_public_cities_name, prov_public_cities_population
+	                    FROM (SELECT PROVENANCE country, sum(population) AS total
+	                          FROM cities GROUP BY country) AS p
+	                    WHERE country = 'DE'
+	                    ORDER BY prov_public_cities_population DESC`)
+	fmt.Println("\nwhy is the DE total what it is?")
+	fmt.Print(perm.FormatTable(why))
+
+	// The rewritten SQL that computed all of this is visible, just like in
+	// the Perm browser of the demo.
+	ex, err := db.Explain(`SELECT PROVENANCE country, sum(population) FROM cities GROUP BY country`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\nrewritten SQL:")
+	fmt.Println(ex.RewrittenSQL)
+}

@@ -1,0 +1,376 @@
+package perm_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"perm"
+	"perm/internal/workload"
+)
+
+// sortedKeys canonicalizes a result for multiset comparison.
+func sortedKeys(res *perm.Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = r.Key()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameRows(a, b *perm.Result) bool {
+	ka, kb := sortedKeys(a), sortedKeys(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOuterJoinProvenance: unmatched rows of an outer join carry NULL
+// provenance for the missing side.
+func TestOuterJoinProvenance(t *testing.T) {
+	db := forumDB(t)
+	res, err := db.Query(`
+		SELECT PROVENANCE m.mId, a.uId
+		FROM messages m LEFT JOIN approved a ON m.mId = a.mId
+		ORDER BY m.mId, a.uId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mId=1 has no approvals → 1 row with NULLs; mId=4 has 3 → 3 rows.
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	first := res.Rows[0]
+	if first[0].Int() != 1 || !first[1].IsNull() {
+		t.Errorf("unmatched row = %v", first)
+	}
+	// Its approved provenance must be NULL, messages provenance present.
+	for i, c := range res.Columns {
+		if strings.HasPrefix(c, "prov_public_approved_") && !first[i].IsNull() {
+			t.Errorf("approved provenance of unmatched row must be NULL: %v", first)
+		}
+		if c == "prov_public_messages_mid" && first[i].Int() != 1 {
+			t.Errorf("messages provenance missing: %v", first)
+		}
+	}
+}
+
+// TestIntersectExceptProvenance via the engine.
+func TestIntersectExceptProvenance(t *testing.T) {
+	db := forumDB(t)
+	res, err := db.Query(`
+		SELECT PROVENANCE mId FROM messages INTERSECT SELECT mId FROM approved`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// intersect = {4}; 3 approvals with mid=4 → 3 witness rows.
+	if len(res.Rows) != 3 {
+		t.Errorf("intersect witnesses = %v", res.Rows)
+	}
+	res, err = db.Query(`
+		SELECT PROVENANCE mId FROM messages EXCEPT SELECT mId FROM approved`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Errorf("except = %v", res.Rows)
+	}
+}
+
+// TestDistinctProvenanceReplicates: δ(T)+ = T+ — each duplicate is a witness.
+func TestDistinctProvenanceReplicates(t *testing.T) {
+	db := perm.Open()
+	db.MustExecScript(`
+		CREATE TABLE dup (x int, tag text);
+		INSERT INTO dup VALUES (1, 'a'), (1, 'b'), (2, 'c');
+	`)
+	res, err := db.Query(`SELECT PROVENANCE DISTINCT x FROM dup ORDER BY x, prov_public_dup_tag`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	tags := []string{res.Rows[0][2].Str(), res.Rows[1][2].Str(), res.Rows[2][2].Str()}
+	if strings.Join(tags, "") != "abc" {
+		t.Errorf("witness tags = %v", tags)
+	}
+}
+
+// TestLimitProvenance: join-back on tuple equality.
+func TestLimitProvenance(t *testing.T) {
+	db := forumDB(t)
+	res, err := db.Query(`SELECT PROVENANCE mId FROM messages ORDER BY mId LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+// TestProvenanceViewDefinition: views whose definition itself uses SELECT
+// PROVENANCE can be stored and queried.
+func TestProvenanceViewDefinition(t *testing.T) {
+	db := forumDB(t)
+	db.MustExec(`CREATE VIEW pview AS SELECT PROVENANCE mId, text FROM messages`)
+	res, err := db.Query(`SELECT prov_public_messages_uid FROM pview ORDER BY 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 2 || res.Rows[1][0].Int() != 3 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+// TestNestedProvenanceBlocks: an outer SELECT PROVENANCE over an inner
+// provenance subquery propagates the inner provenance attributes and derives
+// provenance for everything else (rule 0).
+func TestNestedProvenanceBlocks(t *testing.T) {
+	db := forumDB(t)
+	res, err := db.Query(`
+		SELECT PROVENANCE p.mId, u.name
+		FROM (SELECT PROVENANCE mId, uId FROM messages) AS p
+		     JOIN users u ON p.uId = u.uId
+		ORDER BY p.mId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(res.Columns, ",")
+	// Inner provenance (messages) must survive; users provenance is derived.
+	if !strings.Contains(joined, "prov_public_messages_mid") ||
+		!strings.Contains(joined, "prov_public_users_uid") {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	// The messages relation must NOT be re-derived a second time.
+	if strings.Contains(joined, "messages_1") {
+		t.Errorf("inner provenance re-derived: %v", res.Columns)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+// TestCopyVsInfluenceSameWitnessRows: COPY masks attributes but keeps the
+// same witness tuples as INFLUENCE.
+func TestCopyVsInfluenceSameWitnessRows(t *testing.T) {
+	db := forumDB(t)
+	q := func(sem string) *perm.Result {
+		res, err := db.Query(`SELECT PROVENANCE ON CONTRIBUTION (` + sem + `) count(*), text
+			FROM v1 JOIN approved a ON v1.mId = a.mId GROUP BY v1.mId, text`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	infl, cp := q("INFLUENCE"), q("COPY")
+	if len(infl.Rows) != len(cp.Rows) {
+		t.Errorf("witness counts differ: %d vs %d", len(infl.Rows), len(cp.Rows))
+	}
+}
+
+// TestStrategySettingsEndToEnd: forced strategies produce identical rows.
+func TestStrategySettingsEndToEnd(t *testing.T) {
+	db := perm.Open()
+	if err := workload.LoadForum(db.Engine(), workload.DefaultForum(60)); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`SELECT PROVENANCE mid, text FROM messages UNION SELECT mid, text FROM imports`,
+		`SELECT PROVENANCE count(*), uid FROM approved GROUP BY uid`,
+	}
+	settings := [][]string{
+		{`SET provenance_set_strategy = 'pad'`, `SET provenance_agg_strategy = 'joingroup'`},
+		{`SET provenance_set_strategy = 'join'`, `SET provenance_agg_strategy = 'crossfilter'`},
+		{`SET provenance_strategy = 'cost'`},
+	}
+	for _, q := range queries {
+		var baseline *perm.Result
+		for i, sets := range settings {
+			sess := db.NewSession()
+			for _, st := range sets {
+				if _, err := sess.Exec(st); err != nil {
+					t.Fatal(err)
+				}
+			}
+			res, err := sess.Exec(q)
+			if err != nil {
+				t.Fatalf("%q under %v: %v", q, sets, err)
+			}
+			if i == 0 {
+				baseline = res
+				continue
+			}
+			if !sameRows(baseline, res) {
+				t.Errorf("%q: strategy setting %v changed the result", q, sets)
+			}
+		}
+	}
+}
+
+// TestProvenanceOfWitnessesReconstructsAggregates: summing the witness
+// attribute over the provenance reproduces the aggregate value (the
+// warehouse example's consistency check, as a test).
+func TestProvenanceOfWitnessesReconstructsAggregates(t *testing.T) {
+	db := perm.Open()
+	if err := workload.LoadStar(db.Engine(), workload.DefaultStar(200)); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := db.Query(`
+		SELECT region, sum(amount) FROM sales s JOIN customers c ON s.cid = c.cid
+		GROUP BY region ORDER BY region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recomputed, err := db.Query(`
+		SELECT region, sum(prov_public_sales_amount)
+		FROM (SELECT PROVENANCE region, sum(amount)
+		      FROM sales s JOIN customers c ON s.cid = c.cid
+		      GROUP BY region) AS p
+		GROUP BY region ORDER BY region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Rows) != len(recomputed.Rows) {
+		t.Fatalf("group counts differ")
+	}
+	for i := range direct.Rows {
+		a, b := direct.Rows[i][1].Float(), recomputed.Rows[i][1].Float()
+		if diff := a - b; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("region %v: direct %v vs recomputed %v",
+				direct.Rows[i][0], a, b)
+		}
+	}
+}
+
+// TestScalarSubqueryComparisonProvenance: WHERE x = (SELECT agg ...) pulls
+// the aggregate's witnesses into the provenance.
+func TestScalarSubqueryComparisonProvenance(t *testing.T) {
+	db := forumDB(t)
+	res, err := db.Query(`
+		SELECT PROVENANCE mId FROM messages
+		WHERE uId = (SELECT max(uId) FROM users)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// max(uid)=3 → message 1; witnesses include the users tuples feeding max.
+	if len(res.Rows) != 3 { // 1 message × 3 users rows contributing to max
+		t.Fatalf("rows = %v (columns %v)", res.Rows, res.Columns)
+	}
+	if !strings.Contains(strings.Join(res.Columns, ","), "prov_public_users_uid") {
+		t.Errorf("columns = %v", res.Columns)
+	}
+}
+
+// TestRewrittenSQLRoundTripOnFigures: the rewritten SQL the browser displays
+// must itself run and reproduce the provenance rows for the paper's queries.
+func TestRewrittenSQLRoundTripOnFigures(t *testing.T) {
+	db := forumDB(t)
+	queries := []string{
+		`SELECT PROVENANCE mId, text FROM messages UNION SELECT mId, text FROM imports`,
+		`SELECT PROVENANCE count(*), text FROM v1 JOIN approved a ON v1.mId = a.mId GROUP BY v1.mId, text`,
+		`SELECT PROVENANCE text FROM v1 BASERELATION WHERE mId > 3`,
+	}
+	for _, q := range queries {
+		ex, err := db.Explain(q)
+		if err != nil {
+			t.Fatalf("explain %q: %v", q, err)
+		}
+		direct, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		round, err := db.Query(ex.RewrittenSQL)
+		if err != nil {
+			t.Errorf("rewritten SQL does not run for %q: %v\nSQL: %s", q, err, ex.RewrittenSQL)
+			continue
+		}
+		if !sameRows(direct, round) {
+			t.Errorf("rewritten SQL result differs for %q", q)
+		}
+	}
+}
+
+// TestProvenanceStableUnderOptimizer: the planner must not change the
+// provenance relation (rows or columns) of a rewritten query.
+func TestProvenanceStableUnderOptimizer(t *testing.T) {
+	db := perm.Open()
+	if err := workload.LoadForum(db.Engine(), workload.DefaultForum(80)); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		`SELECT PROVENANCE count(*), text FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text`,
+		`SELECT PROVENANCE mid, text FROM messages UNION SELECT mid, text FROM imports`,
+		`SELECT PROVENANCE m.mid FROM messages m WHERE EXISTS (SELECT 1 FROM approved a WHERE a.mid = m.mid)`,
+	}
+	on, off := db.NewSession(), db.NewSession()
+	off.MustExec(`SET optimizer = 'off'`)
+	for _, q := range queries {
+		a, err := on.Exec(q)
+		if err != nil {
+			t.Fatalf("%q with optimizer: %v", q, err)
+		}
+		b, err := off.Exec(q)
+		if err != nil {
+			t.Fatalf("%q without optimizer: %v", q, err)
+		}
+		if strings.Join(a.Columns, ",") != strings.Join(b.Columns, ",") {
+			t.Errorf("%q: columns differ across optimizer setting", q)
+		}
+		if !sameRows(a, b) {
+			t.Errorf("%q: rows differ across optimizer setting", q)
+		}
+	}
+}
+
+// TestErrorMessages exercises user-facing failure modes end to end.
+func TestErrorMessages(t *testing.T) {
+	db := forumDB(t)
+	cases := []struct {
+		q    string
+		want string
+	}{
+		{`SELECT PROVENANCE (SELECT max(mId) FROM imports) FROM messages`, "select list"},
+		{`SELECT PROVENANCE zz FROM messages`, "does not exist"},
+		{`SELECT mId FROM messages WHERE`, "expected expression"},
+		{`SELECT PROVENANCE ON CONTRIBUTION (MAGIC) mId FROM messages`, "contribution"},
+		{`SELECT text FROM v1 PROVENANCE (nope)`, "does not exist"},
+	}
+	for _, c := range cases {
+		_, err := db.Query(c.q)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: err = %v, want containing %q", c.q, err, c.want)
+		}
+	}
+}
+
+// TestFormatTable renders NULLs as empty cells and aligns columns.
+func TestFormatTable(t *testing.T) {
+	db := forumDB(t)
+	res, err := db.Query(`SELECT mId, origin FROM imports UNION ALL SELECT mId, NULL FROM messages ORDER BY mId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := perm.FormatTable(res)
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	if len(lines) != 2+4 {
+		t.Fatalf("table:\n%s", table)
+	}
+	if !strings.Contains(lines[0], "mid") || !strings.Contains(lines[0], "origin") {
+		t.Errorf("header: %s", lines[0])
+	}
+	width := len(lines[0])
+	for _, l := range lines {
+		if len(l) != width {
+			t.Errorf("misaligned table:\n%s", table)
+			break
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tree renders the operator tree as ASCII art, the terminal analog of the
+// algebra-tree panes of the Perm browser (Figure 4, markers 3 and 4).
+func Tree(op Op) string {
+	return AnnotatedTree(op, nil)
+}
+
+// AnnotatedTree renders the tree with an optional per-operator annotation
+// (the engine's EXPLAIN attaches cardinality estimates this way).
+func AnnotatedTree(op Op, annotate func(Op) string) string {
+	var b strings.Builder
+	printTree(&b, op, "", true, true, annotate)
+	return b.String()
+}
+
+func printTree(b *strings.Builder, op Op, prefix string, isLast, isRoot bool, annotate func(Op) string) {
+	connector := ""
+	childPrefix := prefix
+	if !isRoot {
+		if isLast {
+			connector = "└── "
+			childPrefix += "    "
+		} else {
+			connector = "├── "
+			childPrefix += "│   "
+		}
+	}
+	b.WriteString(prefix)
+	b.WriteString(connector)
+	b.WriteString(describe(op))
+	if annotate != nil {
+		if note := annotate(op); note != "" {
+			b.WriteString("  ")
+			b.WriteString(note)
+		}
+	}
+	b.WriteByte('\n')
+	children := op.Children()
+	for i, c := range children {
+		printTree(b, c, childPrefix, i == len(children)-1, false, annotate)
+	}
+}
+
+// describe renders one operator with its interesting attributes.
+func describe(op Op) string {
+	switch o := op.(type) {
+	case *Scan:
+		return fmt.Sprintf("%s %s", o.Name(), o.Sch)
+	case *Project:
+		parts := make([]string, len(o.Exprs))
+		for i, e := range o.Exprs {
+			parts[i] = e.String()
+		}
+		s := strings.Join(parts, ", ")
+		if len(s) > 120 {
+			s = s[:117] + "..."
+		}
+		return fmt.Sprintf("Project Π [%s] → %s", s, o.Sch)
+	case *Select:
+		return fmt.Sprintf("Select σ [%s]", o.Cond)
+	case *Join:
+		cond := ""
+		if o.Cond != nil {
+			cond = " on " + o.Cond.String()
+		}
+		return fmt.Sprintf("%s%s → %s", o.Name(), cond, o.Sch)
+	case *Agg:
+		groups := make([]string, len(o.GroupBy))
+		for i, g := range o.GroupBy {
+			groups[i] = g.String()
+		}
+		aggs := make([]string, len(o.Aggs))
+		for i, a := range o.Aggs {
+			aggs[i] = a.String()
+		}
+		return fmt.Sprintf("Aggregate α group=[%s] aggs=[%s]",
+			strings.Join(groups, ", "), strings.Join(aggs, ", "))
+	case *Distinct:
+		return "Distinct δ"
+	case *SetOp:
+		return o.Name()
+	case *Sort:
+		keys := make([]string, len(o.Keys))
+		for i, k := range o.Keys {
+			d := ""
+			if k.Desc {
+				d = " DESC"
+			}
+			keys[i] = k.Expr.String() + d
+		}
+		return fmt.Sprintf("Sort τ [%s]", strings.Join(keys, ", "))
+	case *Limit:
+		return o.Name()
+	case *Values:
+		return fmt.Sprintf("%s → %s", o.Name(), o.Sch)
+	}
+	return op.Name()
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunAllSmall exercises every experiment end-to-end at a tiny scale so
+// the harness itself is covered by go test.
+func TestRunAllSmall(t *testing.T) {
+	tables, err := RunAll([]int{50}, 1)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(tables) != 4 {
+		t.Fatalf("want 4 experiment tables, got %d", len(tables))
+	}
+	ids := []string{"E5", "E6", "E7", "E8"}
+	for i, tab := range tables {
+		if tab.ID != ids[i] {
+			t.Errorf("table %d id = %s, want %s", i, tab.ID, ids[i])
+		}
+		if len(tab.Rows) == 0 {
+			t.Errorf("table %s has no rows", tab.ID)
+		}
+		text := tab.Format()
+		if !strings.Contains(text, tab.Title) {
+			t.Errorf("formatted table %s misses title", tab.ID)
+		}
+	}
+}
+
+// TestOverheadShape checks the qualitative claim of E5: provenance queries
+// are strictly more expensive than their plain counterparts but still finish
+// (the ratio is finite) — the "who wins" shape of the paper's story.
+func TestOverheadShape(t *testing.T) {
+	tab, err := RunOverhead([]int{200}, 3)
+	if err != nil {
+		t.Fatalf("RunOverhead: %v", err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("want 4 classes, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[4] == "-" {
+			t.Errorf("class %s: missing overhead ratio", row[0])
+		}
+	}
+}
+
+// TestIncrementalShape checks E8's shape: BASERELATION must expose fewer
+// provenance columns than the full rewrite (it stops at the view), and
+// external provenance reuses the stored columns.
+func TestIncrementalShape(t *testing.T) {
+	tab, err := RunIncremental(100, 1)
+	if err != nil {
+		t.Fatalf("RunIncremental: %v", err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("want 3 modes, got %d", len(tab.Rows))
+	}
+	cols := map[string]string{}
+	for _, row := range tab.Rows {
+		cols[row[0]] = row[2]
+	}
+	if cols["full rewrite"] <= cols["BASERELATION"] {
+		t.Errorf("full rewrite should expose more provenance columns than BASERELATION: %v", cols)
+	}
+}

@@ -1,0 +1,220 @@
+// Package catalog holds the schema metadata of a Perm database: table and
+// view definitions, column types, and the basic statistics the cost-based
+// rewrite-strategy chooser and the planner consume.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"perm/internal/value"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	Name string
+	Type value.Kind
+	// NotNull is informational; the engine enforces it on INSERT.
+	NotNull bool
+}
+
+// TableDef describes a stored base relation.
+type TableDef struct {
+	Name    string
+	Columns []Column
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *TableDef) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ViewDef describes a stored view. Text is the original SQL of the defining
+// query; the analyzer re-parses and unfolds it at use sites, exactly like the
+// "view unfolding" stage in the Perm architecture diagram (Figure 3).
+type ViewDef struct {
+	Name string
+	Text string
+	// Columns caches the output schema of the defining query so that other
+	// queries can resolve names against the view without re-analysis.
+	Columns []Column
+}
+
+// Stats carries per-table statistics for costing.
+type Stats struct {
+	RowCount int
+	// DistinctFrac estimates, per column, the fraction of distinct values
+	// (1.0 = all distinct / key-like). Missing columns default to 0.1.
+	DistinctFrac map[string]float64
+}
+
+// Catalog is the mutable schema registry. It is safe for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*TableDef
+	views  map[string]*ViewDef
+	stats  map[string]*Stats
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*TableDef),
+		views:  make(map[string]*ViewDef),
+		stats:  make(map[string]*Stats),
+	}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// CreateTable registers a table definition.
+func (c *Catalog) CreateTable(def *TableDef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(def.Name)
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("table %q already exists", def.Name)
+	}
+	if _, ok := c.views[k]; ok {
+		return fmt.Errorf("view %q already exists", def.Name)
+	}
+	if len(def.Columns) == 0 {
+		return fmt.Errorf("table %q must have at least one column", def.Name)
+	}
+	seen := make(map[string]bool, len(def.Columns))
+	for _, col := range def.Columns {
+		ck := key(col.Name)
+		if seen[ck] {
+			return fmt.Errorf("duplicate column %q in table %q", col.Name, def.Name)
+		}
+		seen[ck] = true
+	}
+	c.tables[k] = def
+	c.stats[k] = &Stats{DistinctFrac: make(map[string]float64)}
+	return nil
+}
+
+// DropTable removes a table definition.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.tables[k]; !ok {
+		return fmt.Errorf("table %q does not exist", name)
+	}
+	delete(c.tables, k)
+	delete(c.stats, k)
+	return nil
+}
+
+// Table returns the definition of the named table, or nil.
+func (c *Catalog) Table(name string) *TableDef {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[key(name)]
+}
+
+// CreateView registers a view.
+func (c *Catalog) CreateView(def *ViewDef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(def.Name)
+	if _, ok := c.views[k]; ok {
+		return fmt.Errorf("view %q already exists", def.Name)
+	}
+	if _, ok := c.tables[k]; ok {
+		return fmt.Errorf("table %q already exists", def.Name)
+	}
+	c.views[k] = def
+	return nil
+}
+
+// DropView removes a view.
+func (c *Catalog) DropView(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.views[k]; !ok {
+		return fmt.Errorf("view %q does not exist", name)
+	}
+	delete(c.views, k)
+	return nil
+}
+
+// View returns the named view, or nil.
+func (c *Catalog) View(name string) *ViewDef {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.views[key(name)]
+}
+
+// TableNames returns the sorted list of table names.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ViewNames returns the sorted list of view names.
+func (c *Catalog) ViewNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.views))
+	for _, v := range c.views {
+		names = append(names, v.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SetRowCount records the cardinality statistic for a table.
+func (c *Catalog) SetRowCount(name string, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.stats[key(name)]
+	if !ok {
+		s = &Stats{DistinctFrac: make(map[string]float64)}
+		c.stats[key(name)] = s
+	}
+	s.RowCount = n
+}
+
+// SetDistinctFrac records the distinct-fraction statistic for a column.
+func (c *Catalog) SetDistinctFrac(table, column string, frac float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.stats[key(table)]
+	if !ok {
+		s = &Stats{DistinctFrac: make(map[string]float64)}
+		c.stats[key(table)] = s
+	}
+	s.DistinctFrac[key(column)] = frac
+}
+
+// TableStats returns a copy of the statistics for the table (zero Stats when
+// unknown).
+func (c *Catalog) TableStats(name string) Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.stats[key(name)]
+	if !ok {
+		return Stats{DistinctFrac: map[string]float64{}}
+	}
+	out := Stats{RowCount: s.RowCount, DistinctFrac: make(map[string]float64, len(s.DistinctFrac))}
+	for k, v := range s.DistinctFrac {
+		out.DistinctFrac[k] = v
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package catalog
+
+import (
+	"sync"
+	"testing"
+
+	"perm/internal/value"
+)
+
+func def(name string, cols ...string) *TableDef {
+	d := &TableDef{Name: name}
+	for _, c := range cols {
+		d.Columns = append(d.Columns, Column{Name: c, Type: value.KindInt})
+	}
+	return d
+}
+
+func TestCreateAndLookupTable(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(def("T1", "a", "b")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Table("t1") == nil || c.Table("T1") == nil {
+		t.Error("lookup must be case-insensitive")
+	}
+	if c.Table("t2") != nil {
+		t.Error("missing table must be nil")
+	}
+	if idx := c.Table("t1").ColumnIndex("B"); idx != 1 {
+		t.Errorf("ColumnIndex(B) = %d", idx)
+	}
+	if idx := c.Table("t1").ColumnIndex("z"); idx != -1 {
+		t.Errorf("ColumnIndex(z) = %d", idx)
+	}
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	c := New()
+	if err := c.CreateTable(def("t")); err == nil {
+		t.Error("zero columns must fail")
+	}
+	if err := c.CreateTable(&TableDef{Name: "d", Columns: []Column{
+		{Name: "a"}, {Name: "A"},
+	}}); err == nil {
+		t.Error("duplicate columns must fail")
+	}
+	if err := c.CreateTable(def("t1", "a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(def("T1", "a")); err == nil {
+		t.Error("duplicate table must fail")
+	}
+	if err := c.CreateView(&ViewDef{Name: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(def("v", "a")); err == nil {
+		t.Error("table must not shadow view")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c := New()
+	if err := c.DropTable("nope"); err == nil {
+		t.Error("dropping a missing table must fail")
+	}
+	c.CreateTable(def("t", "a"))
+	if err := c.DropTable("T"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Table("t") != nil {
+		t.Error("table must be gone")
+	}
+}
+
+func TestViews(t *testing.T) {
+	c := New()
+	if err := c.CreateView(&ViewDef{Name: "v", Text: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateView(&ViewDef{Name: "V"}); err == nil {
+		t.Error("duplicate view must fail")
+	}
+	c.CreateTable(def("t", "a"))
+	if err := c.CreateView(&ViewDef{Name: "t"}); err == nil {
+		t.Error("view must not shadow table")
+	}
+	if c.View("v") == nil {
+		t.Error("view lookup failed")
+	}
+	if err := c.DropView("v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropView("v"); err == nil {
+		t.Error("double drop must fail")
+	}
+}
+
+func TestNames(t *testing.T) {
+	c := New()
+	c.CreateTable(def("zeta", "a"))
+	c.CreateTable(def("alpha", "a"))
+	c.CreateView(&ViewDef{Name: "view1"})
+	names := c.TableNames()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Errorf("TableNames = %v (must be sorted)", names)
+	}
+	if v := c.ViewNames(); len(v) != 1 || v[0] != "view1" {
+		t.Errorf("ViewNames = %v", v)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New()
+	c.CreateTable(def("t", "a"))
+	c.SetRowCount("t", 123)
+	c.SetDistinctFrac("t", "A", 0.5)
+	st := c.TableStats("T")
+	if st.RowCount != 123 || st.DistinctFrac["a"] != 0.5 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Stats for unknown tables are zero-valued but usable.
+	st = c.TableStats("missing")
+	if st.RowCount != 0 || st.DistinctFrac == nil {
+		t.Errorf("missing stats = %+v", st)
+	}
+	// Returned stats are copies.
+	st = c.TableStats("t")
+	st.DistinctFrac["a"] = 0.9
+	if c.TableStats("t").DistinctFrac["a"] != 0.5 {
+		t.Error("TableStats must return a copy")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			if err := c.CreateTable(def(name, "x")); err != nil {
+				t.Error(err)
+			}
+			c.SetRowCount(name, i)
+			_ = c.TableNames()
+			_ = c.TableStats(name)
+		}(i)
+	}
+	wg.Wait()
+	if len(c.TableNames()) != 8 {
+		t.Errorf("want 8 tables, got %v", c.TableNames())
+	}
+}

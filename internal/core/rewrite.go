@@ -1,0 +1,640 @@
+// Package core implements the paper's primary contribution: the Perm
+// provenance rewriter. It transforms a relational algebra query q into a
+// provenance query q+ whose result is the original result of q augmented
+// with the contributing base-relation tuples as appended provenance
+// attributes (named prov_<schema>_<relation>_<attribute>).
+//
+// The rewrite rules follow the Perm ICDE '09 PI-CS semantics (SQL-PLE
+// contribution INFLUENCE) and a static approximation of C-CS (COPY), plus
+// the EDBT '09 treatment of nested subqueries via de-correlation into
+// lateral joins. Rules are compositional and never inspect how their input's
+// provenance attributes were produced, which is what enables external
+// provenance and incremental (BASERELATION) computation.
+//
+// Central invariant: for every operator T, the rewritten T+ preserves the
+// positions of all original output columns and only appends provenance
+// columns. Every rule relies on this to reuse the original, already-resolved
+// expressions unchanged.
+package core
+
+import (
+	"fmt"
+
+	"perm/internal/algebra"
+	"perm/internal/sql"
+)
+
+// Semantics selects the contribution semantics of a rewrite.
+type Semantics int
+
+// Contribution semantics supported by the rewriter.
+const (
+	// InfluenceSemantics is PI-CS (Why-provenance flavored): all tuples that
+	// influenced the existence of an output tuple.
+	InfluenceSemantics Semantics = iota
+	// CopySemantics is C-CS partial (Where-provenance flavored): an
+	// attribute's provenance survives when its value is copied to the output
+	// on at least one derivation path (e.g. one union branch); everything
+	// else is NULL-masked. Contribution rows equal influence semantics.
+	CopySemantics
+	// CopyCompleteSemantics is C-CS complete: the attribute must be copied
+	// on every derivation path (all union branches) to survive masking.
+	CopyCompleteSemantics
+)
+
+func (s Semantics) String() string {
+	switch s {
+	case CopySemantics:
+		return "COPY PARTIAL"
+	case CopyCompleteSemantics:
+		return "COPY COMPLETE"
+	}
+	return "INFLUENCE"
+}
+
+// AggStrategy selects the aggregation rewrite rule.
+type AggStrategy int
+
+// Aggregation strategies.
+const (
+	// AggJoinGroup joins the original aggregate back to the rewritten input
+	// on the group-by keys (null-safe). Default.
+	AggJoinGroup AggStrategy = iota
+	// AggCrossFilter crosses the original aggregate with the rewritten input
+	// and filters on the group keys afterwards; cheaper only for tiny inputs
+	// (no hash build), the cost-based chooser's baseline alternative.
+	AggCrossFilter
+)
+
+// SetStrategy selects the set-operation rewrite rule.
+type SetStrategy int
+
+// Set-operation strategies.
+const (
+	// SetPad rewrites both branches and pads the missing provenance columns
+	// of the other branch with NULLs (the representation of Figure 2).
+	// Default.
+	SetPad SetStrategy = iota
+	// SetJoin computes the original set operation and joins it back to the
+	// padded union of the rewritten branches on tuple equality.
+	SetJoin
+)
+
+// DistinctStrategy selects the duplicate-elimination rewrite rule.
+type DistinctStrategy int
+
+// Distinct strategies.
+const (
+	// DistinctPass uses δ(T)+ = T+ (each duplicate is its own witness).
+	// Default.
+	DistinctPass DistinctStrategy = iota
+	// DistinctJoin joins δ(T) back to T+ on tuple equality.
+	DistinctJoin
+)
+
+// StrategyMode selects how per-operator strategies are chosen.
+type StrategyMode int
+
+// Strategy selection modes.
+const (
+	// ModeHeuristic always applies the default strategy of each operator.
+	ModeHeuristic StrategyMode = iota
+	// ModeCost compares estimated costs via the Estimator and picks the
+	// cheaper strategy.
+	ModeCost
+)
+
+// Options configures a rewrite.
+type Options struct {
+	Semantics Semantics
+	Mode      StrategyMode
+	// Per-operator strategy overrides: when the *Forced flag is set the
+	// corresponding strategy is applied unconditionally (the Perm browser's
+	// "activate or deactivate rewrite strategies" toggle).
+	Agg            AggStrategy
+	AggForced      bool
+	Set            SetStrategy
+	SetForced      bool
+	Distinct       DistinctStrategy
+	DistinctForced bool
+	// SchemaName is the schema part of generated provenance attribute names
+	// (prov_<schema>_<rel>_<attr>); the paper's system uses "public".
+	SchemaName string
+	// Estimator returns the estimated output cardinality of a subtree; used
+	// by ModeCost. When nil, ModeCost falls back to the heuristics.
+	Estimator func(algebra.Op) float64
+}
+
+// DefaultOptions returns the paper defaults: influence semantics, heuristic
+// strategy choice, PostgreSQL's "public" schema name.
+func DefaultOptions() Options {
+	return Options{SchemaName: "public"}
+}
+
+// Rewriter performs provenance rewrites. Create one per statement: it keeps
+// per-query state (relation instance counters for unique provenance names).
+type Rewriter struct {
+	opts      Options
+	instances map[string]int
+	// created tracks which provenance column names were created by this
+	// rewrite (as opposed to external/pre-existing provenance), for COPY
+	// masking.
+	created map[string]bool
+	// Decisions records the strategy decisions taken, for EXPLAIN and the
+	// Perm-browser display.
+	Decisions []string
+}
+
+// NewRewriter returns a rewriter with the options.
+func NewRewriter(opts Options) *Rewriter {
+	if opts.SchemaName == "" {
+		opts.SchemaName = "public"
+	}
+	return &Rewriter{
+		opts:      opts,
+		instances: make(map[string]int),
+		created:   make(map[string]bool),
+	}
+}
+
+// result is the outcome of rewriting one subtree.
+type result struct {
+	op   algebra.Op
+	prov []int // provenance column indices in op.Schema()
+	// copies[i] lists the provenance column indices whose base values are
+	// copied verbatim into column i (C-CS tracking).
+	copies [][]int
+}
+
+// Rewrite transforms q into q+ under the configured semantics. The returned
+// tree's schema is q's schema followed by the provenance attributes.
+func (r *Rewriter) Rewrite(q algebra.Op) (algebra.Op, error) {
+	res, err := r.rewrite(q)
+	if err != nil {
+		return nil, err
+	}
+	if r.opts.Semantics == CopySemantics || r.opts.Semantics == CopyCompleteSemantics {
+		return r.applyCopyMask(res), nil
+	}
+	return res.op, nil
+}
+
+// applyCopyMask NULLs out created provenance columns that are never copied
+// into any data column of the final result (static C-CS).
+func (r *Rewriter) applyCopyMask(res result) algebra.Op {
+	sch := res.op.Schema()
+	kept := make(map[int]bool)
+	for i, c := range sch {
+		if c.IsProv {
+			continue
+		}
+		for _, p := range res.copies[i] {
+			kept[p] = true
+		}
+	}
+	exprs := algebra.IdentityExprs(sch)
+	masked := false
+	for _, p := range res.prov {
+		if kept[p] || !r.created[sch[p].Name] {
+			continue
+		}
+		exprs[p] = &algebra.Cast{E: algebra.NewNull(), To: sch[p].Type}
+		masked = true
+	}
+	if !masked {
+		return res.op
+	}
+	proj := algebra.NewProject(res.op, exprs, sch.Names())
+	copy(proj.Sch, sch)
+	r.note("COPY mask: nulled non-copied provenance attributes")
+	return proj
+}
+
+func (r *Rewriter) note(format string, args ...interface{}) {
+	r.Decisions = append(r.Decisions, fmt.Sprintf(format, args...))
+}
+
+// instanceName allocates a unique provenance relation-instance name.
+func (r *Rewriter) instanceName(rel string) string {
+	n := r.instances[rel]
+	r.instances[rel] = n + 1
+	if n == 0 {
+		return rel
+	}
+	return fmt.Sprintf("%s_%d", rel, n)
+}
+
+// ProvAttrName builds the paper's provenance attribute naming scheme.
+func ProvAttrName(schema, rel, attr string) string {
+	return fmt.Sprintf("prov_%s_%s_%s", schema, rel, attr)
+}
+
+// emptyCopies allocates the no-copies tracking for a schema width.
+func emptyCopies(n int) [][]int { return make([][]int, n) }
+
+// rewrite dispatches on the operator kind.
+func (r *Rewriter) rewrite(op algebra.Op) (result, error) {
+	// Rule 0 — subtrees marked ProvDone already carry their provenance
+	// (external provenance via PROVENANCE (attrs), or an inner SELECT
+	// PROVENANCE that was already rewritten): pass through untouched — the
+	// rules are unaware of how the provenance of their input was produced.
+	if pd, ok := op.(*algebra.ProvDone); ok {
+		prov := pd.Schema().ProvIdx()
+		copies := emptyCopies(len(pd.Schema()))
+		for _, p := range prov {
+			copies[p] = []int{p}
+		}
+		return result{op: pd.Input, prov: prov, copies: copies}, nil
+	}
+	switch o := op.(type) {
+	case *algebra.Scan:
+		return r.rewriteBase(o, o.Table, o.Sch)
+	case *algebra.BaseRel:
+		return r.rewriteBase(o.Input, o.RelName, o.Input.Schema())
+	case *algebra.Values:
+		return result{op: o, copies: emptyCopies(len(o.Sch))}, nil
+	case *algebra.Project:
+		return r.rewriteProject(o)
+	case *algebra.Select:
+		return r.rewriteSelect(o)
+	case *algebra.Join:
+		return r.rewriteJoin(o)
+	case *algebra.Agg:
+		return r.rewriteAgg(o)
+	case *algebra.Distinct:
+		return r.rewriteDistinct(o)
+	case *algebra.SetOp:
+		return r.rewriteSetOp(o)
+	case *algebra.Sort:
+		in, err := r.rewrite(o.Input)
+		if err != nil {
+			return result{}, err
+		}
+		return result{op: &algebra.Sort{Input: in.op, Keys: o.Keys}, prov: in.prov, copies: in.copies}, nil
+	case *algebra.Limit:
+		return r.rewriteLimit(o)
+	}
+	return result{}, fmt.Errorf("provenance rewrite: unsupported operator %T", op)
+}
+
+// rewriteBase implements the base-relation rule: duplicate every output
+// attribute as a provenance attribute named prov_<schema>_<rel>_<attr>.
+// It serves Scan (actual base relations) and BaseRel (SQL-PLE BASERELATION
+// subtrees treated like base relations).
+func (r *Rewriter) rewriteBase(input algebra.Op, rel string, sch algebra.Schema) (result, error) {
+	inst := r.instanceName(rel)
+	n := len(sch)
+	exprs := make([]algebra.Expr, 0, 2*n)
+	names := make([]string, 0, 2*n)
+	exprs = append(exprs, algebra.IdentityExprs(sch)...)
+	names = append(names, sch.Names()...)
+	for i, c := range sch {
+		exprs = append(exprs, &algebra.ColIdx{Idx: i, Typ: c.Type, Name: c.Name})
+		names = append(names, ProvAttrName(r.opts.SchemaName, inst, c.Name))
+	}
+	proj := algebra.NewProject(input, exprs, names)
+	copy(proj.Sch[:n], sch)
+	prov := make([]int, n)
+	copies := emptyCopies(2 * n)
+	for i := 0; i < n; i++ {
+		p := n + i
+		prov[i] = p
+		proj.Sch[p].IsProv = true
+		proj.Sch[p].ProvRel = inst
+		proj.Sch[p].ProvAttr = sch[i].Name
+		r.created[proj.Sch[p].Name] = true
+		copies[i] = []int{p}
+		copies[p] = []int{p}
+	}
+	return result{op: proj, prov: prov, copies: copies}, nil
+}
+
+// rewriteProject implements (Π_A(T))+ = Π_{A,P(T+)}(T+).
+func (r *Rewriter) rewriteProject(p *algebra.Project) (result, error) {
+	for _, e := range p.Exprs {
+		if algebra.HasSubplan(e) {
+			return result{}, fmt.Errorf("provenance rewrite: subqueries in the select list are not supported; move the subquery into the FROM clause")
+		}
+	}
+	in, err := r.rewrite(p.Input)
+	if err != nil {
+		return result{}, err
+	}
+	nOut := len(p.Exprs)
+	exprs := make([]algebra.Expr, 0, nOut+len(in.prov))
+	names := make([]string, 0, nOut+len(in.prov))
+	exprs = append(exprs, p.Exprs...)
+	names = append(names, p.Sch.Names()...)
+	inSch := in.op.Schema()
+	// old prov index -> new position
+	newPos := make(map[int]int, len(in.prov))
+	for _, pi := range in.prov {
+		newPos[pi] = len(exprs)
+		exprs = append(exprs, &algebra.ColIdx{Idx: pi, Typ: inSch[pi].Type, Name: inSch[pi].Name})
+		names = append(names, inSch[pi].Name)
+	}
+	proj := algebra.NewProject(in.op, exprs, names)
+	copy(proj.Sch[:nOut], p.Sch)
+	prov := make([]int, 0, len(in.prov))
+	copies := emptyCopies(len(exprs))
+	for _, pi := range in.prov {
+		np := newPos[pi]
+		proj.Sch[np] = inSch[pi]
+		prov = append(prov, np)
+		copies[np] = translate(in.copies[pi], newPos)
+	}
+	for j, e := range p.Exprs {
+		if ci, ok := e.(*algebra.ColIdx); ok {
+			copies[j] = translate(in.copies[ci.Idx], newPos)
+		}
+	}
+	return result{op: proj, prov: prov, copies: copies}, nil
+}
+
+// translate maps old provenance indices through newPos, dropping unmapped.
+func translate(old []int, newPos map[int]int) []int {
+	var out []int
+	for _, p := range old {
+		if np, ok := newPos[p]; ok {
+			out = append(out, np)
+		}
+	}
+	return out
+}
+
+// identityPos builds the identity translation for n columns.
+func identityPos(n int) map[int]int {
+	m := make(map[int]int, n)
+	for i := 0; i < n; i++ {
+		m[i] = i
+	}
+	return m
+}
+
+// rewriteSelect implements (σ_c(T))+ = σ_c(T+), plus the EDBT '09 nested-
+// subquery rules: positive EXISTS/IN/scalar comparisons are de-correlated
+// into (lateral) joins with the rewritten subquery so that contributing
+// subquery tuples appear in the provenance; negated forms keep the runtime
+// subplan and contribute no subquery provenance (PI-CS's left-only semantics
+// for negation, as with set difference).
+func (r *Rewriter) rewriteSelect(s *algebra.Select) (result, error) {
+	in, err := r.rewrite(s.Input)
+	if err != nil {
+		return result{}, err
+	}
+	cur := in
+	var residual []algebra.Expr
+	for _, conj := range algebra.SplitAnd(s.Cond) {
+		if !algebra.HasSubplan(conj) {
+			residual = append(residual, conj)
+			continue
+		}
+		next, handled, err := r.decorrelateConjunct(cur, conj)
+		if err != nil {
+			return result{}, err
+		}
+		if handled {
+			cur = next
+			continue
+		}
+		residual = append(residual, conj)
+	}
+	if cond := algebra.AndAll(residual); cond != nil {
+		cur = result{op: &algebra.Select{Input: cur.op, Cond: cond}, prov: cur.prov, copies: cur.copies}
+	}
+	return cur, nil
+}
+
+// decorrelateConjunct turns one subplan-bearing conjunct into a join against
+// the rewritten subquery. Returns handled=false when the conjunct shape is
+// not rewritable into a join (it then stays a runtime filter).
+func (r *Rewriter) decorrelateConjunct(cur result, conj algebra.Expr) (result, bool, error) {
+	switch x := conj.(type) {
+	case *algebra.Subplan:
+		switch x.Mode {
+		case algebra.ExistsSubplan:
+			if x.Neg {
+				// NOT EXISTS: runtime filter, no subquery provenance.
+				r.note("NOT EXISTS kept as filter (no subquery provenance, PI-CS negation)")
+				return cur, false, nil
+			}
+			r.note("EXISTS de-correlated into %sjoin", lateralWord(x.Correlated))
+			next, err := r.joinSubquery(cur, x.Plan, x.Correlated, nil, nil)
+			return next, err == nil, err
+		case algebra.InSubplan:
+			if x.Neg {
+				r.note("NOT IN kept as filter (no subquery provenance, PI-CS negation)")
+				return cur, false, nil
+			}
+			r.note("IN de-correlated into %sjoin", lateralWord(x.Correlated))
+			next, err := r.joinSubquery(cur, x.Plan, x.Correlated, x.Needle, eqOp())
+			return next, err == nil, err
+		case algebra.AnySubplan:
+			// needle op ANY (sub) joins on the comparison: one witness row
+			// per matching subquery tuple — the quantifier's positive form.
+			r.note("%s ANY de-correlated into %sjoin", x.CmpOp, lateralWord(x.Correlated))
+			op := x.CmpOp
+			next, err := r.joinSubquery(cur, x.Plan, x.Correlated, x.Needle, &op)
+			return next, err == nil, err
+		case algebra.AllSubplan:
+			// ALL is a universal quantifier (negation-shaped): kept as a
+			// runtime filter, contributing no subquery provenance, like
+			// NOT IN and set difference under PI-CS.
+			r.note("%s ALL kept as filter (no subquery provenance, PI-CS negation)", x.CmpOp)
+			return cur, false, nil
+		default:
+			return cur, false, nil
+		}
+	case *algebra.Bin:
+		// Comparison against a scalar subquery: lhs op (SELECT ...).
+		if sp, ok := x.R.(*algebra.Subplan); ok && sp.Mode == algebra.ScalarSubplan && !algebra.HasSubplan(x.L) {
+			r.note("scalar subquery comparison de-correlated into %sjoin", lateralWord(sp.Correlated))
+			next, err := r.joinSubquery(cur, sp.Plan, sp.Correlated, x.L, &x.Op)
+			return next, err == nil, err
+		}
+		if sp, ok := x.L.(*algebra.Subplan); ok && sp.Mode == algebra.ScalarSubplan && !algebra.HasSubplan(x.R) {
+			flipped := flipComparison(x.Op)
+			if flipped == nil {
+				return cur, false, nil
+			}
+			r.note("scalar subquery comparison de-correlated into %sjoin", lateralWord(sp.Correlated))
+			next, err := r.joinSubquery(cur, sp.Plan, sp.Correlated, x.R, flipped)
+			return next, err == nil, err
+		}
+	}
+	return cur, false, nil
+}
+
+func lateralWord(correlated bool) string {
+	if correlated {
+		return "lateral "
+	}
+	return ""
+}
+
+func eqOp() *sql.BinOp {
+	op := sql.OpEq
+	return &op
+}
+
+// flipComparison mirrors a comparison operator (a op b == b op' a).
+func flipComparison(op sql.BinOp) *sql.BinOp {
+	var out sql.BinOp
+	switch op {
+	case sql.OpEq:
+		out = sql.OpEq
+	case sql.OpNeq:
+		out = sql.OpNeq
+	case sql.OpLt:
+		out = sql.OpGt
+	case sql.OpLte:
+		out = sql.OpGte
+	case sql.OpGt:
+		out = sql.OpLt
+	case sql.OpGte:
+		out = sql.OpLte
+	default:
+		return nil
+	}
+	return &out
+}
+
+// joinSubquery joins cur with the rewritten subquery plan. When needle/op are
+// given, the join condition compares the needle (over cur's columns) with the
+// subquery's single data column; otherwise the join is cross/lateral (pure
+// EXISTS). The subquery's data columns are projected away afterwards, keeping
+// only its provenance columns, so cur's original columns stay a prefix.
+func (r *Rewriter) joinSubquery(cur result, plan algebra.Op, correlated bool, needle algebra.Expr, cmp *sql.BinOp) (result, error) {
+	sub, err := r.rewrite(plan)
+	if err != nil {
+		return result{}, err
+	}
+	nCur := len(cur.op.Schema())
+	subSch := sub.op.Schema()
+	var cond algebra.Expr
+	if needle != nil {
+		data := subSch.DataIdx()
+		if len(data) != 1 {
+			return result{}, fmt.Errorf("provenance rewrite: subquery comparison needs exactly one output column, got %d", len(data))
+		}
+		di := data[0]
+		cond = &algebra.Bin{
+			Op: *cmp,
+			L:  needle, // references cur columns — prefix-preserved
+			R:  &algebra.ColIdx{Idx: nCur + di, Typ: subSch[di].Type, Name: subSch[di].Name},
+		}
+	}
+	join := algebra.NewJoin(algebra.JoinInner, cur.op, sub.op, cond)
+	join.Lateral = correlated
+
+	// Keep cur's columns and only the subquery's provenance columns.
+	exprs := algebra.IdentityExprs(cur.op.Schema())
+	names := append([]string{}, cur.op.Schema().Names()...)
+	newPos := identityPos(nCur)
+	joinSch := join.Sch
+	for _, p := range sub.prov {
+		jp := nCur + p
+		newPos[jp] = len(exprs)
+		exprs = append(exprs, &algebra.ColIdx{Idx: jp, Typ: joinSch[jp].Type, Name: joinSch[jp].Name})
+		names = append(names, joinSch[jp].Name)
+	}
+	proj := algebra.NewProject(join, exprs, names)
+	copy(proj.Sch[:nCur], cur.op.Schema())
+	prov := append([]int{}, cur.prov...)
+	copies := emptyCopies(len(exprs))
+	copy(copies, cur.copies)
+	for _, p := range sub.prov {
+		np := newPos[nCur+p]
+		proj.Sch[np] = subSch[p]
+		prov = append(prov, np)
+		copies[np] = []int{np}
+	}
+	return result{op: proj, prov: prov, copies: copies}, nil
+}
+
+// rewriteJoin implements (T1 ⋈_c T2)+ = Π_reorder(T1+ ⋈_c' T2+): both inputs
+// are rewritten, the condition's right-side indices shift past T1's new
+// provenance columns, and a projection restores the original-columns-first
+// layout.
+func (r *Rewriter) rewriteJoin(j *algebra.Join) (result, error) {
+	if j.Cond != nil && algebra.HasSubplan(j.Cond) {
+		return result{}, fmt.Errorf("provenance rewrite: subqueries in JOIN conditions are not supported")
+	}
+	left, err := r.rewrite(j.Left)
+	if err != nil {
+		return result{}, err
+	}
+	right, err := r.rewrite(j.Right)
+	if err != nil {
+		return result{}, err
+	}
+	nL := len(j.Left.Schema())
+	nR := len(j.Right.Schema())
+	nLplus := len(left.op.Schema())
+	var cond algebra.Expr
+	if j.Cond != nil {
+		cond = algebra.MapCols(j.Cond, func(c *algebra.ColIdx) algebra.Expr {
+			if c.Idx >= nL {
+				return &algebra.ColIdx{Idx: c.Idx - nL + nLplus, Typ: c.Typ, Name: c.Name}
+			}
+			return c
+		})
+	}
+	join := algebra.NewJoin(j.Kind, left.op, right.op, cond)
+	join.Lateral = j.Lateral
+
+	// Reorder to [T1 data, T2 data, P1, P2].
+	joinSch := join.Sch
+	exprs := make([]algebra.Expr, 0, len(joinSch))
+	names := make([]string, 0, len(joinSch))
+	newPos := make(map[int]int)
+	take := func(idx int) {
+		newPos[idx] = len(exprs)
+		exprs = append(exprs, &algebra.ColIdx{Idx: idx, Typ: joinSch[idx].Type, Name: joinSch[idx].Name})
+		names = append(names, joinSch[idx].Name)
+	}
+	for i := 0; i < nL; i++ {
+		take(i)
+	}
+	for i := 0; i < nR; i++ {
+		take(nLplus + i)
+	}
+	for _, p := range left.prov {
+		take(p)
+	}
+	for _, p := range right.prov {
+		take(nLplus + p)
+	}
+	proj := algebra.NewProject(join, exprs, names)
+	for old, np := range newPos {
+		proj.Sch[np] = joinSch[old]
+	}
+	prov := make([]int, 0, len(left.prov)+len(right.prov))
+	copies := emptyCopies(len(exprs))
+	for i := 0; i < nL; i++ {
+		copies[newPos[i]] = translate(left.copies[i], newPos)
+	}
+	for i := 0; i < nR; i++ {
+		shifted := shiftList(right.copies[i], nLplus)
+		copies[newPos[nLplus+i]] = translate(shifted, newPos)
+	}
+	for _, p := range left.prov {
+		np := newPos[p]
+		prov = append(prov, np)
+		copies[np] = []int{np}
+	}
+	for _, p := range right.prov {
+		np := newPos[nLplus+p]
+		prov = append(prov, np)
+		copies[np] = []int{np}
+	}
+	return result{op: proj, prov: prov, copies: copies}, nil
+}
+
+func shiftList(xs []int, delta int) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = x + delta
+	}
+	return out
+}

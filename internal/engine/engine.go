@@ -1,0 +1,574 @@
+// Package engine ties the Perm pipeline together, mirroring Figure 3 of the
+// paper: Parser & Analyzer → Provenance Rewriter → Planner → Executor. It
+// owns the storage engine, dispatches DDL/DML, manages session settings
+// (contribution semantics, rewrite strategies, optimizer toggles), measures
+// per-stage timings, and implements eager provenance via CREATE TABLE AS
+// SELECT PROVENANCE.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"perm/internal/algebra"
+	"perm/internal/analyzer"
+	"perm/internal/catalog"
+	"perm/internal/core"
+	"perm/internal/executor"
+	"perm/internal/planner"
+	"perm/internal/sql"
+	"perm/internal/storage"
+	"perm/internal/value"
+)
+
+// DB is a Perm database instance: storage plus catalog. It is safe for use
+// from multiple sessions.
+type DB struct {
+	store *storage.Store
+	// ddlMu serializes DDL so CREATE TABLE + heap allocation stay atomic
+	// relative to other DDL.
+	ddlMu sync.Mutex
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{store: storage.NewStore()}
+}
+
+// Store exposes the storage engine (tools and tests).
+func (db *DB) Store() *storage.Store { return db.store }
+
+// Catalog exposes the schema registry.
+func (db *DB) Catalog() *catalog.Catalog { return db.store.Catalog() }
+
+// NewSession opens a session with default settings.
+func (db *DB) NewSession() *Session {
+	return &Session{
+		db: db,
+		settings: map[string]string{
+			"provenance_contribution":      "influence",
+			"provenance_strategy":          "heuristic",
+			"provenance_agg_strategy":      "auto",
+			"provenance_set_strategy":      "auto",
+			"provenance_distinct_strategy": "auto",
+			"optimizer":                    "on",
+			"provenance_schema_name":       "public",
+		},
+	}
+}
+
+// Session is a single-user connection with its own settings.
+type Session struct {
+	db       *DB
+	settings map[string]string
+}
+
+// Timings records the per-stage latency of one statement — the observable
+// version of the Figure 3 architecture.
+type Timings struct {
+	Parse   time.Duration
+	Analyze time.Duration // includes provenance rewriting (Perm module)
+	Rewrite time.Duration // time inside the provenance rewriter only
+	Plan    time.Duration
+	Execute time.Duration
+}
+
+// Total sums the stages.
+func (t Timings) Total() time.Duration {
+	return t.Parse + t.Analyze + t.Plan + t.Execute
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns are the output column names (empty for DDL/DML).
+	Columns []string
+	Schema  algebra.Schema
+	Rows    []value.Row
+	// Tag is the command tag, e.g. "SELECT 4", "INSERT 2", "CREATE TABLE".
+	Tag string
+	// Timings holds the per-stage latencies.
+	Timings Timings
+	// Rewrites lists the provenance-rewrite decisions taken (strategy
+	// choices, de-correlations), for EXPLAIN and the browser.
+	Rewrites []string
+}
+
+// Execute runs a single SQL statement.
+func (s *Session) Execute(text string) (*Result, error) {
+	t0 := time.Now()
+	st, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	parseDur := time.Since(t0)
+	res, err := s.ExecuteStatement(st)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Parse = parseDur
+	return res, nil
+}
+
+// ExecuteScript runs a semicolon-separated script, stopping at the first
+// error. It returns one result per statement.
+func (s *Session) ExecuteScript(text string) ([]*Result, error) {
+	stmts, err := sql.ParseScript(text)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(stmts))
+	for i, st := range stmts {
+		res, err := s.ExecuteStatement(st)
+		if err != nil {
+			return out, fmt.Errorf("statement %d: %v", i+1, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ExecuteStatement runs a parsed statement.
+func (s *Session) ExecuteStatement(st sql.Statement) (*Result, error) {
+	switch x := st.(type) {
+	case *sql.SelectStmt:
+		return s.runSelect(x)
+	case *sql.CreateTableStmt:
+		return s.runCreateTable(x)
+	case *sql.CreateViewStmt:
+		return s.runCreateView(x)
+	case *sql.DropStmt:
+		return s.runDrop(x)
+	case *sql.InsertStmt:
+		return s.runInsert(x)
+	case *sql.DeleteStmt:
+		return s.runDelete(x)
+	case *sql.UpdateStmt:
+		return s.runUpdate(x)
+	case *sql.ExplainStmt:
+		return s.runExplain(x)
+	case *sql.SetStmt:
+		return s.runSet(x)
+	case *sql.ShowStmt:
+		return s.runShow(x)
+	case *sql.AnalyzeStmt:
+		if err := s.db.store.Analyze(x.Table); err != nil {
+			return nil, err
+		}
+		return &Result{Tag: "ANALYZE"}, nil
+	}
+	return nil, fmt.Errorf("unsupported statement %T", st)
+}
+
+// rewriterOptions builds core.Options from the session settings.
+func (s *Session) rewriterOptions(defaultSem sql.ContributionSemantics) core.Options {
+	opts := core.DefaultOptions()
+	opts.SchemaName = s.settings["provenance_schema_name"]
+	switch defaultSem {
+	case sql.Copy:
+		opts.Semantics = core.CopySemantics
+	case sql.CopyComplete:
+		opts.Semantics = core.CopyCompleteSemantics
+	case sql.Influence:
+		opts.Semantics = core.InfluenceSemantics
+	default:
+		switch s.settings["provenance_contribution"] {
+		case "copy":
+			opts.Semantics = core.CopySemantics
+		case "copycomplete":
+			opts.Semantics = core.CopyCompleteSemantics
+		}
+	}
+	if s.settings["provenance_strategy"] == "cost" {
+		opts.Mode = core.ModeCost
+		pl := planner.New(s.db.Catalog())
+		opts.Estimator = func(op algebra.Op) float64 { return pl.EstimateRows(op) }
+	}
+	switch s.settings["provenance_agg_strategy"] {
+	case "joingroup":
+		opts.Agg, opts.AggForced = core.AggJoinGroup, true
+	case "crossfilter":
+		opts.Agg, opts.AggForced = core.AggCrossFilter, true
+	}
+	switch s.settings["provenance_set_strategy"] {
+	case "pad":
+		opts.Set, opts.SetForced = core.SetPad, true
+	case "join":
+		opts.Set, opts.SetForced = core.SetJoin, true
+	}
+	switch s.settings["provenance_distinct_strategy"] {
+	case "pass":
+		opts.Distinct, opts.DistinctForced = core.DistinctPass, true
+	case "join":
+		opts.Distinct, opts.DistinctForced = core.DistinctJoin, true
+	}
+	return opts
+}
+
+// Analyze resolves a query to an executable plan, running the provenance
+// rewriter for SELECT PROVENANCE blocks. It returns the plan, the rewrite
+// decisions, and the time spent in the rewriter.
+func (s *Session) Analyze(sel *sql.SelectStmt) (algebra.Op, []string, time.Duration, error) {
+	an := analyzer.New(s.db.Catalog())
+	var decisions []string
+	var rewriteDur time.Duration
+	an.Rewrite = func(req analyzer.ProvRequest) (algebra.Op, error) {
+		t0 := time.Now()
+		rw := core.NewRewriter(s.rewriterOptions(req.Contribution))
+		out, err := rw.Rewrite(req.Input)
+		rewriteDur += time.Since(t0)
+		decisions = append(decisions, rw.Decisions...)
+		return out, err
+	}
+	plan, err := an.AnalyzeSelect(sel)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return plan, decisions, rewriteDur, nil
+}
+
+// AnalyzeOriginal resolves a query ignoring SELECT PROVENANCE markers (the
+// browser's "original algebra tree" pane).
+func (s *Session) AnalyzeOriginal(sel *sql.SelectStmt) (algebra.Op, error) {
+	an := analyzer.New(s.db.Catalog())
+	an.StripProvenance = true
+	return an.AnalyzeSelect(sel)
+}
+
+// Plan optimizes a resolved plan per the session's optimizer setting.
+func (s *Session) Plan(op algebra.Op) algebra.Op {
+	if s.settings["optimizer"] == "off" {
+		return op
+	}
+	return planner.New(s.db.Catalog()).Optimize(op)
+}
+
+func (s *Session) runSelect(sel *sql.SelectStmt) (*Result, error) {
+	res := &Result{}
+	t0 := time.Now()
+	plan, decisions, rewriteDur, err := s.Analyze(sel)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Analyze = time.Since(t0)
+	res.Timings.Rewrite = rewriteDur
+	res.Rewrites = decisions
+
+	t1 := time.Now()
+	plan = s.Plan(plan)
+	res.Timings.Plan = time.Since(t1)
+
+	t2 := time.Now()
+	out, err := executor.Run(executor.NewContext(s.db.store), plan)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Execute = time.Since(t2)
+	res.Schema = out.Schema
+	res.Columns = out.Schema.Names()
+	res.Rows = out.Rows
+	res.Tag = fmt.Sprintf("SELECT %d", len(out.Rows))
+	return res, nil
+}
+
+func (s *Session) runCreateTable(ct *sql.CreateTableStmt) (*Result, error) {
+	s.db.ddlMu.Lock()
+	defer s.db.ddlMu.Unlock()
+	if ct.AsSelect != nil {
+		// Eager provenance: CREATE TABLE p AS SELECT PROVENANCE ... stores
+		// the provenance relation for later querying.
+		sub, err := s.runSelect(ct.AsSelect)
+		if err != nil {
+			return nil, err
+		}
+		def := &catalog.TableDef{Name: ct.Name}
+		used := map[string]int{}
+		for _, col := range sub.Schema {
+			name := strings.ToLower(col.Name)
+			if name == "" {
+				name = "column"
+			}
+			if n := used[name]; n > 0 {
+				used[name] = n + 1
+				name = fmt.Sprintf("%s_%d", name, n)
+			} else {
+				used[name] = 1
+			}
+			typ := col.Type
+			if typ == value.KindNull {
+				typ = value.KindString
+			}
+			def.Columns = append(def.Columns, catalog.Column{Name: name, Type: typ})
+		}
+		table, err := s.db.store.CreateTable(def)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := table.InsertBatch(sub.Rows); err != nil {
+			_ = s.db.store.DropTable(ct.Name)
+			return nil, err
+		}
+		s.db.Catalog().SetRowCount(ct.Name, len(sub.Rows))
+		return &Result{Tag: fmt.Sprintf("SELECT %d", len(sub.Rows)), Timings: sub.Timings}, nil
+	}
+	def := &catalog.TableDef{Name: ct.Name}
+	for _, c := range ct.Columns {
+		kind, err := value.KindFromTypeName(c.TypeName)
+		if err != nil {
+			return nil, err
+		}
+		def.Columns = append(def.Columns, catalog.Column{Name: c.Name, Type: kind, NotNull: c.NotNull})
+	}
+	if _, err := s.db.store.CreateTable(def); err != nil {
+		return nil, err
+	}
+	return &Result{Tag: "CREATE TABLE"}, nil
+}
+
+func (s *Session) runCreateView(cv *sql.CreateViewStmt) (*Result, error) {
+	s.db.ddlMu.Lock()
+	defer s.db.ddlMu.Unlock()
+	// Validate the defining query now (including provenance blocks).
+	plan, _, _, err := s.Analyze(cv.Select)
+	if err != nil {
+		return nil, fmt.Errorf("invalid view definition: %v", err)
+	}
+	var cols []catalog.Column
+	for _, c := range plan.Schema() {
+		cols = append(cols, catalog.Column{Name: c.Name, Type: c.Type})
+	}
+	err = s.db.Catalog().CreateView(&catalog.ViewDef{Name: cv.Name, Text: cv.Text, Columns: cols})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Tag: "CREATE VIEW"}, nil
+}
+
+func (s *Session) runDrop(d *sql.DropStmt) (*Result, error) {
+	s.db.ddlMu.Lock()
+	defer s.db.ddlMu.Unlock()
+	var err error
+	if d.View {
+		err = s.db.Catalog().DropView(d.Name)
+	} else {
+		err = s.db.store.DropTable(d.Name)
+	}
+	if err != nil {
+		if d.IfExists {
+			return &Result{Tag: "DROP"}, nil
+		}
+		return nil, err
+	}
+	return &Result{Tag: "DROP"}, nil
+}
+
+func (s *Session) runInsert(ins *sql.InsertStmt) (*Result, error) {
+	table := s.db.store.Table(ins.Table)
+	if table == nil {
+		return nil, fmt.Errorf("table %q does not exist", ins.Table)
+	}
+	def := table.Def()
+	// Map the column list.
+	target := make([]int, 0, len(def.Columns))
+	if len(ins.Columns) == 0 {
+		for i := range def.Columns {
+			target = append(target, i)
+		}
+	} else {
+		for _, name := range ins.Columns {
+			idx := def.ColumnIndex(name)
+			if idx < 0 {
+				return nil, fmt.Errorf("column %q of table %q does not exist", name, ins.Table)
+			}
+			target = append(target, idx)
+		}
+	}
+
+	var rows []value.Row
+	if ins.Select != nil {
+		sub, err := s.runSelect(ins.Select)
+		if err != nil {
+			return nil, err
+		}
+		if len(sub.Schema) != len(target) {
+			return nil, fmt.Errorf("INSERT expects %d columns, query returns %d", len(target), len(sub.Schema))
+		}
+		rows = sub.Rows
+	} else {
+		an := analyzer.New(s.db.Catalog())
+		ctx := executor.NewContext(s.db.store)
+		for i, exprRow := range ins.Rows {
+			if len(exprRow) != len(target) {
+				return nil, fmt.Errorf("row %d has %d values, expected %d", i+1, len(exprRow), len(target))
+			}
+			row := make(value.Row, len(exprRow))
+			for j, e := range exprRow {
+				re, err := an.AnalyzeExpr(e, algebra.Schema{})
+				if err != nil {
+					return nil, err
+				}
+				v, err := executor.Eval(re, nil, ctx)
+				if err != nil {
+					return nil, err
+				}
+				row[j] = v
+			}
+			rows = append(rows, row)
+		}
+	}
+
+	// Scatter into full-width rows.
+	full := make([]value.Row, len(rows))
+	for i, r := range rows {
+		fr := value.NullRow(len(def.Columns))
+		for j, t := range target {
+			fr[t] = r[j]
+		}
+		full[i] = fr
+	}
+	n, err := table.InsertBatch(full)
+	if err != nil {
+		return nil, err
+	}
+	s.db.Catalog().SetRowCount(ins.Table, table.RowCount())
+	return &Result{Tag: fmt.Sprintf("INSERT %d", n)}, nil
+}
+
+// compilePredicate resolves a WHERE clause against a table for DELETE/UPDATE.
+func (s *Session) compilePredicate(where sql.Expr, def *catalog.TableDef) (func(value.Row) (bool, error), error) {
+	if where == nil {
+		return nil, nil
+	}
+	sch := make(algebra.Schema, len(def.Columns))
+	for i, c := range def.Columns {
+		sch[i] = algebra.Column{Name: c.Name, Table: def.Name, Type: c.Type}
+	}
+	an := analyzer.New(s.db.Catalog())
+	cond, err := an.AnalyzeExpr(where, sch)
+	if err != nil {
+		return nil, err
+	}
+	ctx := executor.NewContext(s.db.store)
+	return func(row value.Row) (bool, error) {
+		return executor.EvalBool(cond, row, ctx)
+	}, nil
+}
+
+func (s *Session) runDelete(del *sql.DeleteStmt) (*Result, error) {
+	table := s.db.store.Table(del.Table)
+	if table == nil {
+		return nil, fmt.Errorf("table %q does not exist", del.Table)
+	}
+	pred, err := s.compilePredicate(del.Where, table.Def())
+	if err != nil {
+		return nil, err
+	}
+	if del.Where == nil {
+		pred = func(value.Row) (bool, error) { return true, nil }
+	}
+	n, err := table.Delete(pred)
+	if err != nil {
+		return nil, err
+	}
+	s.db.Catalog().SetRowCount(del.Table, table.RowCount())
+	return &Result{Tag: fmt.Sprintf("DELETE %d", n)}, nil
+}
+
+func (s *Session) runUpdate(up *sql.UpdateStmt) (*Result, error) {
+	table := s.db.store.Table(up.Table)
+	if table == nil {
+		return nil, fmt.Errorf("table %q does not exist", up.Table)
+	}
+	def := table.Def()
+	pred, err := s.compilePredicate(up.Where, def)
+	if err != nil {
+		return nil, err
+	}
+	sch := make(algebra.Schema, len(def.Columns))
+	for i, c := range def.Columns {
+		sch[i] = algebra.Column{Name: c.Name, Table: def.Name, Type: c.Type}
+	}
+	an := analyzer.New(s.db.Catalog())
+	type setter struct {
+		idx  int
+		expr algebra.Expr
+	}
+	var setters []setter
+	for _, set := range up.Sets {
+		idx := def.ColumnIndex(set.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("column %q of table %q does not exist", set.Column, up.Table)
+		}
+		e, err := an.AnalyzeExpr(set.Expr, sch)
+		if err != nil {
+			return nil, err
+		}
+		setters = append(setters, setter{idx: idx, expr: e})
+	}
+	ctx := executor.NewContext(s.db.store)
+	n, err := table.Update(pred, func(row value.Row) (value.Row, error) {
+		out := row.Clone()
+		for _, st := range setters {
+			v, err := executor.Eval(st.expr, row, ctx)
+			if err != nil {
+				return nil, err
+			}
+			out[st.idx] = v
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Tag: fmt.Sprintf("UPDATE %d", n)}, nil
+}
+
+func (s *Session) runSet(st *sql.SetStmt) (*Result, error) {
+	name := strings.ToLower(st.Name)
+	val := strings.ToLower(st.Value)
+	valid := map[string][]string{
+		"provenance_contribution":      {"influence", "copy", "copycomplete"},
+		"provenance_strategy":          {"heuristic", "cost"},
+		"provenance_agg_strategy":      {"auto", "joingroup", "crossfilter"},
+		"provenance_set_strategy":      {"auto", "pad", "join"},
+		"provenance_distinct_strategy": {"auto", "pass", "join"},
+		"optimizer":                    {"on", "off"},
+		"provenance_schema_name":       nil, // free-form
+	}
+	allowed, ok := valid[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown setting %q", st.Name)
+	}
+	if allowed != nil {
+		found := false
+		for _, a := range allowed {
+			if val == a {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("invalid value %q for %s (valid: %s)", st.Value, name, strings.Join(allowed, ", "))
+		}
+	}
+	s.settings[name] = val
+	return &Result{Tag: "SET"}, nil
+}
+
+func (s *Session) runShow(st *sql.ShowStmt) (*Result, error) {
+	name := strings.ToLower(st.Name)
+	val, ok := s.settings[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown setting %q", st.Name)
+	}
+	return &Result{
+		Columns: []string{name},
+		Schema:  algebra.Schema{{Name: name, Type: value.KindString}},
+		Rows:    []value.Row{{value.NewString(val)}},
+		Tag:     "SHOW",
+	}, nil
+}
+
+// Setting reads a session variable (tools).
+func (s *Session) Setting(name string) string { return s.settings[strings.ToLower(name)] }

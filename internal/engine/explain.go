@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"perm/internal/algebra"
+	"perm/internal/executor"
+	"perm/internal/planner"
+	"perm/internal/sql"
+	"perm/internal/value"
+)
+
+// Explanation carries the artifacts the Perm browser shows for one query
+// (Figure 4): the original SQL, the rewritten SQL, ASCII algebra trees for
+// the original and rewritten query, the rewrite decisions, and — with
+// EXPLAIN ANALYZE — the per-stage timings of Figure 3.
+type Explanation struct {
+	OriginalSQL   string
+	RewrittenSQL  string
+	OriginalTree  string
+	RewrittenTree string
+	OptimizedTree string
+	Decisions     []string
+	Timings       Timings
+	RowCount      int
+	Analyzed      bool
+}
+
+// Explain produces the browser artifacts for a query without running it.
+func (s *Session) Explain(sel *sql.SelectStmt) (*Explanation, error) {
+	return s.explain(sel, false)
+}
+
+// ExplainAnalyze additionally executes the query and reports stage timings.
+func (s *Session) ExplainAnalyze(sel *sql.SelectStmt) (*Explanation, error) {
+	return s.explain(sel, true)
+}
+
+func (s *Session) explain(sel *sql.SelectStmt, analyze bool) (*Explanation, error) {
+	ex := &Explanation{OriginalSQL: sql.FormatStatement(sel), Analyzed: analyze}
+
+	orig, err := s.AnalyzeOriginal(sel)
+	if err != nil {
+		return nil, err
+	}
+	ex.OriginalTree = algebra.Tree(orig)
+
+	t0 := time.Now()
+	plan, decisions, rewriteDur, err := s.Analyze(sel)
+	if err != nil {
+		return nil, err
+	}
+	ex.Timings.Analyze = time.Since(t0)
+	ex.Timings.Rewrite = rewriteDur
+	ex.Decisions = decisions
+	ex.RewrittenTree = algebra.Tree(plan)
+	ex.RewrittenSQL = algebra.ToSQL(plan)
+
+	t1 := time.Now()
+	opt := s.Plan(plan)
+	ex.Timings.Plan = time.Since(t1)
+	pl := planner.New(s.db.Catalog())
+	ex.OptimizedTree = algebra.AnnotatedTree(opt, func(op algebra.Op) string {
+		return fmt.Sprintf("(rows≈%.0f)", pl.EstimateRows(op))
+	})
+
+	if analyze {
+		t2 := time.Now()
+		out, err := executor.Run(executor.NewContext(s.db.store), opt)
+		if err != nil {
+			return nil, err
+		}
+		ex.Timings.Execute = time.Since(t2)
+		ex.RowCount = len(out.Rows)
+	}
+	return ex, nil
+}
+
+// runExplain renders an Explanation as a one-column result, the way EXPLAIN
+// output comes back from a SQL interface.
+func (s *Session) runExplain(st *sql.ExplainStmt) (*Result, error) {
+	ex, err := s.explain(st.Target, st.Analyze)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	add := func(format string, args ...interface{}) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	add("Original query: %s", ex.OriginalSQL)
+	add("Original algebra tree:")
+	lines = append(lines, strings.Split(strings.TrimRight(ex.OriginalTree, "\n"), "\n")...)
+	if len(ex.Decisions) > 0 {
+		add("Provenance rewrite decisions:")
+		for _, d := range ex.Decisions {
+			add("  %s", d)
+		}
+	}
+	add("Rewritten algebra tree:")
+	lines = append(lines, strings.Split(strings.TrimRight(ex.RewrittenTree, "\n"), "\n")...)
+	add("Rewritten SQL: %s", ex.RewrittenSQL)
+	add("Optimized plan:")
+	lines = append(lines, strings.Split(strings.TrimRight(ex.OptimizedTree, "\n"), "\n")...)
+	if ex.Analyzed {
+		add("Stage timings: analyze=%v (rewrite=%v) plan=%v execute=%v",
+			ex.Timings.Analyze, ex.Timings.Rewrite, ex.Timings.Plan, ex.Timings.Execute)
+		add("Rows: %d", ex.RowCount)
+	}
+	rows := make([]value.Row, len(lines))
+	for i, l := range lines {
+		rows[i] = value.Row{value.NewString(l)}
+	}
+	return &Result{
+		Columns: []string{"QUERY PLAN"},
+		Schema:  algebra.Schema{{Name: "QUERY PLAN", Type: value.KindString}},
+		Rows:    rows,
+		Tag:     "EXPLAIN",
+	}, nil
+}

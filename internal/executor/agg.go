@@ -1,0 +1,205 @@
+package executor
+
+import (
+	"fmt"
+	"sort"
+
+	"perm/internal/algebra"
+	"perm/internal/value"
+)
+
+// aggIter implements hash aggregation with DISTINCT support. With no GROUP BY
+// expressions it emits exactly one row (the SQL scalar-aggregate case), even
+// over empty input.
+type aggIter struct {
+	op    *algebra.Agg
+	input iterator
+	out   []value.Row
+	pos   int
+}
+
+// aggState accumulates one aggregate within one group.
+type aggState struct {
+	count    int64
+	sum      value.Value
+	min      value.Value
+	max      value.Value
+	distinct map[string]value.Value // non-nil iff DISTINCT
+}
+
+func (a *aggIter) Open(ctx *Context) error {
+	if err := a.input.Open(ctx); err != nil {
+		return err
+	}
+	rows, err := drain(a.input, ctx)
+	if err != nil {
+		return err
+	}
+
+	type group struct {
+		keys   value.Row
+		states []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	newGroup := func(keys value.Row) *group {
+		g := &group{keys: keys, states: make([]*aggState, len(a.op.Aggs))}
+		for i, ae := range a.op.Aggs {
+			st := &aggState{sum: value.Null, min: value.Null, max: value.Null}
+			if ae.Distinct {
+				st.distinct = make(map[string]value.Value)
+			}
+			g.states[i] = st
+		}
+		return g
+	}
+
+	for _, row := range rows {
+		keys := make(value.Row, len(a.op.GroupBy))
+		for i, ge := range a.op.GroupBy {
+			v, err := Eval(ge, row, ctx)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		k := keys.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = newGroup(keys)
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, ae := range a.op.Aggs {
+			var arg value.Value
+			if ae.Arg != nil {
+				v, err := Eval(ae.Arg, row, ctx)
+				if err != nil {
+					return err
+				}
+				arg = v
+			}
+			if err := g.states[i].accumulate(ae, arg); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Scalar aggregation over empty input still produces one (empty) group.
+	if len(a.op.GroupBy) == 0 && len(groups) == 0 {
+		g := newGroup(value.Row{})
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	a.out = make([]value.Row, 0, len(groups))
+	for _, k := range order {
+		g := groups[k]
+		row := make(value.Row, 0, len(g.keys)+len(g.states))
+		row = append(row, g.keys...)
+		for i, ae := range a.op.Aggs {
+			v, err := g.states[i].result(ae)
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
+		}
+		a.out = append(a.out, row)
+	}
+	a.pos = 0
+	return nil
+}
+
+// accumulate folds one input value into the state.
+func (s *aggState) accumulate(ae algebra.AggExpr, arg value.Value) error {
+	if ae.Func == algebra.AggCount && ae.Arg == nil {
+		s.count++ // COUNT(*): every row counts
+		return nil
+	}
+	if arg.IsNull() {
+		return nil // aggregates skip NULLs
+	}
+	if s.distinct != nil {
+		k := arg.Key()
+		if _, seen := s.distinct[k]; seen {
+			return nil
+		}
+		s.distinct[k] = arg
+	}
+	s.count++
+	switch ae.Func {
+	case algebra.AggCount:
+	case algebra.AggSum, algebra.AggAvg:
+		if s.sum.IsNull() {
+			s.sum = arg
+		} else {
+			v, err := value.Add(s.sum, arg)
+			if err != nil {
+				return err
+			}
+			s.sum = v
+		}
+	case algebra.AggMin:
+		if s.min.IsNull() {
+			s.min = arg
+		} else if c, err := value.Compare(arg, s.min); err != nil {
+			return err
+		} else if c < 0 {
+			s.min = arg
+		}
+	case algebra.AggMax:
+		if s.max.IsNull() {
+			s.max = arg
+		} else if c, err := value.Compare(arg, s.max); err != nil {
+			return err
+		} else if c > 0 {
+			s.max = arg
+		}
+	default:
+		return fmt.Errorf("executor: unknown aggregate %q", ae.Func)
+	}
+	return nil
+}
+
+// result finalizes the aggregate value.
+func (s *aggState) result(ae algebra.AggExpr) (value.Value, error) {
+	switch ae.Func {
+	case algebra.AggCount:
+		return value.NewInt(s.count), nil
+	case algebra.AggSum:
+		return s.sum, nil
+	case algebra.AggAvg:
+		if s.count == 0 || s.sum.IsNull() {
+			return value.Null, nil
+		}
+		return value.NewFloat(s.sum.Float() / float64(s.count)), nil
+	case algebra.AggMin:
+		return s.min, nil
+	case algebra.AggMax:
+		return s.max, nil
+	}
+	return value.Null, fmt.Errorf("executor: unknown aggregate %q", ae.Func)
+}
+
+func (a *aggIter) Next() (value.Row, error) {
+	if a.pos >= len(a.out) {
+		return nil, nil
+	}
+	row := a.out[a.pos]
+	a.pos++
+	return row, nil
+}
+
+func (a *aggIter) Close() error {
+	a.out = nil
+	return nil
+}
+
+// sortRowsInPlace orders rows deterministically (used by set operations for
+// stable bag arithmetic output).
+func sortRowsInPlace(rows []value.Row) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		return value.CompareRows(rows[i], rows[j]) < 0
+	})
+}

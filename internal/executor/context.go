@@ -1,0 +1,170 @@
+// Package executor implements Perm's Volcano-style query executor: iterators
+// over the logical algebra with runtime choices (hash vs. nested-loop joins,
+// hash aggregation), SQL three-valued logic, correlated subplan evaluation,
+// and the LATERAL joins the provenance rewriter emits for nested subqueries.
+package executor
+
+import (
+	"fmt"
+
+	"perm/internal/algebra"
+	"perm/internal/storage"
+	"perm/internal/value"
+)
+
+// Context carries execution state: the storage engine, the stack of outer
+// rows for correlated evaluation, and the cache for uncorrelated subplans.
+type Context struct {
+	Store *storage.Store
+	// outer is the stack of correlation rows; OuterRef binds to the top.
+	outer []value.Row
+	// subplanCache memoizes uncorrelated subplan results by plan identity.
+	subplanCache map[*algebra.Subplan]*subplanResult
+	// RowBudget, when positive, bounds the total number of rows any single
+	// operator may buffer (protection against runaway provenance joins in
+	// interactive use). Zero means unlimited.
+	RowBudget int
+}
+
+type subplanResult struct {
+	rows []value.Row
+	err  error
+	// Membership index for uncorrelated IN subplans, built on first use:
+	// keys of the first column's values, plus whether a NULL occurred.
+	inSet     map[string]bool
+	inSawNull bool
+}
+
+// membership returns the IN-membership index, building it lazily.
+func (r *subplanResult) membership() (map[string]bool, bool) {
+	if r.inSet == nil {
+		r.inSet = make(map[string]bool, len(r.rows))
+		for _, row := range r.rows {
+			if row[0].IsNull() {
+				r.inSawNull = true
+				continue
+			}
+			r.inSet[row[0].Key()] = true
+		}
+	}
+	return r.inSet, r.inSawNull
+}
+
+// NewContext returns an execution context over the store.
+func NewContext(store *storage.Store) *Context {
+	return &Context{Store: store, subplanCache: make(map[*algebra.Subplan]*subplanResult)}
+}
+
+func (c *Context) pushOuter(row value.Row) { c.outer = append(c.outer, row) }
+func (c *Context) popOuter()               { c.outer = c.outer[:len(c.outer)-1] }
+
+func (c *Context) outerRow() (value.Row, error) {
+	if len(c.outer) == 0 {
+		return nil, fmt.Errorf("executor: outer reference outside correlated context")
+	}
+	return c.outer[len(c.outer)-1], nil
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Schema algebra.Schema
+	Rows   []value.Row
+}
+
+// Run executes the plan to completion.
+func Run(ctx *Context, plan algebra.Op) (*Result, error) {
+	it, err := build(plan)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Open(ctx); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var rows []value.Row
+	for {
+		row, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			break
+		}
+		rows = append(rows, row)
+		if ctx.RowBudget > 0 && len(rows) > ctx.RowBudget {
+			return nil, fmt.Errorf("executor: result exceeds row budget of %d rows", ctx.RowBudget)
+		}
+	}
+	return &Result{Schema: plan.Schema(), Rows: rows}, nil
+}
+
+// iterator is the Volcano operator interface. Next returns (nil, nil) at end
+// of stream.
+type iterator interface {
+	Open(ctx *Context) error
+	Next() (value.Row, error)
+	Close() error
+}
+
+// build maps a logical operator to its iterator.
+func build(op algebra.Op) (iterator, error) {
+	switch o := op.(type) {
+	case *algebra.Scan:
+		return &scanIter{op: o}, nil
+	case *algebra.Values:
+		return &valuesIter{op: o}, nil
+	case *algebra.Project:
+		in, err := build(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{op: o, input: in}, nil
+	case *algebra.Select:
+		in, err := build(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{op: o, input: in}, nil
+	case *algebra.BaseRel:
+		return build(o.Input)
+	case *algebra.ProvDone:
+		return build(o.Input)
+	case *algebra.Join:
+		return buildJoin(o)
+	case *algebra.Agg:
+		in, err := build(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &aggIter{op: o, input: in}, nil
+	case *algebra.Distinct:
+		in, err := build(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctIter{input: in}, nil
+	case *algebra.SetOp:
+		l, err := build(o.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := build(o.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &setOpIter{op: o, left: l, right: r}, nil
+	case *algebra.Sort:
+		in, err := build(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &sortIter{op: o, input: in}, nil
+	case *algebra.Limit:
+		in, err := build(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{op: o, input: in}, nil
+	}
+	return nil, fmt.Errorf("executor: no iterator for operator %T", op)
+}

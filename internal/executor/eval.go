@@ -1,0 +1,516 @@
+package executor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"perm/internal/algebra"
+	"perm/internal/sql"
+	"perm/internal/value"
+)
+
+// Eval evaluates a resolved expression against a row under the context's
+// correlation stack, with SQL NULL semantics throughout.
+func Eval(e algebra.Expr, row value.Row, ctx *Context) (value.Value, error) {
+	switch x := e.(type) {
+	case *algebra.Const:
+		return x.Val, nil
+	case *algebra.ColIdx:
+		if x.Idx < 0 || x.Idx >= len(row) {
+			return value.Null, fmt.Errorf("executor: column index %d out of range (row width %d)", x.Idx, len(row))
+		}
+		return row[x.Idx], nil
+	case *algebra.OuterRef:
+		outer, err := ctx.outerRow()
+		if err != nil {
+			return value.Null, err
+		}
+		if x.Idx < 0 || x.Idx >= len(outer) {
+			return value.Null, fmt.Errorf("executor: outer index %d out of range (outer width %d)", x.Idx, len(outer))
+		}
+		return outer[x.Idx], nil
+	case *algebra.Bin:
+		return evalBin(x, row, ctx)
+	case *algebra.Not:
+		v, err := Eval(x.E, row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		if v.IsNull() {
+			return value.Null, nil
+		}
+		return value.NewBool(!v.Bool()), nil
+	case *algebra.Neg:
+		v, err := Eval(x.E, row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Neg(v)
+	case *algebra.IsNull:
+		v, err := Eval(x.E, row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool(v.IsNull() != x.Not), nil
+	case *algebra.Func:
+		return evalFunc(x, row, ctx)
+	case *algebra.Case:
+		for _, w := range x.Whens {
+			c, err := Eval(w.Cond, row, ctx)
+			if err != nil {
+				return value.Null, err
+			}
+			if !c.IsNull() && c.Bool() {
+				return Eval(w.Result, row, ctx)
+			}
+		}
+		if x.Else != nil {
+			return Eval(x.Else, row, ctx)
+		}
+		return value.Null, nil
+	case *algebra.InList:
+		needle, err := Eval(x.E, row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		return evalInMembership(needle, x.List, row, ctx, x.Neg)
+	case *algebra.Like:
+		s, err := Eval(x.E, row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		p, err := Eval(x.Pattern, row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		if s.IsNull() || p.IsNull() {
+			return value.Null, nil
+		}
+		m := likeMatch(s.String(), p.String())
+		return value.NewBool(m != x.Neg), nil
+	case *algebra.Cast:
+		v, err := Eval(x.E, row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.Coerce(v, x.To)
+	case *algebra.Subplan:
+		return evalSubplan(x, row, ctx)
+	}
+	return value.Null, fmt.Errorf("executor: cannot evaluate expression %T", e)
+}
+
+// EvalBool evaluates a predicate and reports whether it is TRUE (NULL and
+// FALSE both reject).
+func EvalBool(e algebra.Expr, row value.Row, ctx *Context) (bool, error) {
+	v, err := Eval(e, row, ctx)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	if v.K != value.KindBool {
+		return false, fmt.Errorf("executor: predicate evaluated to %s, want boolean", v.K)
+	}
+	return v.Bool(), nil
+}
+
+func evalBin(x *algebra.Bin, row value.Row, ctx *Context) (value.Value, error) {
+	switch x.Op {
+	case sql.OpAnd, sql.OpOr:
+		l, err := Eval(x.L, row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		// Short-circuit with 3VL.
+		if x.Op == sql.OpAnd {
+			if !l.IsNull() && !l.Bool() {
+				return value.NewBool(false), nil
+			}
+		} else {
+			if !l.IsNull() && l.Bool() {
+				return value.NewBool(true), nil
+			}
+		}
+		r, err := Eval(x.R, row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		if x.Op == sql.OpAnd {
+			switch {
+			case !r.IsNull() && !r.Bool():
+				return value.NewBool(false), nil
+			case l.IsNull() || r.IsNull():
+				return value.Null, nil
+			default:
+				return value.NewBool(true), nil
+			}
+		}
+		switch {
+		case !r.IsNull() && r.Bool():
+			return value.NewBool(true), nil
+		case l.IsNull() || r.IsNull():
+			return value.Null, nil
+		default:
+			return value.NewBool(false), nil
+		}
+	}
+	l, err := Eval(x.L, row, ctx)
+	if err != nil {
+		return value.Null, err
+	}
+	r, err := Eval(x.R, row, ctx)
+	if err != nil {
+		return value.Null, err
+	}
+	switch x.Op {
+	case sql.OpNotDistinct:
+		return value.NewBool(!value.Distinct(l, r)), nil
+	case sql.OpAdd:
+		return value.Add(l, r)
+	case sql.OpSub:
+		return value.Sub(l, r)
+	case sql.OpMul:
+		return value.Mul(l, r)
+	case sql.OpDiv:
+		return value.Div(l, r)
+	case sql.OpMod:
+		return value.Mod(l, r)
+	case sql.OpConcat:
+		if l.IsNull() || r.IsNull() {
+			return value.Null, nil
+		}
+		return value.NewString(l.String() + r.String()), nil
+	}
+	// Ordering comparisons.
+	if l.IsNull() || r.IsNull() {
+		return value.Null, nil
+	}
+	c, err := value.Compare(l, r)
+	if err != nil {
+		return value.Null, err
+	}
+	switch x.Op {
+	case sql.OpEq:
+		return value.NewBool(c == 0), nil
+	case sql.OpNeq:
+		return value.NewBool(c != 0), nil
+	case sql.OpLt:
+		return value.NewBool(c < 0), nil
+	case sql.OpLte:
+		return value.NewBool(c <= 0), nil
+	case sql.OpGt:
+		return value.NewBool(c > 0), nil
+	case sql.OpGte:
+		return value.NewBool(c >= 0), nil
+	}
+	return value.Null, fmt.Errorf("executor: unknown binary operator %v", x.Op)
+}
+
+// evalInMembership implements SQL IN semantics over an evaluated list: TRUE
+// on a match, NULL if no match but a NULL was present, else FALSE.
+func evalInMembership(needle value.Value, list []algebra.Expr, row value.Row, ctx *Context, neg bool) (value.Value, error) {
+	if needle.IsNull() {
+		return value.Null, nil
+	}
+	sawNull := false
+	for _, le := range list {
+		v, err := Eval(le, row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		if v.IsNull() {
+			sawNull = true
+			continue
+		}
+		if value.Equal(needle, v) {
+			return value.NewBool(!neg), nil
+		}
+	}
+	if sawNull {
+		return value.Null, nil
+	}
+	return value.NewBool(neg), nil
+}
+
+// evalSubplan runs a nested plan for scalar/EXISTS/IN consumption.
+func evalSubplan(sp *algebra.Subplan, row value.Row, ctx *Context) (value.Value, error) {
+	var rows []value.Row
+	if !sp.Correlated {
+		cached, ok := ctx.subplanCache[sp]
+		if !ok {
+			res, err := Run(ctx, sp.Plan)
+			cached = &subplanResult{err: err}
+			if err == nil {
+				cached.rows = res.Rows
+			}
+			ctx.subplanCache[sp] = cached
+		}
+		if cached.err != nil {
+			return value.Null, cached.err
+		}
+		// Fast path: uncorrelated IN membership via hash lookup.
+		if sp.Mode == algebra.InSubplan {
+			needle, err := Eval(sp.Needle, row, ctx)
+			if err != nil {
+				return value.Null, err
+			}
+			if needle.IsNull() {
+				return value.Null, nil
+			}
+			set, sawNull := cached.membership()
+			if set[needle.Key()] {
+				return value.NewBool(!sp.Neg), nil
+			}
+			if sawNull {
+				return value.Null, nil
+			}
+			return value.NewBool(sp.Neg), nil
+		}
+		rows = cached.rows
+	} else {
+		ctx.pushOuter(row)
+		res, err := Run(ctx, sp.Plan)
+		ctx.popOuter()
+		if err != nil {
+			return value.Null, err
+		}
+		rows = res.Rows
+	}
+	switch sp.Mode {
+	case algebra.ScalarSubplan:
+		if len(rows) == 0 {
+			return value.Null, nil
+		}
+		if len(rows) > 1 {
+			return value.Null, fmt.Errorf("scalar subquery produced more than one row")
+		}
+		return rows[0][0], nil
+	case algebra.ExistsSubplan:
+		return value.NewBool((len(rows) > 0) != sp.Neg), nil
+	case algebra.InSubplan:
+		needle, err := Eval(sp.Needle, row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		if needle.IsNull() {
+			return value.Null, nil
+		}
+		sawNull := false
+		for _, r := range rows {
+			v := r[0]
+			if v.IsNull() {
+				sawNull = true
+				continue
+			}
+			if value.Equal(needle, v) {
+				return value.NewBool(!sp.Neg), nil
+			}
+		}
+		if sawNull {
+			return value.Null, nil
+		}
+		return value.NewBool(sp.Neg), nil
+	case algebra.AnySubplan, algebra.AllSubplan:
+		needle, err := Eval(sp.Needle, row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		sawNull := false
+		for _, r := range rows {
+			cmp, err := evalBin(&algebra.Bin{Op: sp.CmpOp,
+				L: &algebra.Const{Val: needle}, R: &algebra.Const{Val: r[0]}}, nil, ctx)
+			if err != nil {
+				return value.Null, err
+			}
+			if cmp.IsNull() {
+				sawNull = true
+				continue
+			}
+			if sp.Mode == algebra.AnySubplan && cmp.Bool() {
+				return value.NewBool(true), nil
+			}
+			if sp.Mode == algebra.AllSubplan && !cmp.Bool() {
+				return value.NewBool(false), nil
+			}
+		}
+		if sawNull {
+			return value.Null, nil
+		}
+		return value.NewBool(sp.Mode == algebra.AllSubplan), nil
+	}
+	return value.Null, fmt.Errorf("executor: unknown subplan mode %d", sp.Mode)
+}
+
+// likeMatch implements SQL LIKE with % (any sequence) and _ (any single
+// character), case sensitively, via iterative backtracking.
+func likeMatch(s, pattern string) bool {
+	// Convert to runes for correct _ semantics.
+	str, pat := []rune(s), []rune(pattern)
+	si, pi := 0, 0
+	starSi, starPi := -1, -1
+	for si < len(str) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == str[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			starPi = pi
+			starSi = si
+			pi++
+		case starPi >= 0:
+			starSi++
+			si = starSi
+			pi = starPi + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+// evalFunc evaluates a scalar function call.
+func evalFunc(f *algebra.Func, row value.Row, ctx *Context) (value.Value, error) {
+	args := make([]value.Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := Eval(a, row, ctx)
+		if err != nil {
+			return value.Null, err
+		}
+		args[i] = v
+	}
+	name := f.Name
+	// COALESCE and NULLIF have their own NULL rules; the rest propagate NULL.
+	switch name {
+	case "coalesce":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return value.Null, nil
+	case "nullif":
+		if !args[0].IsNull() && !args[1].IsNull() && value.Equal(args[0], args[1]) {
+			return value.Null, nil
+		}
+		return args[0], nil
+	case "concat":
+		var b strings.Builder
+		for _, a := range args {
+			if !a.IsNull() {
+				b.WriteString(a.String())
+			}
+		}
+		return value.NewString(b.String()), nil
+	case "greatest", "least":
+		best := value.Null
+		for _, a := range args {
+			if a.IsNull() {
+				continue
+			}
+			if best.IsNull() {
+				best = a
+				continue
+			}
+			c, err := value.Compare(a, best)
+			if err != nil {
+				return value.Null, err
+			}
+			if (name == "greatest" && c > 0) || (name == "least" && c < 0) {
+				best = a
+			}
+		}
+		return best, nil
+	}
+	for _, a := range args {
+		if a.IsNull() {
+			return value.Null, nil
+		}
+	}
+	switch name {
+	case "upper":
+		return value.NewString(strings.ToUpper(args[0].String())), nil
+	case "lower":
+		return value.NewString(strings.ToLower(args[0].String())), nil
+	case "length":
+		return value.NewInt(int64(len([]rune(args[0].String())))), nil
+	case "abs":
+		switch args[0].K {
+		case value.KindInt:
+			n := args[0].I
+			if n < 0 {
+				n = -n
+			}
+			return value.NewInt(n), nil
+		default:
+			return value.NewFloat(math.Abs(args[0].Float())), nil
+		}
+	case "substr", "substring":
+		s := []rune(args[0].String())
+		start64, err := value.Coerce(args[1], value.KindInt)
+		if err != nil {
+			return value.Null, err
+		}
+		start := int(start64.I) - 1 // SQL is 1-based
+		if start < 0 {
+			start = 0
+		}
+		end := len(s)
+		if len(args) == 3 {
+			ln64, err := value.Coerce(args[2], value.KindInt)
+			if err != nil {
+				return value.Null, err
+			}
+			end = start + int(ln64.I)
+		}
+		if start > len(s) {
+			start = len(s)
+		}
+		if end > len(s) {
+			end = len(s)
+		}
+		if end < start {
+			end = start
+		}
+		return value.NewString(string(s[start:end])), nil
+	case "trim":
+		return value.NewString(strings.TrimSpace(args[0].String())), nil
+	case "ltrim":
+		return value.NewString(strings.TrimLeft(args[0].String(), " \t\n")), nil
+	case "rtrim":
+		return value.NewString(strings.TrimRight(args[0].String(), " \t\n")), nil
+	case "replace":
+		return value.NewString(strings.ReplaceAll(args[0].String(), args[1].String(), args[2].String())), nil
+	case "round":
+		f := args[0].Float()
+		digits := 0
+		if len(args) == 2 {
+			digits = int(args[1].Int())
+		}
+		scale := math.Pow(10, float64(digits))
+		return value.NewFloat(math.Round(f*scale) / scale), nil
+	case "floor":
+		return value.NewFloat(math.Floor(args[0].Float())), nil
+	case "ceil", "ceiling":
+		return value.NewFloat(math.Ceil(args[0].Float())), nil
+	case "sqrt":
+		f := args[0].Float()
+		if f < 0 {
+			return value.Null, fmt.Errorf("sqrt of negative number")
+		}
+		return value.NewFloat(math.Sqrt(f)), nil
+	case "power":
+		return value.NewFloat(math.Pow(args[0].Float(), args[1].Float())), nil
+	case "mod":
+		return value.Mod(args[0], args[1])
+	case "strpos":
+		idx := strings.Index(args[0].String(), args[1].String())
+		return value.NewInt(int64(idx + 1)), nil
+	}
+	return value.Null, fmt.Errorf("executor: unknown function %q", name)
+}

@@ -1,0 +1,299 @@
+package executor
+
+import (
+	"fmt"
+	"sort"
+
+	"perm/internal/algebra"
+	"perm/internal/value"
+)
+
+// --- Scan ----------------------------------------------------------------------
+
+type scanIter struct {
+	op   *algebra.Scan
+	rows []value.Row
+	pos  int
+}
+
+func (s *scanIter) Open(ctx *Context) error {
+	t := ctx.Store.Table(s.op.Table)
+	if t == nil {
+		return fmt.Errorf("executor: table %q does not exist", s.op.Table)
+	}
+	s.rows = t.Snapshot()
+	s.pos = 0
+	return nil
+}
+
+func (s *scanIter) Next() (value.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *scanIter) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// --- Values --------------------------------------------------------------------
+
+type valuesIter struct {
+	op  *algebra.Values
+	ctx *Context
+	pos int
+}
+
+func (v *valuesIter) Open(ctx *Context) error {
+	v.ctx = ctx
+	v.pos = 0
+	return nil
+}
+
+func (v *valuesIter) Next() (value.Row, error) {
+	if v.pos >= len(v.op.Rows) {
+		return nil, nil
+	}
+	exprs := v.op.Rows[v.pos]
+	v.pos++
+	row := make(value.Row, len(exprs))
+	for i, e := range exprs {
+		val, err := Eval(e, nil, v.ctx)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = val
+	}
+	return row, nil
+}
+
+func (v *valuesIter) Close() error { return nil }
+
+// --- Project -------------------------------------------------------------------
+
+type projectIter struct {
+	op    *algebra.Project
+	input iterator
+	ctx   *Context
+}
+
+func (p *projectIter) Open(ctx *Context) error {
+	p.ctx = ctx
+	return p.input.Open(ctx)
+}
+
+func (p *projectIter) Next() (value.Row, error) {
+	in, err := p.input.Next()
+	if err != nil || in == nil {
+		return nil, err
+	}
+	out := make(value.Row, len(p.op.Exprs))
+	for i, e := range p.op.Exprs {
+		v, err := Eval(e, in, p.ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (p *projectIter) Close() error { return p.input.Close() }
+
+// --- Filter --------------------------------------------------------------------
+
+type filterIter struct {
+	op    *algebra.Select
+	input iterator
+	ctx   *Context
+}
+
+func (f *filterIter) Open(ctx *Context) error {
+	f.ctx = ctx
+	return f.input.Open(ctx)
+}
+
+func (f *filterIter) Next() (value.Row, error) {
+	for {
+		in, err := f.input.Next()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		ok, err := EvalBool(f.op.Cond, in, f.ctx)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return in, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() error { return f.input.Close() }
+
+// --- Sort ----------------------------------------------------------------------
+
+type sortIter struct {
+	op    *algebra.Sort
+	input iterator
+	rows  []value.Row
+	pos   int
+}
+
+func (s *sortIter) Open(ctx *Context) error {
+	if err := s.input.Open(ctx); err != nil {
+		return err
+	}
+	defer s.input.Close()
+	type keyed struct {
+		row  value.Row
+		keys value.Row
+		seq  int
+	}
+	var all []keyed
+	for {
+		row, err := s.input.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		keys := make(value.Row, len(s.op.Keys))
+		for i, k := range s.op.Keys {
+			v, err := Eval(k.Expr, row, ctx)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		all = append(all, keyed{row: row, keys: keys, seq: len(all)})
+		if ctx.RowBudget > 0 && len(all) > ctx.RowBudget {
+			return fmt.Errorf("executor: sort input exceeds row budget of %d rows", ctx.RowBudget)
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		for k := range s.op.Keys {
+			c := value.CompareTotal(all[i].keys[k], all[j].keys[k])
+			if c == 0 {
+				continue
+			}
+			if s.op.Keys[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return all[i].seq < all[j].seq
+	})
+	s.rows = make([]value.Row, len(all))
+	for i, k := range all {
+		s.rows[i] = k.row
+	}
+	s.pos = 0
+	return nil
+}
+
+func (s *sortIter) Next() (value.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	row := s.rows[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *sortIter) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// --- Limit ---------------------------------------------------------------------
+
+type limitIter struct {
+	op      *algebra.Limit
+	input   iterator
+	skipped int64
+	emitted int64
+}
+
+func (l *limitIter) Open(ctx *Context) error {
+	l.skipped, l.emitted = 0, 0
+	return l.input.Open(ctx)
+}
+
+func (l *limitIter) Next() (value.Row, error) {
+	for l.skipped < l.op.Offset {
+		row, err := l.input.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		l.skipped++
+	}
+	if l.op.Count >= 0 && l.emitted >= l.op.Count {
+		return nil, nil
+	}
+	row, err := l.input.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.emitted++
+	return row, nil
+}
+
+func (l *limitIter) Close() error { return l.input.Close() }
+
+// --- Distinct ------------------------------------------------------------------
+
+type distinctIter struct {
+	input iterator
+	seen  map[string]struct{}
+}
+
+func (d *distinctIter) Open(ctx *Context) error {
+	d.seen = make(map[string]struct{})
+	return d.input.Open(ctx)
+}
+
+func (d *distinctIter) Next() (value.Row, error) {
+	for {
+		row, err := d.input.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		k := row.Key()
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return row, nil
+	}
+}
+
+func (d *distinctIter) Close() error {
+	d.seen = nil
+	return d.input.Close()
+}
+
+// drain materializes an iterator (caller must have opened it); it closes the
+// iterator when done.
+func drain(it iterator, ctx *Context) ([]value.Row, error) {
+	defer it.Close()
+	var rows []value.Row
+	for {
+		row, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return rows, nil
+		}
+		rows = append(rows, row)
+		if ctx.RowBudget > 0 && len(rows) > ctx.RowBudget {
+			return nil, fmt.Errorf("executor: intermediate result exceeds row budget of %d rows", ctx.RowBudget)
+		}
+	}
+}

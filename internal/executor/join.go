@@ -1,0 +1,497 @@
+package executor
+
+import (
+	"fmt"
+
+	"perm/internal/algebra"
+	"perm/internal/sql"
+	"perm/internal/value"
+)
+
+// buildJoin picks a join algorithm: lateral joins always run nested-loop with
+// per-left-row re-execution of the right side; equi-joins run as hash joins;
+// everything else falls back to a generic nested loop.
+func buildJoin(op *algebra.Join) (iterator, error) {
+	if op.Lateral {
+		switch op.Kind {
+		case algebra.JoinInner, algebra.JoinCross, algebra.JoinLeft:
+			return &lateralJoinIter{op: op}, nil
+		default:
+			return nil, fmt.Errorf("executor: lateral %s join is not supported", op.Kind)
+		}
+	}
+	left, err := build(op.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := build(op.Right)
+	if err != nil {
+		return nil, err
+	}
+	keys := extractEquiKeys(op)
+	if len(keys) > 0 {
+		return &hashJoinIter{op: op, left: left, right: right, keys: keys}, nil
+	}
+	return &nlJoinIter{op: op, left: left, right: right}, nil
+}
+
+// equiKey is one hashable join key pair: leftExpr over the left schema,
+// rightExpr over the right schema (already un-shifted). nullEq marks
+// IS NOT DISTINCT FROM keys where NULL joins NULL.
+type equiKey struct {
+	left   algebra.Expr
+	right  algebra.Expr
+	nullEq bool
+}
+
+// extractEquiKeys finds hashable equality conjuncts in the join condition.
+func extractEquiKeys(op *algebra.Join) []equiKey {
+	if op.Cond == nil {
+		return nil
+	}
+	nLeft := len(op.Left.Schema())
+	var keys []equiKey
+	for _, conj := range algebra.SplitAnd(op.Cond) {
+		b, ok := conj.(*algebra.Bin)
+		if !ok || (b.Op != sql.OpEq && b.Op != sql.OpNotDistinct) {
+			continue
+		}
+		if algebra.HasSubplan(b.L) || algebra.HasSubplan(b.R) {
+			continue
+		}
+		lSide, lOK := sideOf(b.L, nLeft)
+		rSide, rOK := sideOf(b.R, nLeft)
+		if !lOK || !rOK {
+			continue
+		}
+		switch {
+		case lSide == 0 && rSide == 1:
+			keys = append(keys, equiKey{
+				left:   b.L,
+				right:  algebra.ShiftCols(b.R, -nLeft),
+				nullEq: b.Op == sql.OpNotDistinct,
+			})
+		case lSide == 1 && rSide == 0:
+			keys = append(keys, equiKey{
+				left:   b.R,
+				right:  algebra.ShiftCols(b.L, -nLeft),
+				nullEq: b.Op == sql.OpNotDistinct,
+			})
+		}
+	}
+	return keys
+}
+
+// sideOf classifies which input an expression references: 0 = left only,
+// 1 = right only. ok is false when it references both sides or neither
+// determinately (constants count as either; pure constants return left).
+func sideOf(e algebra.Expr, nLeft int) (int, bool) {
+	used := map[int]bool{}
+	algebra.ColsUsed(e, used)
+	left, right := false, false
+	for idx := range used {
+		if idx < nLeft {
+			left = true
+		} else {
+			right = true
+		}
+	}
+	switch {
+	case left && right:
+		return 0, false
+	case right:
+		return 1, true
+	default:
+		return 0, true
+	}
+}
+
+// --- hash join -------------------------------------------------------------------
+
+type hashJoinIter struct {
+	op    *algebra.Join
+	left  iterator
+	right iterator
+	keys  []equiKey
+	ctx   *Context
+
+	table map[string][]*buildRow
+	// buildRows in insertion order, for full-join unmatched emission.
+	buildRows []*buildRow
+	probeOpen bool
+	// current probe state
+	curProbe   value.Row
+	curMatches []*buildRow
+	curIdx     int
+	curMatched bool
+	// full-join tail state
+	tailIdx int
+	inTail  bool
+	done    bool
+}
+
+type buildRow struct {
+	row     value.Row
+	matched bool
+}
+
+func (h *hashJoinIter) Open(ctx *Context) error {
+	h.ctx = ctx
+	h.table = make(map[string][]*buildRow)
+	h.buildRows = nil
+	h.inTail, h.done = false, false
+	h.curProbe = nil
+	if err := h.right.Open(ctx); err != nil {
+		return err
+	}
+	rows, err := drain(h.right, ctx)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		br := &buildRow{row: row}
+		h.buildRows = append(h.buildRows, br)
+		key, hashable, err := h.keyOf(row, false)
+		if err != nil {
+			return err
+		}
+		if hashable {
+			h.table[key] = append(h.table[key], br)
+		}
+	}
+	return h.left.Open(ctx)
+}
+
+// keyOf computes the hash key for a row on the probe (left) or build (right)
+// side. hashable=false means the row contains a NULL in a strict-equality
+// key and can never match.
+func (h *hashJoinIter) keyOf(row value.Row, probe bool) (string, bool, error) {
+	var parts []byte
+	for _, k := range h.keys {
+		e := k.right
+		if probe {
+			e = k.left
+		}
+		v, err := Eval(e, row, h.ctx)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() && !k.nullEq {
+			return "", false, nil
+		}
+		kk := v.Key()
+		parts = append(parts, byte(len(kk)), ':')
+		parts = append(parts, kk...)
+	}
+	return string(parts), true, nil
+}
+
+func (h *hashJoinIter) Next() (value.Row, error) {
+	nRight := len(h.op.Right.Schema())
+	nLeft := len(h.op.Left.Schema())
+	for {
+		if h.done {
+			return nil, nil
+		}
+		if h.inTail {
+			// FULL/RIGHT JOIN: emit unmatched build-side rows null-padded.
+			for h.tailIdx < len(h.buildRows) {
+				br := h.buildRows[h.tailIdx]
+				h.tailIdx++
+				if !br.matched {
+					return value.Concat(value.NullRow(nLeft), br.row), nil
+				}
+			}
+			h.done = true
+			return nil, nil
+		}
+		if h.curProbe == nil {
+			probe, err := h.left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if probe == nil {
+				if h.op.Kind == algebra.JoinFull || h.op.Kind == algebra.JoinRight {
+					h.inTail = true
+					continue
+				}
+				h.done = true
+				return nil, nil
+			}
+			h.curProbe = probe
+			h.curIdx = 0
+			h.curMatched = false
+			key, hashable, err := h.keyOf(probe, true)
+			if err != nil {
+				return nil, err
+			}
+			if hashable {
+				h.curMatches = h.table[key]
+			} else {
+				h.curMatches = nil
+			}
+		}
+		// Scan candidate matches.
+		for h.curIdx < len(h.curMatches) {
+			br := h.curMatches[h.curIdx]
+			h.curIdx++
+			combined := value.Concat(h.curProbe, br.row)
+			ok := true
+			if h.op.Cond != nil {
+				var err error
+				ok, err = EvalBool(h.op.Cond, combined, h.ctx)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if !ok {
+				continue
+			}
+			h.curMatched = true
+			br.matched = true
+			switch h.op.Kind {
+			case algebra.JoinSemi:
+				// Emit probe once, skip the rest.
+				probe := h.curProbe
+				h.curProbe = nil
+				return probe, nil
+			case algebra.JoinAnti:
+				// A match disqualifies the probe row.
+				h.curProbe = nil
+				goto nextProbe
+			default:
+				return combined, nil
+			}
+		}
+		// Probe exhausted its matches.
+		{
+			probe := h.curProbe
+			matched := h.curMatched
+			h.curProbe = nil
+			switch h.op.Kind {
+			case algebra.JoinLeft, algebra.JoinFull:
+				if !matched {
+					return value.Concat(probe, value.NullRow(nRight)), nil
+				}
+			case algebra.JoinAnti:
+				if !matched {
+					return probe, nil
+				}
+			}
+		}
+	nextProbe:
+	}
+}
+
+func (h *hashJoinIter) Close() error {
+	h.table = nil
+	h.buildRows = nil
+	return h.left.Close()
+}
+
+// --- nested-loop join ---------------------------------------------------------------
+
+type nlJoinIter struct {
+	op    *algebra.Join
+	left  iterator
+	right iterator
+	ctx   *Context
+
+	rightRows []*buildRow
+	curProbe  value.Row
+	curIdx    int
+	curMatch  bool
+	inTail    bool
+	tailIdx   int
+	done      bool
+}
+
+func (n *nlJoinIter) Open(ctx *Context) error {
+	n.ctx = ctx
+	n.done, n.inTail = false, false
+	n.curProbe = nil
+	if err := n.right.Open(ctx); err != nil {
+		return err
+	}
+	rows, err := drain(n.right, ctx)
+	if err != nil {
+		return err
+	}
+	n.rightRows = make([]*buildRow, len(rows))
+	for i, r := range rows {
+		n.rightRows[i] = &buildRow{row: r}
+	}
+	return n.left.Open(ctx)
+}
+
+func (n *nlJoinIter) Next() (value.Row, error) {
+	nLeft := len(n.op.Left.Schema())
+	nRight := len(n.op.Right.Schema())
+	for {
+		if n.done {
+			return nil, nil
+		}
+		if n.inTail {
+			for n.tailIdx < len(n.rightRows) {
+				br := n.rightRows[n.tailIdx]
+				n.tailIdx++
+				if !br.matched {
+					return value.Concat(value.NullRow(nLeft), br.row), nil
+				}
+			}
+			n.done = true
+			return nil, nil
+		}
+		if n.curProbe == nil {
+			probe, err := n.left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if probe == nil {
+				if n.op.Kind == algebra.JoinFull || n.op.Kind == algebra.JoinRight {
+					n.inTail = true
+					continue
+				}
+				n.done = true
+				return nil, nil
+			}
+			n.curProbe = probe
+			n.curIdx = 0
+			n.curMatch = false
+		}
+		for n.curIdx < len(n.rightRows) {
+			br := n.rightRows[n.curIdx]
+			n.curIdx++
+			combined := value.Concat(n.curProbe, br.row)
+			ok := true
+			if n.op.Cond != nil {
+				var err error
+				ok, err = EvalBool(n.op.Cond, combined, n.ctx)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if !ok {
+				continue
+			}
+			n.curMatch = true
+			br.matched = true
+			switch n.op.Kind {
+			case algebra.JoinSemi:
+				probe := n.curProbe
+				n.curProbe = nil
+				return probe, nil
+			case algebra.JoinAnti:
+				n.curProbe = nil
+				goto nextProbe
+			default:
+				return combined, nil
+			}
+		}
+		{
+			probe := n.curProbe
+			matched := n.curMatch
+			n.curProbe = nil
+			switch n.op.Kind {
+			case algebra.JoinLeft, algebra.JoinFull:
+				if !matched {
+					return value.Concat(probe, value.NullRow(nRight)), nil
+				}
+			case algebra.JoinAnti:
+				if !matched {
+					return probe, nil
+				}
+			}
+		}
+	nextProbe:
+	}
+}
+
+func (n *nlJoinIter) Close() error {
+	n.rightRows = nil
+	return n.left.Close()
+}
+
+// --- lateral join ---------------------------------------------------------------------
+
+// lateralJoinIter re-executes the right side for every left row with the left
+// row pushed as the correlation context. The provenance rewriter uses this to
+// implement the EDBT '09 de-correlation of nested subqueries.
+type lateralJoinIter struct {
+	op   *algebra.Join
+	left iterator
+	ctx  *Context
+
+	curProbe value.Row
+	curRows  []value.Row
+	curIdx   int
+	curMatch bool
+}
+
+func (l *lateralJoinIter) Open(ctx *Context) error {
+	l.ctx = ctx
+	l.curProbe = nil
+	var err error
+	l.left, err = build(l.op.Left)
+	if err != nil {
+		return err
+	}
+	return l.left.Open(ctx)
+}
+
+func (l *lateralJoinIter) Next() (value.Row, error) {
+	nRight := len(l.op.Right.Schema())
+	for {
+		if l.curProbe == nil {
+			probe, err := l.left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if probe == nil {
+				return nil, nil
+			}
+			l.curProbe = probe
+			l.curIdx = 0
+			l.curMatch = false
+			// Execute the right side under this probe row.
+			l.ctx.pushOuter(probe)
+			res, err := Run(l.ctx, l.op.Right)
+			l.ctx.popOuter()
+			if err != nil {
+				return nil, err
+			}
+			l.curRows = res.Rows
+		}
+		for l.curIdx < len(l.curRows) {
+			rrow := l.curRows[l.curIdx]
+			l.curIdx++
+			combined := value.Concat(l.curProbe, rrow)
+			ok := true
+			if l.op.Cond != nil {
+				var err error
+				ok, err = EvalBool(l.op.Cond, combined, l.ctx)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if !ok {
+				continue
+			}
+			l.curMatch = true
+			return combined, nil
+		}
+		probe := l.curProbe
+		matched := l.curMatch
+		l.curProbe = nil
+		if l.op.Kind == algebra.JoinLeft && !matched {
+			return value.Concat(probe, value.NullRow(nRight)), nil
+		}
+	}
+}
+
+func (l *lateralJoinIter) Close() error {
+	if l.left != nil {
+		return l.left.Close()
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package executor
+
+import (
+	"fmt"
+
+	"perm/internal/algebra"
+	"perm/internal/value"
+)
+
+// setOpIter implements UNION/INTERSECT/EXCEPT in both bag (ALL) and set
+// (DISTINCT) semantics. UNION ALL streams; the others materialize the right
+// (and for bag arithmetic the left) side into count maps.
+type setOpIter struct {
+	op    *algebra.SetOp
+	left  iterator
+	right iterator
+	ctx   *Context
+
+	// streaming state for UNION ALL / UNION DISTINCT
+	onRight bool
+	seen    map[string]struct{}
+	// materialized output for INTERSECT/EXCEPT
+	out []value.Row
+	pos int
+	// mode
+	streaming bool
+}
+
+func (s *setOpIter) Open(ctx *Context) error {
+	s.ctx = ctx
+	s.pos = 0
+	s.onRight = false
+	switch s.op.Kind {
+	case algebra.UnionAll, algebra.UnionDistinct:
+		s.streaming = true
+		if s.op.Kind == algebra.UnionDistinct {
+			s.seen = make(map[string]struct{})
+		}
+		if err := s.left.Open(ctx); err != nil {
+			return err
+		}
+		return s.right.Open(ctx)
+	}
+	s.streaming = false
+	if err := s.left.Open(ctx); err != nil {
+		return err
+	}
+	lrows, err := drain(s.left, ctx)
+	if err != nil {
+		return err
+	}
+	if err := s.right.Open(ctx); err != nil {
+		return err
+	}
+	rrows, err := drain(s.right, ctx)
+	if err != nil {
+		return err
+	}
+
+	rcount := make(map[string]int, len(rrows))
+	for _, r := range rrows {
+		rcount[r.Key()]++
+	}
+
+	switch s.op.Kind {
+	case algebra.IntersectAll:
+		// Emit each left row while the right still has a matching occurrence.
+		for _, l := range lrows {
+			k := l.Key()
+			if rcount[k] > 0 {
+				rcount[k]--
+				s.out = append(s.out, l)
+			}
+		}
+	case algebra.IntersectDistinct:
+		emitted := make(map[string]struct{})
+		for _, l := range lrows {
+			k := l.Key()
+			if _, done := emitted[k]; done {
+				continue
+			}
+			if rcount[k] > 0 {
+				emitted[k] = struct{}{}
+				s.out = append(s.out, l)
+			}
+		}
+	case algebra.ExceptAll:
+		for _, l := range lrows {
+			k := l.Key()
+			if rcount[k] > 0 {
+				rcount[k]--
+				continue
+			}
+			s.out = append(s.out, l)
+		}
+	case algebra.ExceptDistinct:
+		emitted := make(map[string]struct{})
+		for _, l := range lrows {
+			k := l.Key()
+			if _, done := emitted[k]; done {
+				continue
+			}
+			emitted[k] = struct{}{}
+			if rcount[k] == 0 {
+				s.out = append(s.out, l)
+			}
+		}
+	default:
+		return fmt.Errorf("executor: unknown set operation %v", s.op.Kind)
+	}
+	return nil
+}
+
+func (s *setOpIter) Next() (value.Row, error) {
+	if s.streaming {
+		for {
+			var src iterator
+			if s.onRight {
+				src = s.right
+			} else {
+				src = s.left
+			}
+			row, err := src.Next()
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				if !s.onRight {
+					s.onRight = true
+					continue
+				}
+				return nil, nil
+			}
+			if s.seen != nil {
+				k := row.Key()
+				if _, dup := s.seen[k]; dup {
+					continue
+				}
+				s.seen[k] = struct{}{}
+			}
+			return row, nil
+		}
+	}
+	if s.pos >= len(s.out) {
+		return nil, nil
+	}
+	row := s.out[s.pos]
+	s.pos++
+	return row, nil
+}
+
+func (s *setOpIter) Close() error {
+	s.out = nil
+	s.seen = nil
+	if s.streaming {
+		s.left.Close()
+		return s.right.Close()
+	}
+	return nil
+}

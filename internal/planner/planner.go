@@ -1,0 +1,422 @@
+// Package planner implements the optimizer stage of the Perm pipeline
+// (Figure 3: "optimize and transform into plan"): rule-based logical
+// optimizations (constant folding, predicate pushdown, filter merging,
+// identity-projection removal) and the cardinality estimator that both the
+// planner and the provenance rewriter's cost-based strategy chooser use.
+// Perm deliberately reuses the host DBMS's optimizer on rewritten queries;
+// this package plays that role for the Go engine.
+package planner
+
+import (
+	"perm/internal/algebra"
+	"perm/internal/catalog"
+	"perm/internal/executor"
+	"perm/internal/sql"
+	"perm/internal/value"
+)
+
+// Planner optimizes plans and estimates cardinalities against a catalog.
+type Planner struct {
+	Cat *catalog.Catalog
+	// MaxPasses bounds the fixpoint iteration of the rewrite rules.
+	MaxPasses int
+}
+
+// New returns a planner over the catalog.
+func New(cat *catalog.Catalog) *Planner {
+	return &Planner{Cat: cat, MaxPasses: 8}
+}
+
+// Optimize applies the logical rewrite rules to a fixpoint (bounded).
+func (p *Planner) Optimize(op algebra.Op) algebra.Op {
+	passes := p.MaxPasses
+	if passes <= 0 {
+		passes = 8
+	}
+	for i := 0; i < passes; i++ {
+		next, changed := p.pass(op)
+		op = next
+		if !changed {
+			break
+		}
+	}
+	return op
+}
+
+// pass applies one bottom-up optimization pass.
+func (p *Planner) pass(op algebra.Op) (algebra.Op, bool) {
+	changed := false
+	children := op.Children()
+	if len(children) > 0 {
+		newChildren := make([]algebra.Op, len(children))
+		for i, c := range children {
+			nc, ch := p.pass(c)
+			newChildren[i] = nc
+			changed = changed || ch
+		}
+		if changed {
+			op = op.WithChildren(newChildren)
+		}
+	}
+	// Fold constants in this operator's expressions.
+	op = algebra.MapOwnExprs(op, func(e algebra.Expr) algebra.Expr {
+		ne, ch := FoldConstants(e)
+		changed = changed || ch
+		return ne
+	})
+
+	switch o := op.(type) {
+	case *algebra.Select:
+		// Drop trivially-true filters.
+		if c, ok := o.Cond.(*algebra.Const); ok && !c.Val.IsNull() && c.Val.K == value.KindBool && c.Val.Bool() {
+			return o.Input, true
+		}
+		// Merge stacked filters.
+		if inner, ok := o.Input.(*algebra.Select); ok {
+			return &algebra.Select{
+				Input: inner.Input,
+				Cond:  &algebra.Bin{Op: sql.OpAnd, L: inner.Cond, R: o.Cond},
+			}, true
+		}
+		// Push filter below a projection when the condition rewrites to
+		// cheap expressions.
+		if proj, ok := o.Input.(*algebra.Project); ok && !algebra.HasSubplan(o.Cond) {
+			if cond, ok2 := substitute(o.Cond, proj.Exprs); ok2 {
+				np := *proj
+				np.Input = &algebra.Select{Input: proj.Input, Cond: cond}
+				return &np, true
+			}
+		}
+		// Push conjuncts into join sides.
+		if join, ok := o.Input.(*algebra.Join); ok && !join.Lateral {
+			if next, ok2 := pushIntoJoin(o, join); ok2 {
+				return next, true
+			}
+		}
+		// Swap with sort (filter first).
+		if srt, ok := o.Input.(*algebra.Sort); ok {
+			return &algebra.Sort{
+				Input: &algebra.Select{Input: srt.Input, Cond: o.Cond},
+				Keys:  srt.Keys,
+			}, true
+		}
+	case *algebra.Project:
+		// Collapse identity projections that change nothing observable.
+		if isIdentityProject(o) {
+			return o.Input, true
+		}
+		// Merge Project(Project) when the outer references are substitutable.
+		if inner, ok := o.Input.(*algebra.Project); ok {
+			merged := true
+			newExprs := make([]algebra.Expr, len(o.Exprs))
+			for i, e := range o.Exprs {
+				ne, ok2 := substitute(e, inner.Exprs)
+				if !ok2 {
+					merged = false
+					break
+				}
+				newExprs[i] = ne
+			}
+			if merged {
+				np := *o
+				np.Input = inner.Input
+				np.Exprs = newExprs
+				return &np, true
+			}
+		}
+	}
+	return op, changed
+}
+
+// isIdentityProject reports whether the projection emits its input unchanged
+// (same positions, names, types and provenance metadata).
+func isIdentityProject(p *algebra.Project) bool {
+	in := p.Input.Schema()
+	if len(p.Exprs) != len(in) {
+		return false
+	}
+	for i, e := range p.Exprs {
+		ci, ok := e.(*algebra.ColIdx)
+		if !ok || ci.Idx != i {
+			return false
+		}
+		if p.Sch[i] != in[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// substitute rewrites cond's column references through the projection's
+// expressions; ok is false when any referenced expression is not cheap
+// (only ColIdx, Const and Cast-of-those count as cheap to duplicate).
+func substitute(cond algebra.Expr, exprs []algebra.Expr) (algebra.Expr, bool) {
+	ok := true
+	out := algebra.MapCols(cond, func(c *algebra.ColIdx) algebra.Expr {
+		if c.Idx >= len(exprs) {
+			ok = false
+			return c
+		}
+		e := exprs[c.Idx]
+		if !cheap(e) {
+			ok = false
+		}
+		return e
+	})
+	return out, ok
+}
+
+func cheap(e algebra.Expr) bool {
+	switch x := e.(type) {
+	case *algebra.ColIdx, *algebra.Const, *algebra.OuterRef:
+		return true
+	case *algebra.Cast:
+		return cheap(x.E)
+	}
+	return false
+}
+
+// pushIntoJoin pushes filter conjuncts that reference only one join side
+// below the join (inner joins only; outer joins change NULL semantics).
+func pushIntoJoin(sel *algebra.Select, join *algebra.Join) (algebra.Op, bool) {
+	if join.Kind != algebra.JoinInner && join.Kind != algebra.JoinCross {
+		return nil, false
+	}
+	nLeft := len(join.Left.Schema())
+	var leftConds, rightConds, rest []algebra.Expr
+	for _, conj := range algebra.SplitAnd(sel.Cond) {
+		if algebra.HasSubplan(conj) {
+			rest = append(rest, conj)
+			continue
+		}
+		used := map[int]bool{}
+		algebra.ColsUsed(conj, used)
+		left, right := false, false
+		for idx := range used {
+			if idx < nLeft {
+				left = true
+			} else {
+				right = true
+			}
+		}
+		switch {
+		case left && !right:
+			leftConds = append(leftConds, conj)
+		case right && !left:
+			rightConds = append(rightConds, algebra.ShiftCols(conj, -nLeft))
+		default:
+			rest = append(rest, conj)
+		}
+	}
+	if len(leftConds) == 0 && len(rightConds) == 0 {
+		return nil, false
+	}
+	nj := *join
+	if c := algebra.AndAll(leftConds); c != nil {
+		nj.Left = &algebra.Select{Input: join.Left, Cond: c}
+	}
+	if c := algebra.AndAll(rightConds); c != nil {
+		nj.Right = &algebra.Select{Input: join.Right, Cond: c}
+	}
+	var out algebra.Op = &nj
+	if c := algebra.AndAll(rest); c != nil {
+		out = &algebra.Select{Input: out, Cond: c}
+	}
+	return out, true
+}
+
+// FoldConstants evaluates constant sub-expressions at plan time.
+func FoldConstants(e algebra.Expr) (algebra.Expr, bool) {
+	changed := false
+	var fold func(algebra.Expr) algebra.Expr
+	fold = func(e algebra.Expr) algebra.Expr {
+		switch x := e.(type) {
+		case *algebra.Bin:
+			l := fold(x.L)
+			r := fold(x.R)
+			lc, lok := l.(*algebra.Const)
+			rc, rok := r.(*algebra.Const)
+			if lok && rok && foldableOp(x.Op) {
+				if v, err := executor.Eval(&algebra.Bin{Op: x.Op, L: lc, R: rc}, nil, nil); err == nil {
+					changed = true
+					return &algebra.Const{Val: v}
+				}
+			}
+			if l != x.L || r != x.R {
+				changed = true
+				return &algebra.Bin{Op: x.Op, L: l, R: r}
+			}
+			return x
+		case *algebra.Not:
+			inner := fold(x.E)
+			if c, ok := inner.(*algebra.Const); ok {
+				if c.Val.IsNull() {
+					changed = true
+					return &algebra.Const{Val: value.Null}
+				}
+				if c.Val.K == value.KindBool {
+					changed = true
+					return &algebra.Const{Val: value.NewBool(!c.Val.Bool())}
+				}
+			}
+			if inner != x.E {
+				changed = true
+				return &algebra.Not{E: inner}
+			}
+			return x
+		case *algebra.Neg:
+			inner := fold(x.E)
+			if c, ok := inner.(*algebra.Const); ok {
+				if v, err := value.Neg(c.Val); err == nil {
+					changed = true
+					return &algebra.Const{Val: v}
+				}
+			}
+			if inner != x.E {
+				changed = true
+				return &algebra.Neg{E: inner}
+			}
+			return x
+		case *algebra.IsNull:
+			inner := fold(x.E)
+			if c, ok := inner.(*algebra.Const); ok {
+				changed = true
+				return &algebra.Const{Val: value.NewBool(c.Val.IsNull() != x.Not)}
+			}
+			if inner != x.E {
+				changed = true
+				return &algebra.IsNull{E: inner, Not: x.Not}
+			}
+			return x
+		case *algebra.Cast:
+			inner := fold(x.E)
+			if c, ok := inner.(*algebra.Const); ok {
+				if v, err := value.Coerce(c.Val, x.To); err == nil {
+					changed = true
+					return &algebra.Const{Val: v}
+				}
+			}
+			if inner != x.E {
+				changed = true
+				return &algebra.Cast{E: inner, To: x.To}
+			}
+			return x
+		}
+		return e
+	}
+	out := fold(e)
+	return out, changed
+}
+
+// foldableOp excludes AND/OR (3VL short-circuits are already cheap and
+// folding them needs care with NULL) — arithmetic and comparisons fold.
+func foldableOp(op sql.BinOp) bool {
+	switch op {
+	case sql.OpAnd, sql.OpOr:
+		return false
+	}
+	return true
+}
+
+// --- cardinality estimation -------------------------------------------------------
+
+const defaultTableRows = 1000
+
+// EstimateRows estimates the output cardinality of a plan using catalog
+// statistics; unknown tables default to 1000 rows. The provenance rewriter's
+// cost-based strategy chooser consumes this.
+func (p *Planner) EstimateRows(op algebra.Op) float64 {
+	switch o := op.(type) {
+	case *algebra.Scan:
+		st := p.Cat.TableStats(o.Table)
+		if st.RowCount > 0 {
+			return float64(st.RowCount)
+		}
+		return defaultTableRows
+	case *algebra.Values:
+		return float64(len(o.Rows))
+	case *algebra.Project:
+		return p.EstimateRows(o.Input)
+	case *algebra.BaseRel:
+		return p.EstimateRows(o.Input)
+	case *algebra.ProvDone:
+		return p.EstimateRows(o.Input)
+	case *algebra.Select:
+		sel := 1.0
+		for range algebra.SplitAnd(o.Cond) {
+			sel *= 0.25
+		}
+		if sel < 0.01 {
+			sel = 0.01
+		}
+		return p.EstimateRows(o.Input) * sel
+	case *algebra.Join:
+		l := p.EstimateRows(o.Left)
+		r := p.EstimateRows(o.Right)
+		switch o.Kind {
+		case algebra.JoinCross:
+			return l * r
+		case algebra.JoinSemi, algebra.JoinAnti:
+			return l / 2
+		}
+		if o.Cond == nil {
+			return l * r
+		}
+		// Equi-join heuristic: |L×R| / max(|L|,|R|).
+		den := l
+		if r > den {
+			den = r
+		}
+		if den < 1 {
+			den = 1
+		}
+		est := l * r / den
+		if o.Kind == algebra.JoinLeft && est < l {
+			est = l
+		}
+		if o.Kind == algebra.JoinRight && est < r {
+			est = r
+		}
+		if o.Kind == algebra.JoinFull && est < l+r {
+			est = l + r
+		}
+		return est
+	case *algebra.Agg:
+		in := p.EstimateRows(o.Input)
+		if len(o.GroupBy) == 0 {
+			return 1
+		}
+		groups := in * 0.1
+		if groups < 1 {
+			groups = 1
+		}
+		return groups
+	case *algebra.Distinct:
+		return p.EstimateRows(o.Input) * 0.5
+	case *algebra.SetOp:
+		l := p.EstimateRows(o.Left)
+		r := p.EstimateRows(o.Right)
+		switch o.Kind {
+		case algebra.UnionAll:
+			return l + r
+		case algebra.UnionDistinct:
+			return (l + r) * 0.7
+		case algebra.IntersectAll, algebra.IntersectDistinct:
+			if l < r {
+				return l * 0.5
+			}
+			return r * 0.5
+		default:
+			return l * 0.5
+		}
+	case *algebra.Sort:
+		return p.EstimateRows(o.Input)
+	case *algebra.Limit:
+		in := p.EstimateRows(o.Input)
+		if o.Count >= 0 && float64(o.Count) < in {
+			return float64(o.Count)
+		}
+		return in
+	}
+	return defaultTableRows
+}

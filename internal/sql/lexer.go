@@ -1,0 +1,265 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer turns SQL text into tokens. It handles single-quoted strings with ”
+// escapes, double-quoted identifiers, line comments (--) and block comments
+// (/* ... */, nested), and the SQL operator set used by the grammar.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over the input.
+func NewLexer(input string) *Lexer {
+	return &Lexer{src: []rune(input), line: 1, col: 1}
+}
+
+// Tokens lexes the whole input.
+func Tokens(input string) ([]Token, error) {
+	lx := NewLexer(input)
+	var out []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Type == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(n int) rune {
+	if l.pos+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+n]
+}
+
+func (l *Lexer) advance() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for {
+		c := l.peek()
+		switch {
+		case c == 0:
+			return nil
+		case unicode.IsSpace(c):
+			l.advance()
+		case c == '-' && l.peekAt(1) == '-':
+			for l.peek() != 0 && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			depth := 1
+			for depth > 0 {
+				if l.peek() == 0 {
+					return fmt.Errorf("line %d col %d: unterminated block comment", startLine, startCol)
+				}
+				if l.peek() == '/' && l.peekAt(1) == '*' {
+					l.advance()
+					l.advance()
+					depth++
+					continue
+				}
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					depth--
+					continue
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func isIdentStart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c)
+}
+
+func isIdentPart(c rune) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(c) || unicode.IsDigit(c)
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	mk := func(tt TokenType, text string) Token {
+		return Token{Type: tt, Text: text, Line: line, Col: col}
+	}
+	c := l.peek()
+	switch {
+	case c == 0:
+		return mk(EOF, ""), nil
+	case isIdentStart(c):
+		var b strings.Builder
+		for isIdentPart(l.peek()) {
+			b.WriteRune(l.advance())
+		}
+		return mk(IDENT, strings.ToLower(b.String())), nil
+	case unicode.IsDigit(c) || (c == '.' && unicode.IsDigit(l.peekAt(1))):
+		var b strings.Builder
+		seenDot, seenExp := false, false
+		for {
+			c := l.peek()
+			switch {
+			case unicode.IsDigit(c):
+				b.WriteRune(l.advance())
+			case c == '.' && !seenDot && !seenExp:
+				seenDot = true
+				b.WriteRune(l.advance())
+			case (c == 'e' || c == 'E') && !seenExp && unicode.IsDigit(runeOrZero(l.peekAt(1), l.peekAt(2))):
+				seenExp = true
+				b.WriteRune(l.advance())
+				if l.peek() == '+' || l.peek() == '-' {
+					b.WriteRune(l.advance())
+				}
+			default:
+				return mk(NUMBER, b.String()), nil
+			}
+		}
+	case c == '\'':
+		l.advance()
+		var b strings.Builder
+		for {
+			c := l.peek()
+			if c == 0 {
+				return Token{}, fmt.Errorf("line %d col %d: unterminated string literal", line, col)
+			}
+			if c == '\'' {
+				if l.peekAt(1) == '\'' { // escaped quote
+					l.advance()
+					l.advance()
+					b.WriteRune('\'')
+					continue
+				}
+				l.advance()
+				return mk(STRING, b.String()), nil
+			}
+			b.WriteRune(l.advance())
+		}
+	case c == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			c := l.peek()
+			if c == 0 {
+				return Token{}, fmt.Errorf("line %d col %d: unterminated quoted identifier", line, col)
+			}
+			if c == '"' {
+				if l.peekAt(1) == '"' {
+					l.advance()
+					l.advance()
+					b.WriteRune('"')
+					continue
+				}
+				l.advance()
+				if b.Len() == 0 {
+					return Token{}, fmt.Errorf("line %d col %d: empty quoted identifier", line, col)
+				}
+				return mk(QIDENT, b.String()), nil
+			}
+			b.WriteRune(l.advance())
+		}
+	}
+	l.advance()
+	switch c {
+	case '(':
+		return mk(LPAREN, "("), nil
+	case ')':
+		return mk(RPAREN, ")"), nil
+	case ',':
+		return mk(COMMA, ","), nil
+	case ';':
+		return mk(SEMI, ";"), nil
+	case '*':
+		return mk(STAR, "*"), nil
+	case '.':
+		return mk(DOT, "."), nil
+	case '+':
+		return mk(PLUS, "+"), nil
+	case '-':
+		return mk(MINUS, "-"), nil
+	case '/':
+		return mk(SLASH, "/"), nil
+	case '%':
+		return mk(PERCENT, "%"), nil
+	case '=':
+		return mk(EQ, "="), nil
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(LTE, "<="), nil
+		}
+		if l.peek() == '>' {
+			l.advance()
+			return mk(NEQ, "<>"), nil
+		}
+		return mk(LT, "<"), nil
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(GTE, ">="), nil
+		}
+		return mk(GT, ">"), nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(NEQ, "!="), nil
+		}
+		return Token{}, fmt.Errorf("line %d col %d: unexpected character '!'", line, col)
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return mk(CONCAT, "||"), nil
+		}
+		return Token{}, fmt.Errorf("line %d col %d: unexpected character '|'", line, col)
+	}
+	return Token{}, fmt.Errorf("line %d col %d: unexpected character %q", line, col, string(c))
+}
+
+// runeOrZero helps lex exponents: returns the first rune unless it is a sign,
+// in which case the second (so 1e+5 lexes as a number but 1e+x does not).
+func runeOrZero(a, b rune) rune {
+	if a == '+' || a == '-' {
+		return b
+	}
+	return a
+}

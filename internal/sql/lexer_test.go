@@ -1,0 +1,123 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func lex(t *testing.T, input string) []Token {
+	t.Helper()
+	toks, err := Tokens(input)
+	if err != nil {
+		t.Fatalf("Tokens(%q): %v", input, err)
+	}
+	return toks
+}
+
+func TestLexBasicSelect(t *testing.T) {
+	toks := lex(t, "SELECT a, b FROM t WHERE a >= 10;")
+	types := []TokenType{IDENT, IDENT, COMMA, IDENT, IDENT, IDENT, IDENT, IDENT, GTE, NUMBER, SEMI, EOF}
+	if len(toks) != len(types) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(types), toks)
+	}
+	for i, tt := range types {
+		if toks[i].Type != tt {
+			t.Errorf("token %d = %v (%q), want %v", i, toks[i].Type, toks[i].Text, tt)
+		}
+	}
+	if toks[0].Text != "select" {
+		t.Errorf("identifiers must fold to lower case, got %q", toks[0].Text)
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks := lex(t, `'it''s a test'`)
+	if toks[0].Type != STRING || toks[0].Text != "it's a test" {
+		t.Errorf("got %v %q", toks[0].Type, toks[0].Text)
+	}
+}
+
+func TestLexQuotedIdent(t *testing.T) {
+	toks := lex(t, `"Mixed Case" "with""quote"`)
+	if toks[0].Type != QIDENT || toks[0].Text != "Mixed Case" {
+		t.Errorf("got %v %q", toks[0].Type, toks[0].Text)
+	}
+	if toks[1].Text != `with"quote` {
+		t.Errorf("got %q", toks[1].Text)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":     "42",
+		"3.14":   "3.14",
+		".5":     ".5",
+		"1e6":    "1e6",
+		"2.5e-3": "2.5e-3",
+	}
+	for in, want := range cases {
+		toks := lex(t, in)
+		if toks[0].Type != NUMBER || toks[0].Text != want {
+			t.Errorf("lex(%q) = %v %q, want NUMBER %q", in, toks[0].Type, toks[0].Text, want)
+		}
+	}
+}
+
+func TestLexExponentNotGreedy(t *testing.T) {
+	// 1e+x is NUMBER(1) IDENT(e) PLUS IDENT(x)? No: 'e' attaches to the
+	// number only when followed by digits; here "1e" lexes as number 1 then
+	// ident e... our lexer keeps 1 then ident "e", plus, ident x.
+	toks := lex(t, "1e + x")
+	if toks[0].Type != NUMBER || toks[0].Text != "1" {
+		t.Fatalf("got %v %q", toks[0].Type, toks[0].Text)
+	}
+	if toks[1].Type != IDENT || toks[1].Text != "e" {
+		t.Fatalf("got %v %q", toks[1].Type, toks[1].Text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lex(t, `SELECT -- line comment
+		/* block /* nested */ comment */ 1`)
+	if len(toks) != 3 { // select, 1, EOF
+		t.Fatalf("comments must vanish, got %v", toks)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lex(t, "= <> != < <= > >= || + - * / %")
+	types := []TokenType{EQ, NEQ, NEQ, LT, LTE, GT, GTE, CONCAT, PLUS, MINUS, STAR, SLASH, PERCENT, EOF}
+	for i, tt := range types {
+		if toks[i].Type != tt {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Type, tt)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{"'unterminated", `"unterminated`, `""`, "a ! b", "a | b", "/* unclosed"} {
+		if _, err := Tokens(bad); err == nil {
+			t.Errorf("Tokens(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lex(t, "a\n  bb")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("first token at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("second token at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+	if !strings.Contains(toks[1].Pos(), "line 2") {
+		t.Errorf("Pos() = %q", toks[1].Pos())
+	}
+}
+
+func TestLexUnicodeIdent(t *testing.T) {
+	toks := lex(t, "über_tabelle")
+	if toks[0].Type != IDENT || toks[0].Text != "über_tabelle" {
+		t.Errorf("got %v %q", toks[0].Type, toks[0].Text)
+	}
+}

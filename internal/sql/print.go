@@ -1,0 +1,487 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatStatement renders a statement back to SQL text. The output parses to
+// an equivalent AST (round-trip property tested in parser_test.go).
+func FormatStatement(st Statement) string {
+	var b strings.Builder
+	formatStatement(&b, st)
+	return b.String()
+}
+
+// FormatExpr renders an expression to SQL text.
+func FormatExpr(e Expr) string {
+	var b strings.Builder
+	formatExpr(&b, e)
+	return b.String()
+}
+
+func formatStatement(b *strings.Builder, st Statement) {
+	switch s := st.(type) {
+	case *SelectStmt:
+		formatSelect(b, s)
+	case *CreateTableStmt:
+		b.WriteString("CREATE TABLE ")
+		b.WriteString(quoteIdent(s.Name))
+		if s.AsSelect != nil {
+			b.WriteString(" AS ")
+			formatSelect(b, s.AsSelect)
+			return
+		}
+		b.WriteString(" (")
+		for i, c := range s.Columns {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(quoteIdent(c.Name))
+			b.WriteByte(' ')
+			b.WriteString(c.TypeName)
+			if c.NotNull {
+				b.WriteString(" NOT NULL")
+			}
+		}
+		b.WriteString(")")
+	case *CreateViewStmt:
+		b.WriteString("CREATE VIEW ")
+		b.WriteString(quoteIdent(s.Name))
+		b.WriteString(" AS ")
+		formatSelect(b, s.Select)
+	case *DropStmt:
+		b.WriteString("DROP ")
+		if s.View {
+			b.WriteString("VIEW ")
+		} else {
+			b.WriteString("TABLE ")
+		}
+		if s.IfExists {
+			b.WriteString("IF EXISTS ")
+		}
+		b.WriteString(quoteIdent(s.Name))
+	case *InsertStmt:
+		b.WriteString("INSERT INTO ")
+		b.WriteString(quoteIdent(s.Table))
+		if len(s.Columns) > 0 {
+			b.WriteString(" (")
+			for i, c := range s.Columns {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(quoteIdent(c))
+			}
+			b.WriteString(")")
+		}
+		if s.Select != nil {
+			b.WriteByte(' ')
+			formatSelect(b, s.Select)
+			return
+		}
+		b.WriteString(" VALUES ")
+		for i, row := range s.Rows {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("(")
+			for j, e := range row {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				formatExpr(b, e)
+			}
+			b.WriteString(")")
+		}
+	case *DeleteStmt:
+		b.WriteString("DELETE FROM ")
+		b.WriteString(quoteIdent(s.Table))
+		if s.Where != nil {
+			b.WriteString(" WHERE ")
+			formatExpr(b, s.Where)
+		}
+	case *UpdateStmt:
+		b.WriteString("UPDATE ")
+		b.WriteString(quoteIdent(s.Table))
+		b.WriteString(" SET ")
+		for i, set := range s.Sets {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(quoteIdent(set.Column))
+			b.WriteString(" = ")
+			formatExpr(b, set.Expr)
+		}
+		if s.Where != nil {
+			b.WriteString(" WHERE ")
+			formatExpr(b, s.Where)
+		}
+	case *ExplainStmt:
+		b.WriteString("EXPLAIN ")
+		if s.Analyze {
+			b.WriteString("ANALYZE ")
+		}
+		formatSelect(b, s.Target)
+	case *SetStmt:
+		fmt.Fprintf(b, "SET %s = '%s'", s.Name, strings.ReplaceAll(s.Value, "'", "''"))
+	case *ShowStmt:
+		fmt.Fprintf(b, "SHOW %s", s.Name)
+	case *AnalyzeStmt:
+		b.WriteString("ANALYZE")
+		if s.Table != "" {
+			b.WriteByte(' ')
+			b.WriteString(quoteIdent(s.Table))
+		}
+	default:
+		fmt.Fprintf(b, "/* unknown statement %T */", st)
+	}
+}
+
+func formatSelect(b *strings.Builder, s *SelectStmt) {
+	formatBody(b, s.Body)
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, o.Expr)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		b.WriteString(" LIMIT ")
+		formatExpr(b, s.Limit)
+	}
+	if s.Offset != nil {
+		b.WriteString(" OFFSET ")
+		formatExpr(b, s.Offset)
+	}
+}
+
+func formatBody(b *strings.Builder, body QueryBody) {
+	switch q := body.(type) {
+	case *SelectCore:
+		formatCore(b, q)
+	case *SetOpBody:
+		needParenL := false
+		if l, ok := q.Left.(*SetOpBody); ok && precOf(l.Op) < precOf(q.Op) {
+			needParenL = true
+		}
+		if needParenL {
+			b.WriteString("(")
+		}
+		formatBody(b, q.Left)
+		if needParenL {
+			b.WriteString(")")
+		}
+		fmt.Fprintf(b, " %s ", q.Op)
+		if q.All {
+			b.WriteString("ALL ")
+		}
+		if _, ok := q.Right.(*SetOpBody); ok {
+			b.WriteString("(")
+			formatBody(b, q.Right)
+			b.WriteString(")")
+		} else {
+			formatBody(b, q.Right)
+		}
+	}
+}
+
+func precOf(op SetOpType) int {
+	if op == Intersect {
+		return 2
+	}
+	return 1
+}
+
+func formatCore(b *strings.Builder, c *SelectCore) {
+	b.WriteString("SELECT ")
+	if c.Provenance {
+		b.WriteString("PROVENANCE ")
+		if c.Contribution != DefaultContribution {
+			fmt.Fprintf(b, "ON CONTRIBUTION (%s) ", c.Contribution)
+		}
+	}
+	if c.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, item := range c.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case item.Star && item.TableStar == "":
+			b.WriteString("*")
+		case item.Star:
+			b.WriteString(quoteIdent(item.TableStar))
+			b.WriteString(".*")
+		default:
+			formatExpr(b, item.Expr)
+			if item.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(quoteIdent(item.Alias))
+			}
+		}
+	}
+	if len(c.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, te := range c.From {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatTableExpr(b, te)
+		}
+	}
+	if c.Where != nil {
+		b.WriteString(" WHERE ")
+		formatExpr(b, c.Where)
+	}
+	if len(c.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range c.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, e)
+		}
+	}
+	if c.Having != nil {
+		b.WriteString(" HAVING ")
+		formatExpr(b, c.Having)
+	}
+}
+
+func formatProvSpec(b *strings.Builder, p ProvSpec) {
+	if p.BaseRelation {
+		b.WriteString(" BASERELATION")
+	}
+	if p.HasProvAttrs {
+		b.WriteString(" PROVENANCE (")
+		for i, a := range p.ProvAttrs {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(quoteIdent(a))
+		}
+		b.WriteString(")")
+	}
+}
+
+func formatTableExpr(b *strings.Builder, te TableExpr) {
+	switch t := te.(type) {
+	case *TableRef:
+		b.WriteString(quoteIdent(t.Name))
+		if t.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(quoteIdent(t.Alias))
+		}
+		formatProvSpec(b, t.Prov)
+	case *SubqueryRef:
+		b.WriteString("(")
+		formatSelect(b, t.Select)
+		b.WriteString(")")
+		if t.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(quoteIdent(t.Alias))
+		}
+		formatProvSpec(b, t.Prov)
+	case *JoinExpr:
+		formatJoinSide(b, t.Left)
+		b.WriteByte(' ')
+		b.WriteString(t.Kind.String())
+		b.WriteByte(' ')
+		formatJoinSide(b, t.Right)
+		if len(t.Using) > 0 {
+			b.WriteString(" USING (")
+			for i, u := range t.Using {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(quoteIdent(u))
+			}
+			b.WriteString(")")
+		} else if t.On != nil {
+			b.WriteString(" ON ")
+			formatExpr(b, t.On)
+		}
+	}
+}
+
+func formatJoinSide(b *strings.Builder, te TableExpr) {
+	if _, ok := te.(*JoinExpr); ok {
+		b.WriteString("(")
+		formatTableExpr(b, te)
+		b.WriteString(")")
+		return
+	}
+	formatTableExpr(b, te)
+}
+
+func formatExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *Literal:
+		b.WriteString(x.Val.SQLLiteral())
+	case *ColRef:
+		if x.Table != "" {
+			b.WriteString(quoteIdent(x.Table))
+			b.WriteByte('.')
+		}
+		b.WriteString(quoteIdent(x.Name))
+	case *BinExpr:
+		b.WriteString("(")
+		formatExpr(b, x.L)
+		b.WriteByte(' ')
+		b.WriteString(x.Op.String())
+		b.WriteByte(' ')
+		formatExpr(b, x.R)
+		b.WriteString(")")
+	case *UnaryExpr:
+		switch x.Op {
+		case "not":
+			b.WriteString("(NOT ")
+			formatExpr(b, x.E)
+			b.WriteString(")")
+		default:
+			b.WriteString("(")
+			b.WriteString(x.Op)
+			formatExpr(b, x.E)
+			b.WriteString(")")
+		}
+	case *FuncCall:
+		b.WriteString(x.Name)
+		b.WriteString("(")
+		if x.Star {
+			b.WriteString("*")
+		} else {
+			if x.Distinct {
+				b.WriteString("DISTINCT ")
+			}
+			for i, a := range x.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				formatExpr(b, a)
+			}
+		}
+		b.WriteString(")")
+	case *CaseExpr:
+		b.WriteString("CASE")
+		if x.Operand != nil {
+			b.WriteByte(' ')
+			formatExpr(b, x.Operand)
+		}
+		for _, w := range x.Whens {
+			b.WriteString(" WHEN ")
+			formatExpr(b, w.Cond)
+			b.WriteString(" THEN ")
+			formatExpr(b, w.Result)
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE ")
+			formatExpr(b, x.Else)
+		}
+		b.WriteString(" END")
+	case *IsNullExpr:
+		b.WriteString("(")
+		formatExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" IS NOT NULL")
+		} else {
+			b.WriteString(" IS NULL")
+		}
+		b.WriteString(")")
+	case *InExpr:
+		b.WriteString("(")
+		formatExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		if x.Subquery != nil {
+			formatSelect(b, x.Subquery)
+		} else {
+			for i, it := range x.List {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				formatExpr(b, it)
+			}
+		}
+		b.WriteString("))")
+	case *ExistsExpr:
+		if x.Not {
+			b.WriteString("(NOT ")
+		}
+		b.WriteString("EXISTS (")
+		formatSelect(b, x.Subquery)
+		b.WriteString(")")
+		if x.Not {
+			b.WriteString(")")
+		}
+	case *SubqueryExpr:
+		b.WriteString("(")
+		formatSelect(b, x.Select)
+		b.WriteString(")")
+	case *QuantifiedExpr:
+		b.WriteString("(")
+		formatExpr(b, x.E)
+		b.WriteByte(' ')
+		b.WriteString(x.Op.String())
+		if x.All {
+			b.WriteString(" ALL (")
+		} else {
+			b.WriteString(" ANY (")
+		}
+		formatSelect(b, x.Subquery)
+		b.WriteString("))")
+	case *BetweenExpr:
+		b.WriteString("(")
+		formatExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		formatExpr(b, x.Lo)
+		b.WriteString(" AND ")
+		formatExpr(b, x.Hi)
+		b.WriteString(")")
+	case *LikeExpr:
+		b.WriteString("(")
+		formatExpr(b, x.E)
+		if x.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" LIKE ")
+		formatExpr(b, x.Pattern)
+		b.WriteString(")")
+	case *CastExpr:
+		b.WriteString("CAST(")
+		formatExpr(b, x.E)
+		b.WriteString(" AS ")
+		b.WriteString(x.TypeName)
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "/* unknown expr %T */", e)
+	}
+}
+
+// quoteIdent quotes an identifier when it is not a plain lower-case word.
+func quoteIdent(s string) string {
+	plain := s != ""
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c == '_':
+		case (c >= '0' && c <= '9') && i > 0:
+		default:
+			plain = false
+		}
+	}
+	if plain && !reservedAlias[s] {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

@@ -1,0 +1,143 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"perm/internal/value"
+)
+
+func fmtExpr(t *testing.T, input string) string {
+	t.Helper()
+	e, err := ParseExpr(input)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", input, err)
+	}
+	return FormatExpr(e)
+}
+
+func TestFormatExprForms(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`a + b * 2`, `(a + (b * 2))`},
+		{`NOT x`, `(NOT x)`},
+		{`-x`, `(-x)`},
+		{`t.c`, `t.c`},
+		{`x IS NULL`, `(x IS NULL)`},
+		{`x IS NOT NULL`, `(x IS NOT NULL)`},
+		{`count(*)`, `count(*)`},
+		{`sum(DISTINCT x)`, `sum(DISTINCT x)`},
+		{`coalesce(a, b, 0)`, `coalesce(a, b, 0)`},
+		{`CASE x WHEN 1 THEN 'a' ELSE 'b' END`, `CASE x WHEN 1 THEN 'a' ELSE 'b' END`},
+		{`x IN (1, 2)`, `(x IN (1, 2))`},
+		{`x NOT IN (1)`, `(x NOT IN (1))`},
+		{`x BETWEEN 1 AND 2`, `(x BETWEEN 1 AND 2)`},
+		{`x NOT BETWEEN 1 AND 2`, `(x NOT BETWEEN 1 AND 2)`},
+		{`x LIKE 'a%'`, `(x LIKE 'a%')`},
+		{`x NOT LIKE 'a%'`, `(x NOT LIKE 'a%')`},
+		{`CAST(x AS int)`, `CAST(x AS int)`},
+		{`x IS NOT DISTINCT FROM y`, `(x IS NOT DISTINCT FROM y)`},
+		{`a || b`, `(a || b)`},
+		{`x = ANY (SELECT a FROM t)`, `(x = ANY (SELECT a FROM t))`},
+		{`x < ALL (SELECT a FROM t)`, `(x < ALL (SELECT a FROM t))`},
+		{`EXISTS (SELECT 1 FROM t)`, `EXISTS (SELECT 1 FROM t)`},
+		{`NOT EXISTS (SELECT 1 FROM t)`, `(NOT EXISTS (SELECT 1 FROM t))`},
+		{`x IN (SELECT a FROM t)`, `(x IN (SELECT a FROM t))`},
+	}
+	for _, c := range cases {
+		if got := fmtExpr(t, c.in); got != c.want {
+			t.Errorf("FormatExpr(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatStatementForms(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`DROP TABLE IF EXISTS t`, `DROP TABLE IF EXISTS t`},
+		{`DROP VIEW v`, `DROP VIEW v`},
+		{`SET x = 'it''s'`, `SET x = 'it''s'`},
+		{`SHOW optimizer`, `SHOW optimizer`},
+		{`ANALYZE t`, `ANALYZE t`},
+		{`ANALYZE`, `ANALYZE`},
+		{`EXPLAIN SELECT 1`, `EXPLAIN SELECT 1`},
+		{`EXPLAIN ANALYZE SELECT 1`, `EXPLAIN ANALYZE SELECT 1`},
+		{`INSERT INTO t SELECT a FROM u`, `INSERT INTO t SELECT a FROM u`},
+		{`CREATE TABLE t AS SELECT 1 AS x`, `CREATE TABLE t AS SELECT 1 AS x`},
+		{`SELECT a FROM t ORDER BY a DESC LIMIT 1 OFFSET 2`,
+			`SELECT a FROM t ORDER BY a DESC LIMIT 1 OFFSET 2`},
+		{`SELECT * FROM t CROSS JOIN u`, `SELECT * FROM t CROSS JOIN u`},
+		{`SELECT t.* FROM t`, `SELECT t.* FROM t`},
+	}
+	for _, c := range cases {
+		st, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := FormatStatement(st); got != c.want {
+			t.Errorf("FormatStatement(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatSetOpParenthesization(t *testing.T) {
+	// UNION of an INTERSECT right side must parenthesize to preserve
+	// precedence on re-parse.
+	in := `SELECT a FROM t UNION (SELECT a FROM u UNION SELECT a FROM v)`
+	st, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatStatement(st)
+	st2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", out, err)
+	}
+	if FormatStatement(st2) != out {
+		t.Errorf("set-op formatting not stable: %q -> %q", out, FormatStatement(st2))
+	}
+}
+
+func TestFormatProvenanceAnnotations(t *testing.T) {
+	in := `SELECT PROVENANCE a FROM t BASERELATION PROVENANCE (x, y)`
+	st, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatStatement(st)
+	for _, want := range []string{"PROVENANCE a", "BASERELATION", "PROVENANCE (x, y)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted %q missing %q", out, want)
+		}
+	}
+}
+
+func TestFormatContributionVariants(t *testing.T) {
+	for _, sem := range []string{"INFLUENCE", "COPY PARTIAL", "COPY COMPLETE"} {
+		in := `SELECT PROVENANCE ON CONTRIBUTION (` + sem + `) a FROM t`
+		st, err := Parse(in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", in, err)
+		}
+		out := FormatStatement(st)
+		if !strings.Contains(out, sem) {
+			t.Errorf("formatted %q missing %q", out, sem)
+		}
+		if _, err := Parse(out); err != nil {
+			t.Errorf("re-parse %q: %v", out, err)
+		}
+	}
+}
+
+func TestFormatLiteralValues(t *testing.T) {
+	st, err := Parse(`INSERT INTO t VALUES (NULL, TRUE, FALSE, 1.5, 'x')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatStatement(st)
+	for _, want := range []string{"NULL", "TRUE", "FALSE", "1.5", "'x'"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted %q missing %q", out, want)
+		}
+	}
+	_ = value.Null // keep import for symmetry with other tests
+}

@@ -1,0 +1,95 @@
+package sql
+
+import "fmt"
+
+// TokenType classifies lexer output.
+type TokenType int
+
+// Token types. Keywords are recognized by the parser from IDENT tokens via
+// the keyword table, so that non-reserved words stay usable as identifiers.
+const (
+	EOF TokenType = iota
+	IDENT
+	QIDENT // "quoted identifier"
+	NUMBER
+	STRING // 'string literal'
+	// punctuation and operators
+	LPAREN
+	RPAREN
+	COMMA
+	SEMI
+	STAR
+	DOT
+	PLUS
+	MINUS
+	SLASH
+	PERCENT
+	EQ
+	NEQ
+	LT
+	LTE
+	GT
+	GTE
+	CONCAT // ||
+)
+
+func (t TokenType) String() string {
+	switch t {
+	case EOF:
+		return "end of input"
+	case IDENT:
+		return "identifier"
+	case QIDENT:
+		return "quoted identifier"
+	case NUMBER:
+		return "number"
+	case STRING:
+		return "string"
+	case LPAREN:
+		return "("
+	case RPAREN:
+		return ")"
+	case COMMA:
+		return ","
+	case SEMI:
+		return ";"
+	case STAR:
+		return "*"
+	case DOT:
+		return "."
+	case PLUS:
+		return "+"
+	case MINUS:
+		return "-"
+	case SLASH:
+		return "/"
+	case PERCENT:
+		return "%"
+	case EQ:
+		return "="
+	case NEQ:
+		return "<>"
+	case LT:
+		return "<"
+	case LTE:
+		return "<="
+	case GT:
+		return ">"
+	case GTE:
+		return ">="
+	case CONCAT:
+		return "||"
+	}
+	return fmt.Sprintf("token(%d)", int(t))
+}
+
+// Token is one lexical element with its source position (1-based).
+type Token struct {
+	Type TokenType
+	Text string // raw text; for STRING the unescaped value, for IDENT folded lower
+	Line int
+	Col  int
+}
+
+// Pos renders the position for error messages.
+func (t Token) Pos() string { return fmt.Sprintf("line %d col %d", t.Line, t.Col) }

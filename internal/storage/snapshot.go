@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"perm/internal/catalog"
+	"perm/internal/value"
+)
+
+// Snapshot persistence: the whole database (schema, rows, views, statistics)
+// serializes to a single gob stream. This keeps eagerly materialized
+// provenance tables available across process restarts — the "store
+// provenance for later investigation" part of the paper's story.
+
+// snapshotDTO is the on-disk representation.
+type snapshotDTO struct {
+	// Version guards the format for forward changes.
+	Version int
+	Tables  []tableDTO
+	Views   []viewDTO
+}
+
+type tableDTO struct {
+	Name     string
+	Columns  []catalog.Column
+	Rows     []value.Row
+	RowCount int
+	Distinct map[string]float64
+}
+
+type viewDTO struct {
+	Name    string
+	Text    string
+	Columns []catalog.Column
+}
+
+const snapshotVersion = 1
+
+// Save writes the full store to w.
+func (s *Store) Save(w io.Writer) error {
+	dto := snapshotDTO{Version: snapshotVersion}
+	for _, name := range s.catalog.TableNames() {
+		t := s.Table(name)
+		if t == nil {
+			return fmt.Errorf("storage: table %q in catalog but not in store", name)
+		}
+		st := s.catalog.TableStats(name)
+		dto.Tables = append(dto.Tables, tableDTO{
+			Name:     t.Def().Name,
+			Columns:  t.Def().Columns,
+			Rows:     t.Snapshot(),
+			RowCount: st.RowCount,
+			Distinct: st.DistinctFrac,
+		})
+	}
+	for _, name := range s.catalog.ViewNames() {
+		v := s.catalog.View(name)
+		dto.Views = append(dto.Views, viewDTO{Name: v.Name, Text: v.Text, Columns: v.Columns})
+	}
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// Restore loads a snapshot written by Save into an EMPTY store. It fails if
+// any relation already exists.
+func (s *Store) Restore(r io.Reader) error {
+	var dto snapshotDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return fmt.Errorf("storage: corrupt snapshot: %v", err)
+	}
+	if dto.Version != snapshotVersion {
+		return fmt.Errorf("storage: unsupported snapshot version %d (want %d)", dto.Version, snapshotVersion)
+	}
+	for _, t := range dto.Tables {
+		tab, err := s.CreateTable(&catalog.TableDef{Name: t.Name, Columns: t.Columns})
+		if err != nil {
+			return err
+		}
+		if _, err := tab.InsertBatch(t.Rows); err != nil {
+			return err
+		}
+		s.catalog.SetRowCount(t.Name, t.RowCount)
+		for col, frac := range t.Distinct {
+			s.catalog.SetDistinctFrac(t.Name, col, frac)
+		}
+	}
+	for _, v := range dto.Views {
+		if err := s.catalog.CreateView(&catalog.ViewDef{Name: v.Name, Text: v.Text, Columns: v.Columns}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+// Package storage implements the in-memory heap storage engine under the
+// Perm catalog: append-only row slices per table with tombstone deletes,
+// type-checked inserts, full-scan cursors, and a store that ties table data
+// to the catalog the way PostgreSQL's heap ties to its system catalogs.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"perm/internal/catalog"
+	"perm/internal/value"
+)
+
+// Table holds the rows of one base relation. It is safe for concurrent use;
+// scans take a snapshot of the current row slice, so readers never observe a
+// partially applied mutation.
+type Table struct {
+	mu   sync.RWMutex
+	def  *catalog.TableDef
+	rows []value.Row
+}
+
+// NewTable creates an empty table for the definition.
+func NewTable(def *catalog.TableDef) *Table {
+	return &Table{def: def}
+}
+
+// Def returns the table definition.
+func (t *Table) Def() *catalog.TableDef { return t.def }
+
+// checkRow validates arity, nullability and coerces values to column types.
+func (t *Table) checkRow(row value.Row) (value.Row, error) {
+	if len(row) != len(t.def.Columns) {
+		return nil, fmt.Errorf("table %q expects %d values, got %d",
+			t.def.Name, len(t.def.Columns), len(row))
+	}
+	out := make(value.Row, len(row))
+	for i, v := range row {
+		col := t.def.Columns[i]
+		if v.IsNull() {
+			if col.NotNull {
+				return nil, fmt.Errorf("null value in column %q of table %q violates not-null constraint",
+					col.Name, t.def.Name)
+			}
+			out[i] = value.Null
+			continue
+		}
+		cv, err := value.Coerce(v, col.Type)
+		if err != nil {
+			return nil, fmt.Errorf("column %q of table %q: %v", col.Name, t.def.Name, err)
+		}
+		out[i] = cv
+	}
+	return out, nil
+}
+
+// Insert appends a row after type checking. It returns the number of rows
+// inserted (always 1 on success).
+func (t *Table) Insert(row value.Row) (int, error) {
+	checked, err := t.checkRow(row)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	t.rows = append(t.rows, checked)
+	t.mu.Unlock()
+	return 1, nil
+}
+
+// InsertBatch appends many rows, failing atomically on the first bad row.
+func (t *Table) InsertBatch(rows []value.Row) (int, error) {
+	checked := make([]value.Row, len(rows))
+	for i, r := range rows {
+		c, err := t.checkRow(r)
+		if err != nil {
+			return 0, fmt.Errorf("row %d: %v", i+1, err)
+		}
+		checked[i] = c
+	}
+	t.mu.Lock()
+	t.rows = append(t.rows, checked...)
+	t.mu.Unlock()
+	return len(checked), nil
+}
+
+// Snapshot returns the current rows. The returned slice must be treated as
+// read-only; mutation goes through Insert/Delete/Update.
+func (t *Table) Snapshot() []value.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// RowCount returns the current number of rows.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Delete removes all rows for which pred returns true and reports how many
+// were removed. A nil pred removes every row.
+func (t *Table) Delete(pred func(value.Row) (bool, error)) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if pred == nil {
+		n := len(t.rows)
+		t.rows = nil
+		return n, nil
+	}
+	kept := t.rows[:0:0]
+	removed := 0
+	for _, r := range t.rows {
+		ok, err := pred(r)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rows = kept
+	return removed, nil
+}
+
+// Update applies fn to every row matching pred, replacing the row with fn's
+// result after type checking. It reports how many rows changed.
+func (t *Table) Update(pred func(value.Row) (bool, error), fn func(value.Row) (value.Row, error)) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	changed := 0
+	out := make([]value.Row, len(t.rows))
+	for i, r := range t.rows {
+		match := true
+		if pred != nil {
+			ok, err := pred(r)
+			if err != nil {
+				return 0, err
+			}
+			match = ok
+		}
+		if !match {
+			out[i] = r
+			continue
+		}
+		nr, err := fn(r)
+		if err != nil {
+			return 0, err
+		}
+		checked, err := t.checkRow(nr)
+		if err != nil {
+			return 0, err
+		}
+		out[i] = checked
+		changed++
+	}
+	t.rows = out
+	return changed, nil
+}
+
+// Store couples a catalog with the physical tables.
+type Store struct {
+	mu      sync.RWMutex
+	catalog *catalog.Catalog
+	tables  map[string]*Table
+}
+
+// NewStore creates a store over a fresh catalog.
+func NewStore() *Store {
+	return &Store{catalog: catalog.New(), tables: make(map[string]*Table)}
+}
+
+// Catalog exposes the schema registry.
+func (s *Store) Catalog() *catalog.Catalog { return s.catalog }
+
+// CreateTable registers the definition and allocates the heap.
+func (s *Store) CreateTable(def *catalog.TableDef) (*Table, error) {
+	if err := s.catalog.CreateTable(def); err != nil {
+		return nil, err
+	}
+	t := NewTable(def)
+	s.mu.Lock()
+	s.tables[keyOf(def.Name)] = t
+	s.mu.Unlock()
+	return t, nil
+}
+
+// DropTable removes definition and data.
+func (s *Store) DropTable(name string) error {
+	if err := s.catalog.DropTable(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.tables, keyOf(name))
+	s.mu.Unlock()
+	return nil
+}
+
+// Table returns the heap for the named table, or nil.
+func (s *Store) Table(name string) *Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tables[keyOf(name)]
+}
+
+// Analyze refreshes the catalog statistics (row count and per-column distinct
+// fraction) for the named table, or for all tables when name is empty.
+func (s *Store) Analyze(name string) error {
+	names := []string{name}
+	if name == "" {
+		names = s.catalog.TableNames()
+	}
+	for _, n := range names {
+		t := s.Table(n)
+		if t == nil {
+			return fmt.Errorf("table %q does not exist", n)
+		}
+		rows := t.Snapshot()
+		s.catalog.SetRowCount(n, len(rows))
+		for ci, col := range t.Def().Columns {
+			if len(rows) == 0 {
+				s.catalog.SetDistinctFrac(n, col.Name, 1)
+				continue
+			}
+			seen := make(map[string]struct{}, len(rows))
+			for _, r := range rows {
+				seen[r[ci].Key()] = struct{}{}
+			}
+			s.catalog.SetDistinctFrac(n, col.Name, float64(len(seen))/float64(len(rows)))
+		}
+	}
+	return nil
+}
+
+func keyOf(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,266 @@
+// Package workload generates the deterministic synthetic datasets the
+// benchmark harness runs on: the paper's forum database (Figure 1) scaled to
+// arbitrary sizes, and a small star schema for the warehouse example. All
+// generators are seeded, so every run sees identical data.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"perm/internal/catalog"
+	"perm/internal/engine"
+	"perm/internal/value"
+)
+
+// ForumConfig scales the Figure 1 forum database.
+type ForumConfig struct {
+	Users    int
+	Messages int
+	Imports  int
+	// ApprovalsPerMessage is the mean number of approvals per message.
+	ApprovalsPerMessage float64
+	// DuplicateTextFrac is the fraction of messages sharing a text with an
+	// import (creates UNION duplicates; drives the set-strategy benchmarks).
+	DuplicateTextFrac float64
+	Seed              int64
+}
+
+// DefaultForum returns a config with n messages and proportional sizes.
+func DefaultForum(n int) ForumConfig {
+	users := n / 10
+	if users < 3 {
+		users = 3
+	}
+	return ForumConfig{
+		Users:               users,
+		Messages:            n,
+		Imports:             n / 2,
+		ApprovalsPerMessage: 2,
+		DuplicateTextFrac:   0.1,
+		Seed:                42,
+	}
+}
+
+var origins = []string{"superForum", "HiBoard", "chatterBox", "nodeTalk", "paperTrail"}
+
+var words = []string{
+	"lorem", "ipsum", "dolor", "sit", "amet", "consectetur", "adipiscing",
+	"elit", "sed", "do", "eiusmod", "tempor", "incididunt", "labore",
+}
+
+func randText(rng *rand.Rand) string {
+	n := 2 + rng.Intn(4)
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += words[rng.Intn(len(words))]
+	}
+	return out
+}
+
+// LoadForum creates and fills the forum schema in db. It also creates the
+// paper's view v1 and refreshes statistics.
+func LoadForum(db *engine.DB, cfg ForumConfig) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	store := db.Store()
+
+	create := func(name string, cols ...catalog.Column) error {
+		_, err := store.CreateTable(&catalog.TableDef{Name: name, Columns: cols})
+		return err
+	}
+	if err := create("users",
+		catalog.Column{Name: "uid", Type: value.KindInt},
+		catalog.Column{Name: "name", Type: value.KindString}); err != nil {
+		return err
+	}
+	if err := create("messages",
+		catalog.Column{Name: "mid", Type: value.KindInt},
+		catalog.Column{Name: "text", Type: value.KindString},
+		catalog.Column{Name: "uid", Type: value.KindInt}); err != nil {
+		return err
+	}
+	if err := create("imports",
+		catalog.Column{Name: "mid", Type: value.KindInt},
+		catalog.Column{Name: "text", Type: value.KindString},
+		catalog.Column{Name: "origin", Type: value.KindString}); err != nil {
+		return err
+	}
+	if err := create("approved",
+		catalog.Column{Name: "uid", Type: value.KindInt},
+		catalog.Column{Name: "mid", Type: value.KindInt}); err != nil {
+		return err
+	}
+
+	users := make([]value.Row, cfg.Users)
+	for i := range users {
+		users[i] = value.Row{value.NewInt(int64(i + 1)), value.NewString(fmt.Sprintf("user%d", i+1))}
+	}
+	if _, err := store.Table("users").InsertBatch(users); err != nil {
+		return err
+	}
+
+	msgs := make([]value.Row, cfg.Messages)
+	texts := make([]string, cfg.Messages)
+	for i := range msgs {
+		texts[i] = randText(rng)
+		msgs[i] = value.Row{
+			value.NewInt(int64(i + 1)),
+			value.NewString(texts[i]),
+			value.NewInt(int64(rng.Intn(cfg.Users) + 1)),
+		}
+	}
+	if _, err := store.Table("messages").InsertBatch(msgs); err != nil {
+		return err
+	}
+
+	imps := make([]value.Row, cfg.Imports)
+	for i := range imps {
+		text := randText(rng)
+		// A fraction of imports duplicate a message text (UNION duplicates).
+		if cfg.Messages > 0 && rng.Float64() < cfg.DuplicateTextFrac {
+			text = texts[rng.Intn(cfg.Messages)]
+		}
+		imps[i] = value.Row{
+			value.NewInt(int64(cfg.Messages + i + 1)),
+			value.NewString(text),
+			value.NewString(origins[rng.Intn(len(origins))]),
+		}
+	}
+	if _, err := store.Table("imports").InsertBatch(imps); err != nil {
+		return err
+	}
+
+	nApprovals := int(float64(cfg.Messages+cfg.Imports) * cfg.ApprovalsPerMessage)
+	apps := make([]value.Row, nApprovals)
+	for i := range apps {
+		apps[i] = value.Row{
+			value.NewInt(int64(rng.Intn(cfg.Users) + 1)),
+			value.NewInt(int64(rng.Intn(cfg.Messages+cfg.Imports) + 1)),
+		}
+	}
+	if _, err := store.Table("approved").InsertBatch(apps); err != nil {
+		return err
+	}
+
+	session := db.NewSession()
+	if _, err := session.Execute(
+		`CREATE VIEW v1 AS SELECT mId, text FROM messages UNION SELECT mId, text FROM imports`); err != nil {
+		return err
+	}
+	return store.Analyze("")
+}
+
+// StarConfig scales the warehouse star schema.
+type StarConfig struct {
+	Customers int
+	Products  int
+	Sales     int
+	Days      int
+	Seed      int64
+}
+
+// DefaultStar returns a config with n fact rows.
+func DefaultStar(n int) StarConfig {
+	c := n / 20
+	if c < 3 {
+		c = 3
+	}
+	p := n / 50
+	if p < 3 {
+		p = 3
+	}
+	return StarConfig{Customers: c, Products: p, Sales: n, Days: 30, Seed: 7}
+}
+
+var regions = []string{"north", "south", "east", "west"}
+var categories = []string{"widgets", "gadgets", "gizmos"}
+
+// LoadStar creates and fills a sales star schema: customers, products and a
+// sales fact table, with statistics refreshed.
+func LoadStar(db *engine.DB, cfg StarConfig) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	store := db.Store()
+	create := func(name string, cols ...catalog.Column) error {
+		_, err := store.CreateTable(&catalog.TableDef{Name: name, Columns: cols})
+		return err
+	}
+	if err := create("customers",
+		catalog.Column{Name: "cid", Type: value.KindInt},
+		catalog.Column{Name: "cname", Type: value.KindString},
+		catalog.Column{Name: "region", Type: value.KindString}); err != nil {
+		return err
+	}
+	if err := create("products",
+		catalog.Column{Name: "pid", Type: value.KindInt},
+		catalog.Column{Name: "pname", Type: value.KindString},
+		catalog.Column{Name: "category", Type: value.KindString}); err != nil {
+		return err
+	}
+	if err := create("sales",
+		catalog.Column{Name: "sid", Type: value.KindInt},
+		catalog.Column{Name: "cid", Type: value.KindInt},
+		catalog.Column{Name: "pid", Type: value.KindInt},
+		catalog.Column{Name: "day", Type: value.KindInt},
+		catalog.Column{Name: "amount", Type: value.KindFloat}); err != nil {
+		return err
+	}
+	customers := make([]value.Row, cfg.Customers)
+	for i := range customers {
+		customers[i] = value.Row{
+			value.NewInt(int64(i + 1)),
+			value.NewString(fmt.Sprintf("customer%d", i+1)),
+			value.NewString(regions[rng.Intn(len(regions))]),
+		}
+	}
+	if _, err := store.Table("customers").InsertBatch(customers); err != nil {
+		return err
+	}
+	products := make([]value.Row, cfg.Products)
+	for i := range products {
+		products[i] = value.Row{
+			value.NewInt(int64(i + 1)),
+			value.NewString(fmt.Sprintf("product%d", i+1)),
+			value.NewString(categories[rng.Intn(len(categories))]),
+		}
+	}
+	if _, err := store.Table("products").InsertBatch(products); err != nil {
+		return err
+	}
+	sales := make([]value.Row, cfg.Sales)
+	for i := range sales {
+		sales[i] = value.Row{
+			value.NewInt(int64(i + 1)),
+			value.NewInt(int64(rng.Intn(cfg.Customers) + 1)),
+			value.NewInt(int64(rng.Intn(cfg.Products) + 1)),
+			value.NewInt(int64(rng.Intn(cfg.Days) + 1)),
+			value.NewFloat(float64(rng.Intn(10000)) / 100),
+		}
+	}
+	if _, err := store.Table("sales").InsertBatch(sales); err != nil {
+		return err
+	}
+	return store.Analyze("")
+}
+
+// LoadPaperExample loads the exact Figure 1 database (4 tables, the exact
+// rows of the paper, and view v1) — used by the demo tool and golden tests.
+func LoadPaperExample(db *engine.DB) error {
+	session := db.NewSession()
+	script := `
+		CREATE TABLE messages (mId int, text text, uId int);
+		CREATE TABLE users (uId int, name text);
+		CREATE TABLE imports (mId int, text text, origin text);
+		CREATE TABLE approved (uId int, mId int);
+		INSERT INTO messages VALUES (1, 'lorem ipsum ...', 3), (4, 'hi there ...', 2);
+		INSERT INTO users VALUES (1, 'Bert'), (2, 'Gert'), (3, 'Gertrud');
+		INSERT INTO imports VALUES (2, 'hello ...', 'superForum'), (3, 'I don''t ...', 'HiBoard');
+		INSERT INTO approved VALUES (2, 2), (1, 4), (2, 4), (3, 4);
+		CREATE VIEW v1 AS SELECT mId, text FROM messages UNION SELECT mId, text FROM imports;
+		ANALYZE;
+	`
+	_, err := session.ExecuteScript(script)
+	return err
+}

@@ -1,0 +1,311 @@
+// Package perm is a from-scratch Go implementation of the Perm provenance
+// management system (Glavic & Alonso, SIGMOD 2009 / ICDE 2009): a relational
+// engine that computes tuple-level data provenance by query rewriting.
+//
+// A Perm database speaks a PostgreSQL-flavored SQL dialect extended with
+// SQL-PLE, the provenance language extension of the paper:
+//
+//	SELECT PROVENANCE ... — compute provenance alongside the result
+//	SELECT PROVENANCE ON CONTRIBUTION (INFLUENCE | COPY) ... — pick semantics
+//	FROM v BASERELATION — treat a view/subquery like a base relation
+//	FROM t PROVENANCE (a, b) — declare existing columns as external provenance
+//
+// Provenance is plain relational data: the original result columns followed
+// by prov_<schema>_<relation>_<attribute> columns holding the contributing
+// input tuples, so it can be queried, stored (CREATE TABLE ... AS SELECT
+// PROVENANCE ..., for eager provenance) and combined with ordinary SQL.
+//
+// Quick start:
+//
+//	db := perm.Open()
+//	db.MustExec(`CREATE TABLE r (i int)`)
+//	db.MustExec(`INSERT INTO r VALUES (1), (2)`)
+//	res, err := db.Query(`SELECT PROVENANCE i FROM r`)
+//	// res.Columns == ["i", "prov_public_r_i"]
+package perm
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"perm/internal/engine"
+	"perm/internal/sql"
+	"perm/internal/value"
+)
+
+// Value is a SQL value (NULL, boolean, integer, float, or text).
+type Value = value.Value
+
+// Row is one result tuple.
+type Row = value.Row
+
+// Convenience constructors for Value.
+var (
+	Null = value.Null
+	// NewInt, NewFloat, NewString, NewBool build typed values.
+	NewInt    = value.NewInt
+	NewFloat  = value.NewFloat
+	NewString = value.NewString
+	NewBool   = value.NewBool
+)
+
+// DB is a Perm database handle. It is safe for concurrent use; each call
+// runs in its own implicit session unless a Session is opened explicitly.
+type DB struct {
+	db      *engine.DB
+	session *engine.Session
+}
+
+// Open creates a new, empty in-memory Perm database.
+func Open() *DB {
+	db := engine.NewDB()
+	return &DB{db: db, session: db.NewSession()}
+}
+
+// Engine exposes the underlying engine database so that in-module tools
+// (cmd/permshell, the benchmark harness) can load data through the storage
+// layer directly. It is not part of the stable public surface.
+func (d *DB) Engine() *engine.DB { return d.db }
+
+// Save serializes the whole database (tables, rows, views, statistics) to w,
+// so eagerly materialized provenance survives process restarts.
+func (d *DB) Save(w io.Writer) error { return d.db.Store().Save(w) }
+
+// Load restores a database written by Save.
+func Load(r io.Reader) (*DB, error) {
+	db := Open()
+	if err := db.db.Store().Restore(r); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Session is an isolated connection with its own settings (contribution
+// semantics defaults, rewrite strategy toggles, optimizer switches).
+type Session struct {
+	s *engine.Session
+}
+
+// NewSession opens a session with default settings.
+func (d *DB) NewSession() *Session {
+	return &Session{s: d.db.NewSession()}
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns are the output column names, in order.
+	Columns []string
+	// Rows are the result tuples.
+	Rows []Row
+	// Tag is the command tag ("SELECT 4", "INSERT 2", "CREATE TABLE", ...).
+	Tag string
+	// ProvenanceColumns flags, per column, whether it is a provenance
+	// attribute (prov_... columns produced by SELECT PROVENANCE).
+	ProvenanceColumns []bool
+	// Stage timings of the Figure-3 pipeline.
+	ParseTime, AnalyzeTime, RewriteTime, PlanTime, ExecuteTime time.Duration
+	// RewriteDecisions lists the provenance rewrite decisions taken.
+	RewriteDecisions []string
+}
+
+func wrapResult(r *engine.Result) *Result {
+	out := &Result{
+		Columns:          r.Columns,
+		Rows:             r.Rows,
+		Tag:              r.Tag,
+		ParseTime:        r.Timings.Parse,
+		AnalyzeTime:      r.Timings.Analyze,
+		RewriteTime:      r.Timings.Rewrite,
+		PlanTime:         r.Timings.Plan,
+		ExecuteTime:      r.Timings.Execute,
+		RewriteDecisions: r.Rewrites,
+	}
+	if len(r.Schema) > 0 {
+		out.ProvenanceColumns = make([]bool, len(r.Schema))
+		for i, c := range r.Schema {
+			out.ProvenanceColumns[i] = c.IsProv
+		}
+	}
+	return out
+}
+
+// Exec runs one SQL statement.
+func (d *DB) Exec(sqlText string) (*Result, error) { return execOn(d.session, sqlText) }
+
+// Query is Exec for read statements; it errors when the statement returns no
+// rows structure (DDL).
+func (d *DB) Query(sqlText string) (*Result, error) {
+	res, err := d.Exec(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if res.Columns == nil && !strings.HasPrefix(res.Tag, "SELECT") {
+		return nil, fmt.Errorf("statement %q returned no result set (%s)", sqlText, res.Tag)
+	}
+	return res, nil
+}
+
+// MustExec runs a statement and panics on error (setup code and examples).
+func (d *DB) MustExec(sqlText string) *Result {
+	res, err := d.Exec(sqlText)
+	if err != nil {
+		panic(fmt.Sprintf("perm: %v\nstatement: %s", err, sqlText))
+	}
+	return res
+}
+
+// ExecScript runs a semicolon-separated script.
+func (d *DB) ExecScript(script string) ([]*Result, error) {
+	rs, err := d.session.ExecuteScript(script)
+	out := make([]*Result, len(rs))
+	for i, r := range rs {
+		out[i] = wrapResult(r)
+	}
+	return out, err
+}
+
+// MustExecScript runs a script and panics on error.
+func (d *DB) MustExecScript(script string) []*Result {
+	out, err := d.ExecScript(script)
+	if err != nil {
+		panic(fmt.Sprintf("perm: %v", err))
+	}
+	return out
+}
+
+// Explain returns the Perm-browser artifacts for a query: original and
+// rewritten algebra trees, the rewritten SQL, and rewrite decisions.
+func (d *DB) Explain(sqlText string) (*Explanation, error) {
+	return explainOn(d.session, sqlText, false)
+}
+
+// ExplainAnalyze additionally executes the query and fills in timings.
+func (d *DB) ExplainAnalyze(sqlText string) (*Explanation, error) {
+	return explainOn(d.session, sqlText, true)
+}
+
+// Exec runs one SQL statement in this session.
+func (s *Session) Exec(sqlText string) (*Result, error) { return execOn(s.s, sqlText) }
+
+// MustExec runs a statement and panics on error.
+func (s *Session) MustExec(sqlText string) *Result {
+	res, err := s.Exec(sqlText)
+	if err != nil {
+		panic(fmt.Sprintf("perm: %v\nstatement: %s", err, sqlText))
+	}
+	return res
+}
+
+// Explain returns the browser artifacts for a query in this session.
+func (s *Session) Explain(sqlText string) (*Explanation, error) {
+	return explainOn(s.s, sqlText, false)
+}
+
+// Explanation mirrors what the Perm browser of the demo displays (Figure 4):
+// the query (marker 1), the rewritten SQL (marker 2), the original algebra
+// tree (marker 3), the rewritten algebra tree (marker 4); results are marker
+// 5, obtained by executing the query.
+type Explanation struct {
+	OriginalSQL   string
+	RewrittenSQL  string
+	OriginalTree  string
+	RewrittenTree string
+	OptimizedTree string
+	Decisions     []string
+	RowCount      int
+}
+
+func execOn(s *engine.Session, sqlText string) (*Result, error) {
+	res, err := s.Execute(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return wrapResult(res), nil
+}
+
+func explainOn(s *engine.Session, sqlText string, analyze bool) (*Explanation, error) {
+	st, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("EXPLAIN expects a query, got %T", st)
+	}
+	var ex *engine.Explanation
+	if analyze {
+		ex, err = s.ExplainAnalyze(sel)
+	} else {
+		ex, err = s.Explain(sel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Explanation{
+		OriginalSQL:   ex.OriginalSQL,
+		RewrittenSQL:  ex.RewrittenSQL,
+		OriginalTree:  ex.OriginalTree,
+		RewrittenTree: ex.RewrittenTree,
+		OptimizedTree: ex.OptimizedTree,
+		Decisions:     ex.Decisions,
+		RowCount:      ex.RowCount,
+	}, nil
+}
+
+// FormatTable renders a result as an aligned ASCII table in the psql style
+// the demo's Perm browser shows (Figure 4, marker 5).
+func FormatTable(res *Result) string {
+	var b strings.Builder
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len([]rune(c))
+	}
+	cells := make([][]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			text := v.String()
+			if v.IsNull() {
+				text = ""
+			}
+			cells[ri][ci] = text
+			if ci < len(widths) && len([]rune(text)) > widths[ci] {
+				widths[ci] = len([]rune(text))
+			}
+		}
+	}
+	for i, c := range res.Columns {
+		if i > 0 {
+			b.WriteString("|")
+		}
+		b.WriteString(" " + pad(c, widths[i]) + " ")
+	}
+	b.WriteString("\n")
+	for i := range res.Columns {
+		if i > 0 {
+			b.WriteString("+")
+		}
+		b.WriteString(strings.Repeat("-", widths[i]+2))
+	}
+	b.WriteString("\n")
+	for _, row := range cells {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("|")
+			}
+			b.WriteString(" " + pad(cell, widths[i]) + " ")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	n := w - len([]rune(s))
+	if n <= 0 {
+		return s
+	}
+	return s + strings.Repeat(" ", n)
+}

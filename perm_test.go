@@ -1,0 +1,245 @@
+package perm_test
+
+import (
+	"strings"
+	"testing"
+
+	"perm"
+)
+
+// forumDB loads the paper's Figure 1 example database: an online forum with
+// users, messages, imported messages, and approvals.
+func forumDB(t testing.TB) *perm.DB {
+	t.Helper()
+	db := perm.Open()
+	db.MustExecScript(`
+		CREATE TABLE messages (mId int, text text, uId int);
+		CREATE TABLE users (uId int, name text);
+		CREATE TABLE imports (mId int, text text, origin text);
+		CREATE TABLE approved (uId int, mId int);
+		INSERT INTO messages VALUES (1, 'lorem ipsum ...', 3), (4, 'hi there ...', 2);
+		INSERT INTO users VALUES (1, 'Bert'), (2, 'Gert'), (3, 'Gertrud');
+		INSERT INTO imports VALUES (2, 'hello ...', 'superForum'), (3, 'I don''t ...', 'HiBoard');
+		INSERT INTO approved VALUES (2, 2), (1, 4), (2, 4), (3, 4);
+		CREATE VIEW v1 AS SELECT mId, text FROM messages UNION SELECT mId, text FROM imports;
+	`)
+	return db
+}
+
+// TestFigure1 runs the paper's example queries q1–q3 and checks their plain
+// (non-provenance) results.
+func TestFigure1(t *testing.T) {
+	db := forumDB(t)
+
+	q1, err := db.Query(`SELECT mId, text FROM messages UNION SELECT mId, text FROM imports ORDER BY mId`)
+	if err != nil {
+		t.Fatalf("q1: %v", err)
+	}
+	if len(q1.Rows) != 4 {
+		t.Fatalf("q1: want 4 rows, got %d: %v", len(q1.Rows), q1.Rows)
+	}
+	wantTexts := []string{"lorem ipsum ...", "hello ...", "I don't ...", "hi there ..."}
+	for i, row := range q1.Rows {
+		if row[0].Int() != int64(i+1) || row[1].Str() != wantTexts[i] {
+			t.Errorf("q1 row %d = %v, want mId=%d text=%q", i, row, i+1, wantTexts[i])
+		}
+	}
+
+	// q2 is the view creation (done in forumDB); q3 aggregates over it.
+	q3, err := db.Query(`
+		SELECT count(*), text
+		FROM v1 JOIN approved a ON (v1.mId = a.mId)
+		GROUP BY v1.mId, text ORDER BY v1.mId`)
+	if err != nil {
+		t.Fatalf("q3: %v", err)
+	}
+	// mId 2 has 1 approval, mId 4 has 3; mId 1 and 3 have none (omitted).
+	if len(q3.Rows) != 2 {
+		t.Fatalf("q3: want 2 rows, got %d: %v", len(q3.Rows), q3.Rows)
+	}
+	if q3.Rows[0][0].Int() != 1 || q3.Rows[0][1].Str() != "hello ..." {
+		t.Errorf("q3 row 0 = %v, want (1, hello ...)", q3.Rows[0])
+	}
+	if q3.Rows[1][0].Int() != 3 || q3.Rows[1][1].Str() != "hi there ..." {
+		t.Errorf("q3 row 1 = %v, want (3, hi there ...)", q3.Rows[1])
+	}
+}
+
+// TestFigure2Golden reproduces Figure 2 of the paper exactly: the provenance
+// of q1 — original result columns followed by the provenance attributes of
+// messages and imports, NULL-padded per union branch.
+func TestFigure2Golden(t *testing.T) {
+	db := forumDB(t)
+	res, err := db.Query(`
+		SELECT PROVENANCE mId, text FROM messages
+		UNION SELECT mId, text FROM imports
+		ORDER BY mId`)
+	if err != nil {
+		t.Fatalf("provenance q1: %v", err)
+	}
+
+	wantCols := []string{
+		"mid", "text",
+		"prov_public_messages_mid", "prov_public_messages_text", "prov_public_messages_uid",
+		"prov_public_imports_mid", "prov_public_imports_text", "prov_public_imports_origin",
+	}
+	if strings.Join(res.Columns, ",") != strings.Join(wantCols, ",") {
+		t.Fatalf("columns = %v\nwant %v", res.Columns, wantCols)
+	}
+
+	// Figure 2 rows (order by mId): the null blocks alternate by source.
+	want := [][]string{
+		{"1", "lorem ipsum ...", "1", "lorem ipsum ...", "3", "null", "null", "null"},
+		{"2", "hello ...", "null", "null", "null", "2", "hello ...", "superForum"},
+		{"3", "I don't ...", "null", "null", "null", "3", "I don't ...", "HiBoard"},
+		{"4", "hi there ...", "4", "hi there ...", "2", "null", "null", "null"},
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("rows = %d, want %d: %v", len(res.Rows), len(want), res.Rows)
+	}
+	for i, row := range res.Rows {
+		for j, cell := range row {
+			if cell.String() != want[i][j] {
+				t.Errorf("row %d col %d (%s) = %q, want %q", i, j, res.Columns[j], cell.String(), want[i][j])
+			}
+		}
+	}
+
+	// Provenance column flags must match the schema split.
+	wantProv := []bool{false, false, true, true, true, true, true, true}
+	for i, p := range res.ProvenanceColumns {
+		if p != wantProv[i] {
+			t.Errorf("ProvenanceColumns[%d] = %v, want %v", i, p, wantProv[i])
+		}
+	}
+}
+
+// TestSection24CombinedQuery runs the paper's §2.4 example that mixes
+// provenance computation with regular SQL: messages imported from superForum
+// that were approved by enough users (threshold lowered to fit the tiny
+// example data).
+func TestSection24CombinedQuery(t *testing.T) {
+	db := forumDB(t)
+	res, err := db.Query(`
+		SELECT text, prov_public_imports_origin
+		FROM (SELECT PROVENANCE count(*), text
+		      FROM v1 JOIN approved a ON v1.mId = a.mId
+		      GROUP BY v1.mId, text) AS prov
+		WHERE count > 0 AND prov_public_imports_origin = 'superForum'`)
+	if err != nil {
+		t.Fatalf("combined query: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("want 1 row, got %d: %v", len(res.Rows), res.Rows)
+	}
+	if res.Rows[0][0].Str() != "hello ..." || res.Rows[0][1].Str() != "superForum" {
+		t.Errorf("row = %v, want (hello ..., superForum)", res.Rows[0])
+	}
+}
+
+// TestSection24BaseRelation checks the BASERELATION keyword: the view is
+// treated like a base relation, so provenance attributes are the view's own
+// columns rather than those of messages/imports.
+func TestSection24BaseRelation(t *testing.T) {
+	db := forumDB(t)
+	res, err := db.Query(`SELECT PROVENANCE text FROM v1 BASERELATION WHERE mId > 3`)
+	if err != nil {
+		t.Fatalf("BASERELATION query: %v", err)
+	}
+	wantCols := []string{"text", "prov_public_v1_mid", "prov_public_v1_text"}
+	if strings.Join(res.Columns, ",") != strings.Join(wantCols, ",") {
+		t.Fatalf("columns = %v, want %v", res.Columns, wantCols)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "hi there ..." {
+		t.Fatalf("rows = %v, want one 'hi there ...' row", res.Rows)
+	}
+}
+
+// TestFigure4 reproduces the Figure 4 browser example: two tables public.s
+// and public.r joined, with result `i | prov_public_s_i | prov_public_r_i`.
+func TestFigure4(t *testing.T) {
+	db := perm.Open()
+	db.MustExecScript(`
+		CREATE TABLE s (i int);
+		CREATE TABLE r (i int);
+		INSERT INTO s VALUES (1), (2);
+		INSERT INTO r VALUES (1), (2);
+	`)
+	res, err := db.Query(`SELECT PROVENANCE s.i FROM s JOIN r ON s.i = r.i ORDER BY s.i`)
+	if err != nil {
+		t.Fatalf("figure 4 query: %v", err)
+	}
+	wantCols := []string{"i", "prov_public_s_i", "prov_public_r_i"}
+	if strings.Join(res.Columns, ",") != strings.Join(wantCols, ",") {
+		t.Fatalf("columns = %v, want %v", res.Columns, wantCols)
+	}
+	want := [][]int64{{1, 1, 1}, {2, 2, 2}}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v, want 2", res.Rows)
+	}
+	for i, row := range res.Rows {
+		for j := range want[i] {
+			if row[j].Int() != want[i][j] {
+				t.Errorf("row %d = %v, want %v", i, row, want[i])
+			}
+		}
+	}
+	// The browser also shows the rewritten SQL and both algebra trees.
+	ex, err := db.Explain(`SELECT PROVENANCE s.i FROM s JOIN r ON s.i = r.i`)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if !strings.Contains(ex.RewrittenSQL, "prov_public_s_i") {
+		t.Errorf("rewritten SQL misses provenance attribute: %s", ex.RewrittenSQL)
+	}
+	if !strings.Contains(ex.OriginalTree, "Join") || !strings.Contains(ex.RewrittenTree, "Join") {
+		t.Errorf("algebra trees missing join:\n%s\n%s", ex.OriginalTree, ex.RewrittenTree)
+	}
+}
+
+// TestAggregationProvenance checks q3's provenance: each group row is
+// replicated once per contributing (v1 ⋈ approved) row with the base tuples
+// from messages, imports and approved attached.
+func TestAggregationProvenance(t *testing.T) {
+	db := forumDB(t)
+	res, err := db.Query(`
+		SELECT PROVENANCE count(*), text
+		FROM v1 JOIN approved a ON v1.mId = a.mId
+		GROUP BY v1.mId, text
+		ORDER BY text, prov_public_approved_uid`)
+	if err != nil {
+		t.Fatalf("q3 provenance: %v", err)
+	}
+	// Group "hello ..." (count=1) has 1 witness; group "hi there ..."
+	// (count=3) has 3 witnesses.
+	if len(res.Rows) != 4 {
+		t.Fatalf("want 4 witness rows, got %d: %v", len(res.Rows), res.Rows)
+	}
+	colIdx := func(name string) int {
+		for i, c := range res.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("missing column %q in %v", name, res.Columns)
+		return -1
+	}
+	count := colIdx("count")
+	text := colIdx("text")
+	appUID := colIdx("prov_public_approved_uid")
+	wantApprovers := []int64{2, 1, 2, 3}
+	for i, row := range res.Rows {
+		if i == 0 {
+			if row[count].Int() != 1 || row[text].Str() != "hello ..." {
+				t.Errorf("row 0 = %v, want count=1 text=hello", row)
+			}
+		} else {
+			if row[count].Int() != 3 || row[text].Str() != "hi there ..." {
+				t.Errorf("row %d = %v, want count=3 text=hi there", i, row)
+			}
+		}
+		if row[appUID].Int() != wantApprovers[i] {
+			t.Errorf("row %d approver = %v, want %d", i, row[appUID], wantApprovers[i])
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package perm_test
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQuantifiedAnyAll covers expr op ANY|ALL (subquery) end to end,
+// including SQL NULL semantics and the provenance de-correlation of the
+// positive ANY form.
+func TestQuantifiedAnyAll(t *testing.T) {
+	db := forumDB(t)
+
+	// messages mIds {1,4}; approved mIds {2,4,4,4}.
+	res, err := db.Query(`SELECT mId FROM messages WHERE mId > ANY (SELECT mId FROM approved) ORDER BY mId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 > any(2,4,4,4)? no. 4 > any? 4>2 yes.
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 4 {
+		t.Errorf("> ANY rows = %v", res.Rows)
+	}
+
+	res, err = db.Query(`SELECT mId FROM messages WHERE mId <= ALL (SELECT mId FROM approved) ORDER BY mId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 <= all(2,4,4,4) yes; 4 <= all? 4<=2 no.
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Errorf("<= ALL rows = %v", res.Rows)
+	}
+
+	// = ANY is IN.
+	res, err = db.Query(`SELECT mId FROM messages WHERE mId = ANY (SELECT mId FROM approved)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 4 {
+		t.Errorf("= ANY rows = %v", res.Rows)
+	}
+
+	// <> ALL is NOT IN.
+	res, err = db.Query(`SELECT mId FROM messages WHERE mId <> ALL (SELECT mId FROM approved)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Errorf("<> ALL rows = %v", res.Rows)
+	}
+
+	// ALL over an empty subquery is vacuously true.
+	res, err = db.Query(`SELECT mId FROM messages WHERE mId < ALL (SELECT mId FROM approved WHERE mId > 99)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("ALL over empty = %v", res.Rows)
+	}
+
+	// ANY over an empty subquery is false.
+	res, err = db.Query(`SELECT mId FROM messages WHERE mId < ANY (SELECT mId FROM approved WHERE mId > 99)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("ANY over empty = %v", res.Rows)
+	}
+}
+
+// TestQuantifiedNullSemantics: NULLs in the subquery make an unmatched ANY
+// (or unfailed ALL) evaluate to NULL, which WHERE rejects.
+func TestQuantifiedNullSemantics(t *testing.T) {
+	db := forumDB(t)
+	db.MustExecScript(`
+		CREATE TABLE qn (v int);
+		INSERT INTO qn VALUES (10), (NULL);
+	`)
+	// 4 > ANY (10, NULL): 4>10 false, 4>NULL null → NULL → filtered.
+	res, err := db.Query(`SELECT mId FROM messages WHERE mId > ANY (SELECT v FROM qn)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("> ANY with NULL = %v", res.Rows)
+	}
+	// 4 < ALL (10, NULL): 4<10 true, 4<NULL null → NULL → filtered.
+	res, err = db.Query(`SELECT mId FROM messages WHERE mId < ALL (SELECT v FROM qn)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("< ALL with NULL = %v", res.Rows)
+	}
+}
+
+// TestQuantifiedProvenance: the positive ANY form contributes subquery
+// witnesses; ALL contributes none (PI-CS negation shape).
+func TestQuantifiedProvenance(t *testing.T) {
+	db := forumDB(t)
+	res, err := db.Query(`SELECT PROVENANCE mId FROM messages WHERE mId > ANY (SELECT mId FROM approved)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mId=4 with witnesses approved.mId=2 (the only one 4 > x holds for...
+	// 4>2 yes, 4>4 no ×3) → exactly 1 witness row.
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v (cols %v)", res.Rows, res.Columns)
+	}
+	joined := strings.Join(res.Columns, ",")
+	if !strings.Contains(joined, "prov_public_approved_mid") {
+		t.Errorf("columns = %v", res.Columns)
+	}
+
+	res, err = db.Query(`SELECT PROVENANCE mId FROM messages WHERE mId <= ALL (SELECT mId FROM approved)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Fatalf("ALL rows = %v", res.Rows)
+	}
+	if strings.Contains(strings.Join(res.Columns, ","), "approved") {
+		t.Errorf("ALL must not contribute subquery provenance: %v", res.Columns)
+	}
+}
+
+// TestCopyCompleteEndToEnd: the COPY COMPLETE keyword path through SQL-PLE.
+func TestCopyCompleteEndToEnd(t *testing.T) {
+	db := forumDB(t)
+	res, err := db.Query(`SELECT PROVENANCE ON CONTRIBUTION (COPY COMPLETE) mId, text FROM messages
+		UNION SELECT mId, text FROM imports ORDER BY mId`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross-branch copies are incomplete: every created provenance value is
+	// masked (rows remain — the witnesses still exist).
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	for i, c := range res.Columns {
+		if !strings.HasPrefix(c, "prov_") {
+			continue
+		}
+		for _, r := range res.Rows {
+			if !r[i].IsNull() {
+				t.Errorf("COPY COMPLETE must mask %s, got %v", c, r[i])
+			}
+		}
+	}
+	// Without a union, COMPLETE behaves like PARTIAL.
+	res, err = db.Query(`SELECT PROVENANCE ON CONTRIBUTION (COPY COMPLETE) mId FROM messages`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Columns {
+		if c == "prov_public_messages_mid" && res.Rows[0][i].IsNull() {
+			t.Error("single-path copy must survive COPY COMPLETE")
+		}
+	}
+}
