@@ -1,0 +1,30 @@
+# Perm — build, verify and benchmark targets.
+
+GO ?= go
+
+.PHONY: check build vet test bench bench-figures race
+
+## check: full tier-1 verification (build + vet + tests)
+check: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## race: tests under the race detector (catalog/storage/plan-cache locking)
+race:
+	$(GO) test -race ./...
+
+## bench: every benchmark, 5 samples with allocation reporting
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count 5 .
+
+## bench-figures: just the figure-regenerating experiments E1–E3 tracked in
+## PERFORMANCE.md
+bench-figures:
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure1QueryExecution|BenchmarkFigure2Provenance|BenchmarkFigure3Stages' -benchmem -count 5 .

@@ -46,11 +46,13 @@ func runQuery(b *testing.B, db *perm.DB, q string) {
 func BenchmarkFigure1QueryExecution(b *testing.B) {
 	db := mustPaperDB(b)
 	b.Run("q1", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			runQuery(b, db, `SELECT mId, text FROM messages UNION SELECT mId, text FROM imports`)
 		}
 	})
 	b.Run("q3", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			runQuery(b, db, `SELECT count(*), text FROM v1 JOIN approved a ON v1.mId = a.mId GROUP BY v1.mId, text`)
 		}
@@ -60,6 +62,8 @@ func BenchmarkFigure1QueryExecution(b *testing.B) {
 // BenchmarkFigure2Provenance (E2): computing the Figure 2 provenance table.
 func BenchmarkFigure2Provenance(b *testing.B) {
 	db := mustPaperDB(b)
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runQuery(b, db, `SELECT PROVENANCE mId, text FROM messages UNION SELECT mId, text FROM imports`)
 	}
@@ -67,22 +71,42 @@ func BenchmarkFigure2Provenance(b *testing.B) {
 
 // BenchmarkFigure3Stages (E3): the pipeline of the architecture diagram —
 // parse, analyze (with provenance rewrite), plan, execute — measured end to
-// end for the provenance aggregation query.
+// end for the provenance aggregation query, in two modes:
+//
+//   - pipeline: plan cache off, every iteration pays every stage. This is the
+//     variant that regression-guards the rewriter — with caching on,
+//     rewrite-ns/op would read ~0 and a rewriter slowdown would be invisible.
+//   - cached: the default session behavior, where iterations after the first
+//     hit the plan cache and only execution remains (the steady-state cost of
+//     a repeated provenance statement).
 func BenchmarkFigure3Stages(b *testing.B) {
 	db := mustPaperDB(b)
 	q := `SELECT PROVENANCE count(*), text FROM v1 JOIN approved a ON v1.mId = a.mId GROUP BY v1.mId, text`
-	b.ResetTimer()
-	var rewrite, execute int64
-	for i := 0; i < b.N; i++ {
-		res, err := db.Exec(q)
-		if err != nil {
+	run := func(b *testing.B, sess *perm.Session) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var rewrite, execute int64
+		for i := 0; i < b.N; i++ {
+			res, err := sess.Exec(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rewrite += res.RewriteTime.Nanoseconds()
+			execute += res.ExecuteTime.Nanoseconds()
+		}
+		b.ReportMetric(float64(rewrite)/float64(b.N), "rewrite-ns/op")
+		b.ReportMetric(float64(execute)/float64(b.N), "execute-ns/op")
+	}
+	b.Run("pipeline", func(b *testing.B) {
+		sess := db.NewSession()
+		if _, err := sess.Exec(`SET plan_cache = 'off'`); err != nil {
 			b.Fatal(err)
 		}
-		rewrite += res.RewriteTime.Nanoseconds()
-		execute += res.ExecuteTime.Nanoseconds()
-	}
-	b.ReportMetric(float64(rewrite)/float64(b.N), "rewrite-ns/op")
-	b.ReportMetric(float64(execute)/float64(b.N), "execute-ns/op")
+		run(b, sess)
+	})
+	b.Run("cached", func(b *testing.B) {
+		run(b, db.NewSession())
+	})
 }
 
 // BenchmarkFigure4Browser (E4): producing the Perm-browser artifacts
@@ -93,6 +117,7 @@ func BenchmarkFigure4Browser(b *testing.B) {
 		CREATE TABLE s (i int); CREATE TABLE r (i int);
 		INSERT INTO s VALUES (1), (2); INSERT INTO r VALUES (1), (2);`)
 	q := `SELECT PROVENANCE * FROM s JOIN r ON s.i = r.i`
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ex, err := db.Explain(q)
@@ -130,11 +155,13 @@ func BenchmarkProvenanceOverhead(b *testing.B) {
 		db := mustForum(b, n)
 		for _, c := range classes {
 			b.Run(fmt.Sprintf("%s/n=%d/plain", c.name, n), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					runQuery(b, db, c.plain)
 				}
 			})
 			b.Run(fmt.Sprintf("%s/n=%d/prov", c.name, n), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					runQuery(b, db, c.prov)
 				}
@@ -165,6 +192,7 @@ func BenchmarkStrategy(b *testing.B) {
 			if _, err := sess.Exec(c.setting); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sess.Exec(c.query); err != nil {
@@ -189,11 +217,13 @@ func BenchmarkLazyVsEager(b *testing.B) {
 	eager := `SELECT text, prov_public_imports_origin FROM provmat
 		WHERE count > 1 AND prov_public_imports_origin IS NOT NULL`
 	b.Run("lazy", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			runQuery(b, db, lazy)
 		}
 	})
 	b.Run("eager", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			runQuery(b, db, eager)
 		}
@@ -223,6 +253,7 @@ func BenchmarkIncremental(b *testing.B) {
 	}
 	for _, c := range cases {
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				runQuery(b, db, c.q)
 			}
@@ -246,6 +277,7 @@ func BenchmarkOptimizerAblation(b *testing.B) {
 			if _, err := sess.Exec(`SET optimizer = '` + mode + `'`); err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sess.Exec(q); err != nil {
@@ -262,10 +294,65 @@ func BenchmarkOptimizerAblation(b *testing.B) {
 func BenchmarkRewriteOnly(b *testing.B) {
 	db := mustForum(b, 100)
 	q := `SELECT PROVENANCE count(*), text FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text`
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.Explain(q); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCompiledEval regression-guards the compiled expression path: a
+// filter + projection dense with arithmetic, CASE, functions, LIKE and IN,
+// where nearly all of the work is per-row expression evaluation.
+func BenchmarkCompiledEval(b *testing.B) {
+	db := mustForum(b, 1000)
+	q := `SELECT mid, length(text) + abs(mid - 500) * 2,
+	             CASE WHEN mid % 2 = 0 THEN upper(text) ELSE lower(text) END
+	      FROM messages
+	      WHERE ((mid * 7 + 3) % 11 < 8 AND text LIKE '%5%') OR mid IN (1, 2, 3)`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runQuery(b, db, q)
+	}
+}
+
+// BenchmarkPlanCacheHit regression-guards the session plan cache: the same
+// provenance query executed with the cache off (full pipeline each time) and
+// on (parse/analyze/rewrite/plan skipped after the first execution).
+func BenchmarkPlanCacheHit(b *testing.B) {
+	db := mustForum(b, 100)
+	q := `SELECT PROVENANCE count(*), text FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text`
+	b.Run("miss", func(b *testing.B) {
+		sess := db.NewSession()
+		if _, err := sess.Exec(`SET plan_cache = 'off'`); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		sess := db.NewSession()
+		if _, err := sess.Exec(q); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := sess.Exec(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.CacheHit {
+				b.Fatal("expected a plan-cache hit")
+			}
+		}
+	})
 }

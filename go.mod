@@ -1,0 +1,3 @@
+module perm
+
+go 1.22

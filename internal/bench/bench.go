@@ -62,6 +62,19 @@ func (t *Table) Format() string {
 	return b.String()
 }
 
+// newPipelineSession opens a session with the plan cache disabled, so every
+// repetition of an experiment query pays the full parse/analyze/rewrite/plan
+// pipeline. The experiments E5-E8 contrast exactly those stages (rewrite
+// scope, strategy choice), which a cache hit would silently exclude; cached
+// steady-state behavior is measured separately by BenchmarkPlanCacheHit.
+func newPipelineSession(db *engine.DB) (*engine.Session, error) {
+	s := db.NewSession()
+	if _, err := s.Execute("SET plan_cache = 'off'"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // timeQuery runs a query reps times and returns the median wall time.
 func timeQuery(s *engine.Session, query string, reps int) (time.Duration, error) {
 	if reps < 1 {
@@ -138,7 +151,10 @@ func RunOverhead(sizes []int, reps int) (*Table, error) {
 		if err := workload.LoadForum(db, workload.DefaultForum(n)); err != nil {
 			return nil, err
 		}
-		s := db.NewSession()
+		s, err := newPipelineSession(db)
+		if err != nil {
+			return nil, err
+		}
 		for _, qc := range classes() {
 			plain, err := timeQuery(s, qc.plain, reps)
 			if err != nil {
@@ -175,7 +191,10 @@ func RunStrategies(n, reps int) (*Table, error) {
 	aggQ := `SELECT PROVENANCE count(*), text FROM v1 JOIN approved a ON v1.mid = a.mid GROUP BY v1.mid, text`
 
 	run := func(setting, val, query, label, strat string) error {
-		s := db.NewSession()
+		s, err := newPipelineSession(db)
+		if err != nil {
+			return err
+		}
 		if _, err := s.Execute(fmt.Sprintf("SET %s = '%s'", setting, val)); err != nil {
 			return err
 		}
@@ -199,7 +218,10 @@ func RunStrategies(n, reps int) (*Table, error) {
 		return nil, err
 	}
 	// Cost-based mode for reference.
-	s := db.NewSession()
+	s, err := newPipelineSession(db)
+	if err != nil {
+		return nil, err
+	}
 	if _, err := s.Execute("SET provenance_strategy = 'cost'"); err != nil {
 		return nil, err
 	}
@@ -226,7 +248,10 @@ func RunLazyEager(n, uses, reps int) (*Table, error) {
 	if err := workload.LoadForum(db, workload.DefaultForum(n)); err != nil {
 		return nil, err
 	}
-	s := db.NewSession()
+	s, err := newPipelineSession(db)
+	if err != nil {
+		return nil, err
+	}
 
 	lazyQ := `SELECT text, prov_public_imports_origin
 		FROM (SELECT PROVENANCE count(*), text
@@ -280,7 +305,10 @@ func RunIncremental(n, reps int) (*Table, error) {
 	if err := workload.LoadForum(db, workload.DefaultForum(n)); err != nil {
 		return nil, err
 	}
-	s := db.NewSession()
+	s, err := newPipelineSession(db)
+	if err != nil {
+		return nil, err
+	}
 	if _, err := s.Execute(`CREATE VIEW v2 AS
 		SELECT v1.mid AS mid, text, count(*) AS cnt
 		FROM v1 JOIN approved a ON v1.mid = a.mid

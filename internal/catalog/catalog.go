@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"perm/internal/value"
 )
@@ -61,7 +62,19 @@ type Catalog struct {
 	tables map[string]*TableDef
 	views  map[string]*ViewDef
 	stats  map[string]*Stats
+	// version counts schema-changing operations (CREATE/DROP of tables and
+	// views, explicit statistics refreshes). Plan caches tag entries with the
+	// version they were planned under and discard them when it moves.
+	version atomic.Uint64
 }
+
+// Version returns the current schema version.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
+// BumpVersion advances the schema version, invalidating cached plans. DDL
+// paths call it internally; the engine also calls it for operations outside
+// the catalog's view (e.g. ANALYZE refreshing statistics used at plan time).
+func (c *Catalog) BumpVersion() { c.version.Add(1) }
 
 // New returns an empty catalog.
 func New() *Catalog {
@@ -98,6 +111,7 @@ func (c *Catalog) CreateTable(def *TableDef) error {
 	}
 	c.tables[k] = def
 	c.stats[k] = &Stats{DistinctFrac: make(map[string]float64)}
+	c.version.Add(1)
 	return nil
 }
 
@@ -111,6 +125,7 @@ func (c *Catalog) DropTable(name string) error {
 	}
 	delete(c.tables, k)
 	delete(c.stats, k)
+	c.version.Add(1)
 	return nil
 }
 
@@ -133,6 +148,7 @@ func (c *Catalog) CreateView(def *ViewDef) error {
 		return fmt.Errorf("table %q already exists", def.Name)
 	}
 	c.views[k] = def
+	c.version.Add(1)
 	return nil
 }
 
@@ -145,6 +161,7 @@ func (c *Catalog) DropView(name string) error {
 		return fmt.Errorf("view %q does not exist", name)
 	}
 	delete(c.views, k)
+	c.version.Add(1)
 	return nil
 }
 

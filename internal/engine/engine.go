@@ -45,7 +45,7 @@ func (db *DB) Catalog() *catalog.Catalog { return db.store.Catalog() }
 
 // NewSession opens a session with default settings.
 func (db *DB) NewSession() *Session {
-	return &Session{
+	s := &Session{
 		db: db,
 		settings: map[string]string{
 			"provenance_contribution":      "influence",
@@ -55,14 +55,43 @@ func (db *DB) NewSession() *Session {
 			"provenance_distinct_strategy": "auto",
 			"optimizer":                    "on",
 			"provenance_schema_name":       "public",
+			"plan_cache":                   "on",
 		},
+		cache: newPlanCache(),
 	}
+	s.fingerprint = s.computeFingerprint()
+	return s
 }
 
-// Session is a single-user connection with its own settings.
+// Session is a single-user connection with its own settings and its own plan
+// cache (see plancache.go for the keying and invalidation rules).
+//
+// perm.DB shares one implicit session across goroutines, so the settings map
+// is guarded: all writes go through runSet and all reads through setting();
+// the plan-cache key fingerprint is memoized there instead of being rebuilt
+// (and the map iterated) on every statement.
 type Session struct {
-	db       *DB
-	settings map[string]string
+	db         *DB
+	settingsMu sync.RWMutex
+	settings   map[string]string
+	// fingerprint is the precomputed settings suffix of plan-cache keys,
+	// recomputed only when a setting changes.
+	fingerprint string
+	cache       *planCache
+}
+
+// setting reads one session variable under the read lock.
+func (s *Session) setting(name string) (string, bool) {
+	s.settingsMu.RLock()
+	defer s.settingsMu.RUnlock()
+	v, ok := s.settings[name]
+	return v, ok
+}
+
+// PlanCacheStats returns the session's plan-cache hit/miss counters and entry
+// count.
+func (s *Session) PlanCacheStats() (hits, misses uint64, size int) {
+	return s.cache.stats()
 }
 
 // Timings records the per-stage latency of one statement — the observable
@@ -93,21 +122,83 @@ type Result struct {
 	// Rewrites lists the provenance-rewrite decisions taken (strategy
 	// choices, de-correlations), for EXPLAIN and the browser.
 	Rewrites []string
+	// CacheHit reports that the statement was served from the session plan
+	// cache, skipping parse, analyze, rewrite and planning entirely.
+	CacheHit bool
 }
 
-// Execute runs a single SQL statement.
+// Execute runs a single SQL statement. With the plan cache enabled, a
+// statement textually identical to an earlier SELECT in this session (under
+// identical settings and schema version) skips parse/analyze/rewrite/plan and
+// goes straight to execution.
 func (s *Session) Execute(text string) (*Result, error) {
+	caching := s.planCacheOn() && cacheableStatement(text)
+	var key, keyFingerprint string
+	// Capture the schema version BEFORE planning: if concurrent DDL lands
+	// mid-plan, the stored entry is tagged stale and discarded on next use.
+	var schemaVersion uint64
+	if caching {
+		key, keyFingerprint = s.cacheKey(text)
+		schemaVersion = s.db.Catalog().Version()
+		if e := s.cache.get(key, schemaVersion); e != nil {
+			return s.executeCached(e)
+		}
+	}
 	t0 := time.Now()
 	st, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
 	}
 	parseDur := time.Since(t0)
+	if sel, ok := st.(*sql.SelectStmt); ok && caching {
+		res, plan, err := s.runSelectPlan(sel)
+		if err != nil {
+			return nil, err
+		}
+		res.Timings.Parse = parseDur
+		// Guard against a concurrent SET landing mid-plan on the shared
+		// implicit session: the plan was built from the settings as they were
+		// DURING planning, so store it only if the fingerprint still matches
+		// the one embedded in the key (the settings analog of the
+		// schema-version check in get).
+		if s.currentFingerprint() == keyFingerprint {
+			s.cache.put(key, &planCacheEntry{
+				plan:          plan,
+				columns:       res.Columns,
+				decisions:     res.Rewrites,
+				schemaVersion: schemaVersion,
+			})
+		}
+		return res, nil
+	}
 	res, err := s.ExecuteStatement(st)
 	if err != nil {
 		return nil, err
 	}
 	res.Timings.Parse = parseDur
+	return res, nil
+}
+
+// executeCached runs a previously planned statement: only the execute stage
+// of the Figure 3 pipeline is paid, the rest reports zero.
+func (s *Session) executeCached(e *planCacheEntry) (*Result, error) {
+	// Copy the decisions so callers appending to Result.Rewrites cannot write
+	// into the shared cache entry (hits may be served concurrently).
+	var decisions []string
+	if len(e.decisions) > 0 {
+		decisions = append(make([]string, 0, len(e.decisions)), e.decisions...)
+	}
+	res := &Result{CacheHit: true, Rewrites: decisions}
+	t0 := time.Now()
+	out, err := executor.Run(executor.NewContext(s.db.store), e.plan)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Execute = time.Since(t0)
+	res.Schema = out.Schema
+	res.Columns = e.columns
+	res.Rows = out.Rows
+	res.Tag = fmt.Sprintf("SELECT %d", len(out.Rows))
 	return res, nil
 }
 
@@ -156,6 +247,9 @@ func (s *Session) ExecuteStatement(st sql.Statement) (*Result, error) {
 		if err := s.db.store.Analyze(x.Table); err != nil {
 			return nil, err
 		}
+		// Fresh statistics can change cost-based rewrite decisions; force
+		// cached plans (in every session) to be rebuilt.
+		s.db.Catalog().BumpVersion()
 		return &Result{Tag: "ANALYZE"}, nil
 	}
 	return nil, fmt.Errorf("unsupported statement %T", st)
@@ -164,7 +258,7 @@ func (s *Session) ExecuteStatement(st sql.Statement) (*Result, error) {
 // rewriterOptions builds core.Options from the session settings.
 func (s *Session) rewriterOptions(defaultSem sql.ContributionSemantics) core.Options {
 	opts := core.DefaultOptions()
-	opts.SchemaName = s.settings["provenance_schema_name"]
+	opts.SchemaName, _ = s.setting("provenance_schema_name")
 	switch defaultSem {
 	case sql.Copy:
 		opts.Semantics = core.CopySemantics
@@ -173,31 +267,35 @@ func (s *Session) rewriterOptions(defaultSem sql.ContributionSemantics) core.Opt
 	case sql.Influence:
 		opts.Semantics = core.InfluenceSemantics
 	default:
-		switch s.settings["provenance_contribution"] {
+		contribution, _ := s.setting("provenance_contribution")
+		switch contribution {
 		case "copy":
 			opts.Semantics = core.CopySemantics
 		case "copycomplete":
 			opts.Semantics = core.CopyCompleteSemantics
 		}
 	}
-	if s.settings["provenance_strategy"] == "cost" {
+	if strategy, _ := s.setting("provenance_strategy"); strategy == "cost" {
 		opts.Mode = core.ModeCost
 		pl := planner.New(s.db.Catalog())
 		opts.Estimator = func(op algebra.Op) float64 { return pl.EstimateRows(op) }
 	}
-	switch s.settings["provenance_agg_strategy"] {
+	aggStrategy, _ := s.setting("provenance_agg_strategy")
+	switch aggStrategy {
 	case "joingroup":
 		opts.Agg, opts.AggForced = core.AggJoinGroup, true
 	case "crossfilter":
 		opts.Agg, opts.AggForced = core.AggCrossFilter, true
 	}
-	switch s.settings["provenance_set_strategy"] {
+	setStrategy, _ := s.setting("provenance_set_strategy")
+	switch setStrategy {
 	case "pad":
 		opts.Set, opts.SetForced = core.SetPad, true
 	case "join":
 		opts.Set, opts.SetForced = core.SetJoin, true
 	}
-	switch s.settings["provenance_distinct_strategy"] {
+	distinctStrategy, _ := s.setting("provenance_distinct_strategy")
+	switch distinctStrategy {
 	case "pass":
 		opts.Distinct, opts.DistinctForced = core.DistinctPass, true
 	case "join":
@@ -238,18 +336,25 @@ func (s *Session) AnalyzeOriginal(sel *sql.SelectStmt) (algebra.Op, error) {
 
 // Plan optimizes a resolved plan per the session's optimizer setting.
 func (s *Session) Plan(op algebra.Op) algebra.Op {
-	if s.settings["optimizer"] == "off" {
+	if opt, _ := s.setting("optimizer"); opt == "off" {
 		return op
 	}
 	return planner.New(s.db.Catalog()).Optimize(op)
 }
 
 func (s *Session) runSelect(sel *sql.SelectStmt) (*Result, error) {
+	res, _, err := s.runSelectPlan(sel)
+	return res, err
+}
+
+// runSelectPlan runs the full pipeline and additionally returns the optimized
+// plan so Execute can cache it.
+func (s *Session) runSelectPlan(sel *sql.SelectStmt) (*Result, algebra.Op, error) {
 	res := &Result{}
 	t0 := time.Now()
 	plan, decisions, rewriteDur, err := s.Analyze(sel)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res.Timings.Analyze = time.Since(t0)
 	res.Timings.Rewrite = rewriteDur
@@ -262,14 +367,14 @@ func (s *Session) runSelect(sel *sql.SelectStmt) (*Result, error) {
 	t2 := time.Now()
 	out, err := executor.Run(executor.NewContext(s.db.store), plan)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res.Timings.Execute = time.Since(t2)
 	res.Schema = out.Schema
 	res.Columns = out.Schema.Names()
 	res.Rows = out.Rows
 	res.Tag = fmt.Sprintf("SELECT %d", len(out.Rows))
-	return res, nil
+	return res, plan, nil
 }
 
 func (s *Session) runCreateTable(ct *sql.CreateTableStmt) (*Result, error) {
@@ -435,7 +540,9 @@ func (s *Session) runInsert(ins *sql.InsertStmt) (*Result, error) {
 	return &Result{Tag: fmt.Sprintf("INSERT %d", n)}, nil
 }
 
-// compilePredicate resolves a WHERE clause against a table for DELETE/UPDATE.
+// compilePredicate resolves a WHERE clause against a table for DELETE/UPDATE
+// and lowers it to a compiled evaluator, so full-heap scans pay the
+// expression-tree dispatch once instead of per row.
 func (s *Session) compilePredicate(where sql.Expr, def *catalog.TableDef) (func(value.Row) (bool, error), error) {
 	if where == nil {
 		return nil, nil
@@ -449,9 +556,10 @@ func (s *Session) compilePredicate(where sql.Expr, def *catalog.TableDef) (func(
 	if err != nil {
 		return nil, err
 	}
+	pred := executor.CompilePredicate(cond)
 	ctx := executor.NewContext(s.db.store)
 	return func(row value.Row) (bool, error) {
-		return executor.EvalBool(cond, row, ctx)
+		return pred(row, ctx)
 	}, nil
 }
 
@@ -492,7 +600,7 @@ func (s *Session) runUpdate(up *sql.UpdateStmt) (*Result, error) {
 	an := analyzer.New(s.db.Catalog())
 	type setter struct {
 		idx  int
-		expr algebra.Expr
+		expr func(value.Row, *executor.Context) (value.Value, error)
 	}
 	var setters []setter
 	for _, set := range up.Sets {
@@ -504,13 +612,13 @@ func (s *Session) runUpdate(up *sql.UpdateStmt) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		setters = append(setters, setter{idx: idx, expr: e})
+		setters = append(setters, setter{idx: idx, expr: executor.CompileExpr(e)})
 	}
 	ctx := executor.NewContext(s.db.store)
 	n, err := table.Update(pred, func(row value.Row) (value.Row, error) {
 		out := row.Clone()
 		for _, st := range setters {
-			v, err := executor.Eval(st.expr, row, ctx)
+			v, err := st.expr(row, ctx)
 			if err != nil {
 				return nil, err
 			}
@@ -534,6 +642,7 @@ func (s *Session) runSet(st *sql.SetStmt) (*Result, error) {
 		"provenance_set_strategy":      {"auto", "pad", "join"},
 		"provenance_distinct_strategy": {"auto", "pass", "join"},
 		"optimizer":                    {"on", "off"},
+		"plan_cache":                   {"on", "off"},
 		"provenance_schema_name":       nil, // free-form
 	}
 	allowed, ok := valid[name]
@@ -552,13 +661,33 @@ func (s *Session) runSet(st *sql.SetStmt) (*Result, error) {
 			return nil, fmt.Errorf("invalid value %q for %s (valid: %s)", st.Value, name, strings.Join(allowed, ", "))
 		}
 	}
+	s.settingsMu.Lock()
 	s.settings[name] = val
+	s.fingerprint = s.computeFingerprint()
+	s.settingsMu.Unlock()
 	return &Result{Tag: "SET"}, nil
 }
 
 func (s *Session) runShow(st *sql.ShowStmt) (*Result, error) {
 	name := strings.ToLower(st.Name)
-	val, ok := s.settings[name]
+	if name == "plan_cache_stats" {
+		hits, misses, size := s.cache.stats()
+		return &Result{
+			Columns: []string{"hits", "misses", "entries"},
+			Schema: algebra.Schema{
+				{Name: "hits", Type: value.KindInt},
+				{Name: "misses", Type: value.KindInt},
+				{Name: "entries", Type: value.KindInt},
+			},
+			Rows: []value.Row{{
+				value.NewInt(int64(hits)),
+				value.NewInt(int64(misses)),
+				value.NewInt(int64(size)),
+			}},
+			Tag: "SHOW",
+		}, nil
+	}
+	val, ok := s.setting(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown setting %q", st.Name)
 	}
@@ -571,4 +700,7 @@ func (s *Session) runShow(st *sql.ShowStmt) (*Result, error) {
 }
 
 // Setting reads a session variable (tools).
-func (s *Session) Setting(name string) string { return s.settings[strings.ToLower(name)] }
+func (s *Session) Setting(name string) string {
+	v, _ := s.setting(strings.ToLower(name))
+	return v
+}

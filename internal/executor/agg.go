@@ -16,6 +16,10 @@ type aggIter struct {
 	input iterator
 	out   []value.Row
 	pos   int
+	// compiled group-by and aggregate-argument evaluators, built on first
+	// Open and kept across re-Opens (lateral/correlated re-execution).
+	groupBy  []compiledExpr
+	argExprs []compiledExpr
 }
 
 // aggState accumulates one aggregate within one group.
@@ -36,45 +40,63 @@ func (a *aggIter) Open(ctx *Context) error {
 		return err
 	}
 
+	// Compile group-by and aggregate-argument expressions once for the whole
+	// input, instead of tree-walking them per row.
+	if a.groupBy == nil {
+		a.groupBy = compileAll(a.op.GroupBy)
+		a.argExprs = make([]compiledExpr, len(a.op.Aggs))
+		for i, ae := range a.op.Aggs {
+			if ae.Arg != nil {
+				a.argExprs[i] = Compile(ae.Arg)
+			}
+		}
+	}
+	groupBy, argExprs := a.groupBy, a.argExprs
+
 	type group struct {
 		keys   value.Row
-		states []*aggState
+		states []aggState
 	}
 	groups := make(map[string]*group)
-	var order []string
+	var order []*group
 
 	newGroup := func(keys value.Row) *group {
-		g := &group{keys: keys, states: make([]*aggState, len(a.op.Aggs))}
+		g := &group{keys: keys, states: make([]aggState, len(a.op.Aggs))}
 		for i, ae := range a.op.Aggs {
-			st := &aggState{sum: value.Null, min: value.Null, max: value.Null}
+			st := &g.states[i]
+			st.sum, st.min, st.max = value.Null, value.Null, value.Null
 			if ae.Distinct {
 				st.distinct = make(map[string]value.Value)
 			}
-			g.states[i] = st
 		}
 		return g
 	}
 
+	// keyVals and keyScratch are reused across rows: the group key is built in
+	// the scratch buffer, looked up allocation-free, and only cloned into a
+	// fresh Row when the group is new.
+	keyVals := make(value.Row, len(groupBy))
+	var keyScratch []byte
 	for _, row := range rows {
-		keys := make(value.Row, len(a.op.GroupBy))
-		for i, ge := range a.op.GroupBy {
-			v, err := Eval(ge, row, ctx)
+		keyScratch = keyScratch[:0]
+		for i, ge := range groupBy {
+			v, err := ge(row, ctx)
 			if err != nil {
 				return err
 			}
-			keys[i] = v
+			keyVals[i] = v
+			keyScratch = appendFramedKey(keyScratch, v)
 		}
-		k := keys.Key()
-		g, ok := groups[k]
+		g, ok := groups[string(keyScratch)]
 		if !ok {
-			g = newGroup(keys)
-			groups[k] = g
-			order = append(order, k)
+			g = newGroup(keyVals.Clone())
+			groups[string(keyScratch)] = g
+			order = append(order, g)
 		}
 		for i, ae := range a.op.Aggs {
 			var arg value.Value
-			if ae.Arg != nil {
-				v, err := Eval(ae.Arg, row, ctx)
+			if argExprs[i] != nil {
+				v, err := argExprs[i](row, ctx)
 				if err != nil {
 					return err
 				}
@@ -88,14 +110,11 @@ func (a *aggIter) Open(ctx *Context) error {
 
 	// Scalar aggregation over empty input still produces one (empty) group.
 	if len(a.op.GroupBy) == 0 && len(groups) == 0 {
-		g := newGroup(value.Row{})
-		groups[""] = g
-		order = append(order, "")
+		order = append(order, newGroup(value.Row{}))
 	}
 
-	a.out = make([]value.Row, 0, len(groups))
-	for _, k := range order {
-		g := groups[k]
+	a.out = make([]value.Row, 0, len(order))
+	for _, g := range order {
 		row := make(value.Row, 0, len(g.keys)+len(g.states))
 		row = append(row, g.keys...)
 		for i, ae := range a.op.Aggs {

@@ -20,10 +20,30 @@ type Context struct {
 	outer []value.Row
 	// subplanCache memoizes uncorrelated subplan results by plan identity.
 	subplanCache map[*algebra.Subplan]*subplanResult
+	// subplanIters caches the built (and expression-compiled) iterator tree
+	// of each correlated subplan, so per-outer-row re-execution only re-Opens
+	// it instead of rebuilding and recompiling. Safe because a subplan's
+	// evaluation fully materializes before returning and a plan tree cannot
+	// contain itself, so the cached iterator is never re-entered mid-stream.
+	subplanIters map[*algebra.Subplan]iterator
 	// RowBudget, when positive, bounds the total number of rows any single
 	// operator may buffer (protection against runaway provenance joins in
 	// interactive use). Zero means unlimited.
 	RowBudget int
+}
+
+// subplanIter returns the cached iterator tree for a correlated subplan,
+// building it on first use.
+func (c *Context) subplanIter(sp *algebra.Subplan) (iterator, error) {
+	if it, ok := c.subplanIters[sp]; ok {
+		return it, nil
+	}
+	it, err := build(sp.Plan)
+	if err != nil {
+		return nil, err
+	}
+	c.subplanIters[sp] = it
+	return it, nil
 }
 
 type subplanResult struct {
@@ -52,7 +72,11 @@ func (r *subplanResult) membership() (map[string]bool, bool) {
 
 // NewContext returns an execution context over the store.
 func NewContext(store *storage.Store) *Context {
-	return &Context{Store: store, subplanCache: make(map[*algebra.Subplan]*subplanResult)}
+	return &Context{
+		Store:        store,
+		subplanCache: make(map[*algebra.Subplan]*subplanResult),
+		subplanIters: make(map[*algebra.Subplan]iterator),
+	}
 }
 
 func (c *Context) pushOuter(row value.Row) { c.outer = append(c.outer, row) }

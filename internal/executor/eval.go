@@ -2,8 +2,6 @@ package executor
 
 import (
 	"fmt"
-	"math"
-	"strings"
 
 	"perm/internal/algebra"
 	"perm/internal/sql"
@@ -271,13 +269,18 @@ func evalSubplan(sp *algebra.Subplan, row value.Row, ctx *Context) (value.Value,
 		}
 		rows = cached.rows
 	} else {
+		// Correlated: re-open the cached iterator tree under this outer row
+		// (compile-once — the tree is built on first use, see subplanIter).
+		it, err := ctx.subplanIter(sp)
+		if err != nil {
+			return value.Null, err
+		}
 		ctx.pushOuter(row)
-		res, err := Run(ctx, sp.Plan)
+		rows, err = reopenAndDrain(it, ctx)
 		ctx.popOuter()
 		if err != nil {
 			return value.Null, err
 		}
-		rows = res.Rows
 	}
 	switch sp.Mode {
 	case algebra.ScalarSubplan:
@@ -374,8 +377,12 @@ func likeMatch(s, pattern string) bool {
 	return pi == len(pat)
 }
 
-// evalFunc evaluates a scalar function call.
+// evalFunc evaluates a scalar function call through the builtin registry.
 func evalFunc(f *algebra.Func, row value.Row, ctx *Context) (value.Value, error) {
+	b, ok := lookupBuiltin(f.Name)
+	if !ok {
+		return value.Null, fmt.Errorf("executor: unknown function %q", f.Name)
+	}
 	args := make([]value.Value, len(f.Args))
 	for i, a := range f.Args {
 		v, err := Eval(a, row, ctx)
@@ -384,133 +391,12 @@ func evalFunc(f *algebra.Func, row value.Row, ctx *Context) (value.Value, error)
 		}
 		args[i] = v
 	}
-	name := f.Name
-	// COALESCE and NULLIF have their own NULL rules; the rest propagate NULL.
-	switch name {
-	case "coalesce":
-		for _, a := range args {
-			if !a.IsNull() {
-				return a, nil
-			}
-		}
-		return value.Null, nil
-	case "nullif":
-		if !args[0].IsNull() && !args[1].IsNull() && value.Equal(args[0], args[1]) {
-			return value.Null, nil
-		}
-		return args[0], nil
-	case "concat":
-		var b strings.Builder
-		for _, a := range args {
-			if !a.IsNull() {
-				b.WriteString(a.String())
-			}
-		}
-		return value.NewString(b.String()), nil
-	case "greatest", "least":
-		best := value.Null
+	if !b.tolerant {
 		for _, a := range args {
 			if a.IsNull() {
-				continue
+				return value.Null, nil
 			}
-			if best.IsNull() {
-				best = a
-				continue
-			}
-			c, err := value.Compare(a, best)
-			if err != nil {
-				return value.Null, err
-			}
-			if (name == "greatest" && c > 0) || (name == "least" && c < 0) {
-				best = a
-			}
-		}
-		return best, nil
-	}
-	for _, a := range args {
-		if a.IsNull() {
-			return value.Null, nil
 		}
 	}
-	switch name {
-	case "upper":
-		return value.NewString(strings.ToUpper(args[0].String())), nil
-	case "lower":
-		return value.NewString(strings.ToLower(args[0].String())), nil
-	case "length":
-		return value.NewInt(int64(len([]rune(args[0].String())))), nil
-	case "abs":
-		switch args[0].K {
-		case value.KindInt:
-			n := args[0].I
-			if n < 0 {
-				n = -n
-			}
-			return value.NewInt(n), nil
-		default:
-			return value.NewFloat(math.Abs(args[0].Float())), nil
-		}
-	case "substr", "substring":
-		s := []rune(args[0].String())
-		start64, err := value.Coerce(args[1], value.KindInt)
-		if err != nil {
-			return value.Null, err
-		}
-		start := int(start64.I) - 1 // SQL is 1-based
-		if start < 0 {
-			start = 0
-		}
-		end := len(s)
-		if len(args) == 3 {
-			ln64, err := value.Coerce(args[2], value.KindInt)
-			if err != nil {
-				return value.Null, err
-			}
-			end = start + int(ln64.I)
-		}
-		if start > len(s) {
-			start = len(s)
-		}
-		if end > len(s) {
-			end = len(s)
-		}
-		if end < start {
-			end = start
-		}
-		return value.NewString(string(s[start:end])), nil
-	case "trim":
-		return value.NewString(strings.TrimSpace(args[0].String())), nil
-	case "ltrim":
-		return value.NewString(strings.TrimLeft(args[0].String(), " \t\n")), nil
-	case "rtrim":
-		return value.NewString(strings.TrimRight(args[0].String(), " \t\n")), nil
-	case "replace":
-		return value.NewString(strings.ReplaceAll(args[0].String(), args[1].String(), args[2].String())), nil
-	case "round":
-		f := args[0].Float()
-		digits := 0
-		if len(args) == 2 {
-			digits = int(args[1].Int())
-		}
-		scale := math.Pow(10, float64(digits))
-		return value.NewFloat(math.Round(f*scale) / scale), nil
-	case "floor":
-		return value.NewFloat(math.Floor(args[0].Float())), nil
-	case "ceil", "ceiling":
-		return value.NewFloat(math.Ceil(args[0].Float())), nil
-	case "sqrt":
-		f := args[0].Float()
-		if f < 0 {
-			return value.Null, fmt.Errorf("sqrt of negative number")
-		}
-		return value.NewFloat(math.Sqrt(f)), nil
-	case "power":
-		return value.NewFloat(math.Pow(args[0].Float(), args[1].Float())), nil
-	case "mod":
-		return value.Mod(args[0], args[1])
-	case "strpos":
-		idx := strings.Index(args[0].String(), args[1].String())
-		return value.NewInt(int64(idx + 1)), nil
-	}
-	return value.Null, fmt.Errorf("executor: unknown function %q", name)
+	return b.fn(args)
 }

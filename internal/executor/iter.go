@@ -21,6 +21,10 @@ func (s *scanIter) Open(ctx *Context) error {
 	if t == nil {
 		return fmt.Errorf("executor: table %q does not exist", s.op.Table)
 	}
+	// Snapshot aliases the table's live row slice without copying: storage
+	// mutations are copy-on-write (see storage.Table.Snapshot), so the scan
+	// streams the shared slice directly. The rows themselves are immutable;
+	// downstream operators must never write into them.
 	s.rows = t.Snapshot()
 	s.pos = 0
 	return nil
@@ -43,26 +47,33 @@ func (s *scanIter) Close() error {
 // --- Values --------------------------------------------------------------------
 
 type valuesIter struct {
-	op  *algebra.Values
-	ctx *Context
-	pos int
+	op       *algebra.Values
+	ctx      *Context
+	pos      int
+	compiled [][]compiledExpr
 }
 
 func (v *valuesIter) Open(ctx *Context) error {
 	v.ctx = ctx
 	v.pos = 0
+	if v.compiled == nil {
+		v.compiled = make([][]compiledExpr, len(v.op.Rows))
+		for i, exprs := range v.op.Rows {
+			v.compiled[i] = compileAll(exprs)
+		}
+	}
 	return nil
 }
 
 func (v *valuesIter) Next() (value.Row, error) {
-	if v.pos >= len(v.op.Rows) {
+	if v.pos >= len(v.compiled) {
 		return nil, nil
 	}
-	exprs := v.op.Rows[v.pos]
+	exprs := v.compiled[v.pos]
 	v.pos++
 	row := make(value.Row, len(exprs))
-	for i, e := range exprs {
-		val, err := Eval(e, nil, v.ctx)
+	for i, ce := range exprs {
+		val, err := ce(nil, v.ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -79,10 +90,14 @@ type projectIter struct {
 	op    *algebra.Project
 	input iterator
 	ctx   *Context
+	exprs []compiledExpr
 }
 
 func (p *projectIter) Open(ctx *Context) error {
 	p.ctx = ctx
+	if p.exprs == nil {
+		p.exprs = compileAll(p.op.Exprs)
+	}
 	return p.input.Open(ctx)
 }
 
@@ -91,9 +106,9 @@ func (p *projectIter) Next() (value.Row, error) {
 	if err != nil || in == nil {
 		return nil, err
 	}
-	out := make(value.Row, len(p.op.Exprs))
-	for i, e := range p.op.Exprs {
-		v, err := Eval(e, in, p.ctx)
+	out := make(value.Row, len(p.exprs))
+	for i, ce := range p.exprs {
+		v, err := ce(in, p.ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -110,10 +125,14 @@ type filterIter struct {
 	op    *algebra.Select
 	input iterator
 	ctx   *Context
+	pred  compiledPred
 }
 
 func (f *filterIter) Open(ctx *Context) error {
 	f.ctx = ctx
+	if f.pred == nil {
+		f.pred = compilePred(f.op.Cond)
+	}
 	return f.input.Open(ctx)
 }
 
@@ -123,7 +142,7 @@ func (f *filterIter) Next() (value.Row, error) {
 		if err != nil || in == nil {
 			return nil, err
 		}
-		ok, err := EvalBool(f.op.Cond, in, f.ctx)
+		ok, err := f.pred(in, f.ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -138,10 +157,11 @@ func (f *filterIter) Close() error { return f.input.Close() }
 // --- Sort ----------------------------------------------------------------------
 
 type sortIter struct {
-	op    *algebra.Sort
-	input iterator
-	rows  []value.Row
-	pos   int
+	op       *algebra.Sort
+	input    iterator
+	rows     []value.Row
+	pos      int
+	keyExprs []compiledExpr
 }
 
 func (s *sortIter) Open(ctx *Context) error {
@@ -154,6 +174,13 @@ func (s *sortIter) Open(ctx *Context) error {
 		keys value.Row
 		seq  int
 	}
+	if s.keyExprs == nil {
+		s.keyExprs = make([]compiledExpr, len(s.op.Keys))
+		for i, k := range s.op.Keys {
+			s.keyExprs[i] = Compile(k.Expr)
+		}
+	}
+	keyExprs := s.keyExprs
 	var all []keyed
 	for {
 		row, err := s.input.Next()
@@ -163,9 +190,9 @@ func (s *sortIter) Open(ctx *Context) error {
 		if row == nil {
 			break
 		}
-		keys := make(value.Row, len(s.op.Keys))
-		for i, k := range s.op.Keys {
-			v, err := Eval(k.Expr, row, ctx)
+		keys := make(value.Row, len(keyExprs))
+		for i, ke := range keyExprs {
+			v, err := ke(row, ctx)
 			if err != nil {
 				return err
 			}
@@ -249,8 +276,9 @@ func (l *limitIter) Close() error { return l.input.Close() }
 // --- Distinct ------------------------------------------------------------------
 
 type distinctIter struct {
-	input iterator
-	seen  map[string]struct{}
+	input   iterator
+	seen    map[string]struct{}
+	scratch []byte
 }
 
 func (d *distinctIter) Open(ctx *Context) error {
@@ -264,11 +292,14 @@ func (d *distinctIter) Next() (value.Row, error) {
 		if err != nil || row == nil {
 			return nil, err
 		}
-		k := row.Key()
-		if _, dup := d.seen[k]; dup {
+		// Build the row key in a reusable scratch buffer; the map lookup with
+		// an inline string conversion does not allocate, so duplicates cost no
+		// heap traffic. Only genuinely new rows pay for the stored key string.
+		d.scratch = row.AppendKey(d.scratch[:0])
+		if _, dup := d.seen[string(d.scratch)]; dup {
 			continue
 		}
-		d.seen[k] = struct{}{}
+		d.seen[string(d.scratch)] = struct{}{}
 		return row, nil
 	}
 }
@@ -276,6 +307,18 @@ func (d *distinctIter) Next() (value.Row, error) {
 func (d *distinctIter) Close() error {
 	d.seen = nil
 	return d.input.Close()
+}
+
+// reopenAndDrain runs a prebuilt iterator tree to completion under the
+// current context. Iterators are re-openable: Open fully resets streaming
+// state while keeping compiled expressions, which is what lets lateral joins
+// and correlated subplans re-execute a subtree per outer row without
+// rebuilding (and recompiling) it.
+func reopenAndDrain(it iterator, ctx *Context) ([]value.Row, error) {
+	if err := it.Open(ctx); err != nil {
+		return nil, err
+	}
+	return drain(it, ctx)
 }
 
 // drain materializes an iterator (caller must have opened it); it closes the

@@ -1,12 +1,18 @@
 package executor
 
 import (
+	"bytes"
 	"fmt"
+	"hash/maphash"
 
 	"perm/internal/algebra"
 	"perm/internal/sql"
 	"perm/internal/value"
 )
+
+// joinHashSeed seeds the maphash bucketing of hash joins. One process-wide
+// seed keeps build and probe sides consistent across iterators.
+var joinHashSeed = maphash.MakeSeed()
 
 // buildJoin picks a join algorithm: lateral joins always run nested-loop with
 // per-left-row re-execution of the right side; equi-joins run as hash joins;
@@ -106,6 +112,15 @@ func sideOf(e algebra.Expr, nLeft int) (int, bool) {
 	}
 }
 
+// buildRow is one materialized build-side row. key is the framed hash-key
+// encoding (nil when the row has a NULL in a strict-equality key and can
+// never match).
+type buildRow struct {
+	row     value.Row
+	key     []byte
+	matched bool
+}
+
 // --- hash join -------------------------------------------------------------------
 
 type hashJoinIter struct {
@@ -115,13 +130,28 @@ type hashJoinIter struct {
 	keys  []equiKey
 	ctx   *Context
 
-	table map[string][]*buildRow
-	// buildRows in insertion order, for full-join unmatched emission.
-	buildRows []*buildRow
-	probeOpen bool
+	// compiled per-side key evaluators and residual condition
+	leftKey  []compiledExpr
+	rightKey []compiledExpr
+	nullEq   []bool
+	cond     compiledPred // nil when the join has no condition
+
+	// table buckets build-row indices by maphash of the framed key bytes;
+	// probes confirm candidates with a byte-slice equality check, so hash
+	// collisions stay correct.
+	table map[uint64][]int32
+	// buildRows is a flat slice (one allocation) in insertion order, for
+	// full-join unmatched emission.
+	buildRows []buildRow
+	// keyScratch is the reusable key-encoding buffer (zero allocs per probe).
+	keyScratch []byte
+	// comb is the reusable probe⧺build scratch row for residual-condition
+	// evaluation; ownership transfers to the caller when a combined row is
+	// emitted.
+	comb value.Row
 	// current probe state
 	curProbe   value.Row
-	curMatches []*buildRow
+	curMatches []int32
 	curIdx     int
 	curMatched bool
 	// full-join tail state
@@ -130,17 +160,25 @@ type hashJoinIter struct {
 	done    bool
 }
 
-type buildRow struct {
-	row     value.Row
-	matched bool
-}
-
 func (h *hashJoinIter) Open(ctx *Context) error {
 	h.ctx = ctx
-	h.table = make(map[string][]*buildRow)
-	h.buildRows = nil
 	h.inTail, h.done = false, false
+	h.tailIdx = 0
 	h.curProbe = nil
+	h.curMatches = nil
+	if h.leftKey == nil {
+		h.leftKey = make([]compiledExpr, len(h.keys))
+		h.rightKey = make([]compiledExpr, len(h.keys))
+		h.nullEq = make([]bool, len(h.keys))
+		for i, k := range h.keys {
+			h.leftKey[i] = Compile(k.left)
+			h.rightKey[i] = Compile(k.right)
+			h.nullEq[i] = k.nullEq
+		}
+		if h.op.Cond != nil {
+			h.cond = compilePred(h.op.Cond)
+		}
+	}
 	if err := h.right.Open(ctx); err != nil {
 		return err
 	}
@@ -148,42 +186,55 @@ func (h *hashJoinIter) Open(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	for _, row := range rows {
-		br := &buildRow{row: row}
-		h.buildRows = append(h.buildRows, br)
-		key, hashable, err := h.keyOf(row, false)
+	h.buildRows = make([]buildRow, len(rows))
+	h.table = make(map[uint64][]int32, len(rows))
+	for i, row := range rows {
+		h.buildRows[i].row = row
+		key, hashable, err := h.appendKey(h.keyScratch[:0], row, h.rightKey)
+		h.keyScratch = key
 		if err != nil {
 			return err
 		}
 		if hashable {
-			h.table[key] = append(h.table[key], br)
+			stable := append([]byte(nil), key...)
+			h.buildRows[i].key = stable
+			sum := maphash.Bytes(joinHashSeed, stable)
+			h.table[sum] = append(h.table[sum], int32(i))
 		}
 	}
 	return h.left.Open(ctx)
 }
 
-// keyOf computes the hash key for a row on the probe (left) or build (right)
-// side. hashable=false means the row contains a NULL in a strict-equality
-// key and can never match.
-func (h *hashJoinIter) keyOf(row value.Row, probe bool) (string, bool, error) {
-	var parts []byte
-	for _, k := range h.keys {
-		e := k.right
-		if probe {
-			e = k.left
-		}
-		v, err := Eval(e, row, h.ctx)
+// appendKey encodes the hash key for a row into dst using the given side's
+// compiled key expressions. hashable=false means the row contains a NULL in a
+// strict-equality key and can never match.
+func (h *hashJoinIter) appendKey(dst []byte, row value.Row, side []compiledExpr) ([]byte, bool, error) {
+	for i, ce := range side {
+		v, err := ce(row, h.ctx)
 		if err != nil {
-			return "", false, err
+			return dst, false, err
 		}
-		if v.IsNull() && !k.nullEq {
-			return "", false, nil
+		if v.IsNull() && !h.nullEq[i] {
+			return dst, false, nil
 		}
-		kk := v.Key()
-		parts = append(parts, byte(len(kk)), ':')
-		parts = append(parts, kk...)
+		dst = appendFramedKey(dst, v)
 	}
-	return string(parts), true, nil
+	return dst, true, nil
+}
+
+// combineScratch copies l⧺r into the reusable scratch row pointed to by
+// scratch and returns it. The caller must either drop the returned row or
+// take ownership by setting *scratch = nil before handing it out.
+func combineScratch(scratch *value.Row, l, r value.Row) value.Row {
+	n := len(l) + len(r)
+	if cap(*scratch) < n {
+		*scratch = make(value.Row, 0, n)
+	}
+	c := (*scratch)[:0]
+	c = append(c, l...)
+	c = append(c, r...)
+	*scratch = c
+	return c
 }
 
 func (h *hashJoinIter) Next() (value.Row, error) {
@@ -196,7 +247,7 @@ func (h *hashJoinIter) Next() (value.Row, error) {
 		if h.inTail {
 			// FULL/RIGHT JOIN: emit unmatched build-side rows null-padded.
 			for h.tailIdx < len(h.buildRows) {
-				br := h.buildRows[h.tailIdx]
+				br := &h.buildRows[h.tailIdx]
 				h.tailIdx++
 				if !br.matched {
 					return value.Concat(value.NullRow(nLeft), br.row), nil
@@ -221,25 +272,31 @@ func (h *hashJoinIter) Next() (value.Row, error) {
 			h.curProbe = probe
 			h.curIdx = 0
 			h.curMatched = false
-			key, hashable, err := h.keyOf(probe, true)
+			key, hashable, err := h.appendKey(h.keyScratch[:0], probe, h.leftKey)
+			h.keyScratch = key
 			if err != nil {
 				return nil, err
 			}
+			h.curMatches = h.curMatches[:0]
 			if hashable {
-				h.curMatches = h.table[key]
-			} else {
-				h.curMatches = nil
+				sum := maphash.Bytes(joinHashSeed, key)
+				for _, bi := range h.table[sum] {
+					if bytes.Equal(h.buildRows[bi].key, key) {
+						h.curMatches = append(h.curMatches, bi)
+					}
+				}
 			}
 		}
 		// Scan candidate matches.
 		for h.curIdx < len(h.curMatches) {
-			br := h.curMatches[h.curIdx]
+			br := &h.buildRows[h.curMatches[h.curIdx]]
 			h.curIdx++
-			combined := value.Concat(h.curProbe, br.row)
 			ok := true
-			if h.op.Cond != nil {
+			var combined value.Row
+			if h.cond != nil {
+				combined = combineScratch(&h.comb, h.curProbe, br.row)
 				var err error
-				ok, err = EvalBool(h.op.Cond, combined, h.ctx)
+				ok, err = h.cond(combined, h.ctx)
 				if err != nil {
 					return nil, err
 				}
@@ -260,6 +317,10 @@ func (h *hashJoinIter) Next() (value.Row, error) {
 				h.curProbe = nil
 				goto nextProbe
 			default:
+				if combined == nil {
+					return value.Concat(h.curProbe, br.row), nil
+				}
+				h.comb = nil // transfer scratch ownership to the caller
 				return combined, nil
 			}
 		}
@@ -296,8 +357,10 @@ type nlJoinIter struct {
 	left  iterator
 	right iterator
 	ctx   *Context
+	cond  compiledPred
 
-	rightRows []*buildRow
+	rightRows []buildRow
+	comb      value.Row
 	curProbe  value.Row
 	curIdx    int
 	curMatch  bool
@@ -309,7 +372,11 @@ type nlJoinIter struct {
 func (n *nlJoinIter) Open(ctx *Context) error {
 	n.ctx = ctx
 	n.done, n.inTail = false, false
+	n.tailIdx = 0
 	n.curProbe = nil
+	if n.cond == nil && n.op.Cond != nil {
+		n.cond = compilePred(n.op.Cond)
+	}
 	if err := n.right.Open(ctx); err != nil {
 		return err
 	}
@@ -317,9 +384,9 @@ func (n *nlJoinIter) Open(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	n.rightRows = make([]*buildRow, len(rows))
+	n.rightRows = make([]buildRow, len(rows))
 	for i, r := range rows {
-		n.rightRows[i] = &buildRow{row: r}
+		n.rightRows[i].row = r
 	}
 	return n.left.Open(ctx)
 }
@@ -333,7 +400,7 @@ func (n *nlJoinIter) Next() (value.Row, error) {
 		}
 		if n.inTail {
 			for n.tailIdx < len(n.rightRows) {
-				br := n.rightRows[n.tailIdx]
+				br := &n.rightRows[n.tailIdx]
 				n.tailIdx++
 				if !br.matched {
 					return value.Concat(value.NullRow(nLeft), br.row), nil
@@ -360,13 +427,14 @@ func (n *nlJoinIter) Next() (value.Row, error) {
 			n.curMatch = false
 		}
 		for n.curIdx < len(n.rightRows) {
-			br := n.rightRows[n.curIdx]
+			br := &n.rightRows[n.curIdx]
 			n.curIdx++
-			combined := value.Concat(n.curProbe, br.row)
 			ok := true
-			if n.op.Cond != nil {
+			var combined value.Row
+			if n.cond != nil {
+				combined = combineScratch(&n.comb, n.curProbe, br.row)
 				var err error
-				ok, err = EvalBool(n.op.Cond, combined, n.ctx)
+				ok, err = n.cond(combined, n.ctx)
 				if err != nil {
 					return nil, err
 				}
@@ -385,6 +453,10 @@ func (n *nlJoinIter) Next() (value.Row, error) {
 				n.curProbe = nil
 				goto nextProbe
 			default:
+				if combined == nil {
+					return value.Concat(n.curProbe, br.row), nil
+				}
+				n.comb = nil // transfer scratch ownership to the caller
 				return combined, nil
 			}
 		}
@@ -416,11 +488,16 @@ func (n *nlJoinIter) Close() error {
 
 // lateralJoinIter re-executes the right side for every left row with the left
 // row pushed as the correlation context. The provenance rewriter uses this to
-// implement the EDBT '09 de-correlation of nested subqueries.
+// implement the EDBT '09 de-correlation of nested subqueries. The right-side
+// iterator tree is built (and its expressions compiled) once; each probe row
+// only re-Opens it, so the compile-once property survives per-row
+// re-execution.
 type lateralJoinIter struct {
-	op   *algebra.Join
-	left iterator
-	ctx  *Context
+	op    *algebra.Join
+	left  iterator
+	right iterator
+	ctx   *Context
+	cond  compiledPred
 
 	curProbe value.Row
 	curRows  []value.Row
@@ -431,10 +508,21 @@ type lateralJoinIter struct {
 func (l *lateralJoinIter) Open(ctx *Context) error {
 	l.ctx = ctx
 	l.curProbe = nil
+	if l.cond == nil && l.op.Cond != nil {
+		l.cond = compilePred(l.op.Cond)
+	}
 	var err error
-	l.left, err = build(l.op.Left)
-	if err != nil {
-		return err
+	if l.right == nil {
+		l.right, err = build(l.op.Right)
+		if err != nil {
+			return err
+		}
+	}
+	if l.left == nil {
+		l.left, err = build(l.op.Left)
+		if err != nil {
+			return err
+		}
 	}
 	return l.left.Open(ctx)
 }
@@ -453,23 +541,23 @@ func (l *lateralJoinIter) Next() (value.Row, error) {
 			l.curProbe = probe
 			l.curIdx = 0
 			l.curMatch = false
-			// Execute the right side under this probe row.
+			// Re-open the prebuilt right side under this probe row.
 			l.ctx.pushOuter(probe)
-			res, err := Run(l.ctx, l.op.Right)
+			rows, err := reopenAndDrain(l.right, l.ctx)
 			l.ctx.popOuter()
 			if err != nil {
 				return nil, err
 			}
-			l.curRows = res.Rows
+			l.curRows = rows
 		}
 		for l.curIdx < len(l.curRows) {
 			rrow := l.curRows[l.curIdx]
 			l.curIdx++
 			combined := value.Concat(l.curProbe, rrow)
 			ok := true
-			if l.op.Cond != nil {
+			if l.cond != nil {
 				var err error
-				ok, err = EvalBool(l.op.Cond, combined, l.ctx)
+				ok, err = l.cond(combined, l.ctx)
 				if err != nil {
 					return nil, err
 				}

@@ -24,12 +24,17 @@ type setOpIter struct {
 	pos int
 	// mode
 	streaming bool
+	// scratch is the reusable row-key buffer; map lookups via string(scratch)
+	// do not allocate.
+	scratch []byte
 }
 
 func (s *setOpIter) Open(ctx *Context) error {
 	s.ctx = ctx
 	s.pos = 0
 	s.onRight = false
+	s.out = nil // Open must fully reset: lateral re-execution re-opens iterators
+	s.seen = nil
 	switch s.op.Kind {
 	case algebra.UnionAll, algebra.UnionDistinct:
 		s.streaming = true
@@ -59,36 +64,37 @@ func (s *setOpIter) Open(ctx *Context) error {
 
 	rcount := make(map[string]int, len(rrows))
 	for _, r := range rrows {
-		rcount[r.Key()]++
+		s.scratch = r.AppendKey(s.scratch[:0])
+		rcount[string(s.scratch)]++
 	}
 
 	switch s.op.Kind {
 	case algebra.IntersectAll:
 		// Emit each left row while the right still has a matching occurrence.
 		for _, l := range lrows {
-			k := l.Key()
-			if rcount[k] > 0 {
-				rcount[k]--
+			s.scratch = l.AppendKey(s.scratch[:0])
+			if rcount[string(s.scratch)] > 0 {
+				rcount[string(s.scratch)]--
 				s.out = append(s.out, l)
 			}
 		}
 	case algebra.IntersectDistinct:
 		emitted := make(map[string]struct{})
 		for _, l := range lrows {
-			k := l.Key()
-			if _, done := emitted[k]; done {
+			s.scratch = l.AppendKey(s.scratch[:0])
+			if _, done := emitted[string(s.scratch)]; done {
 				continue
 			}
-			if rcount[k] > 0 {
-				emitted[k] = struct{}{}
+			if rcount[string(s.scratch)] > 0 {
+				emitted[string(s.scratch)] = struct{}{}
 				s.out = append(s.out, l)
 			}
 		}
 	case algebra.ExceptAll:
 		for _, l := range lrows {
-			k := l.Key()
-			if rcount[k] > 0 {
-				rcount[k]--
+			s.scratch = l.AppendKey(s.scratch[:0])
+			if rcount[string(s.scratch)] > 0 {
+				rcount[string(s.scratch)]--
 				continue
 			}
 			s.out = append(s.out, l)
@@ -96,12 +102,12 @@ func (s *setOpIter) Open(ctx *Context) error {
 	case algebra.ExceptDistinct:
 		emitted := make(map[string]struct{})
 		for _, l := range lrows {
-			k := l.Key()
-			if _, done := emitted[k]; done {
+			s.scratch = l.AppendKey(s.scratch[:0])
+			if _, done := emitted[string(s.scratch)]; done {
 				continue
 			}
-			emitted[k] = struct{}{}
-			if rcount[k] == 0 {
+			emitted[string(s.scratch)] = struct{}{}
+			if rcount[string(s.scratch)] == 0 {
 				s.out = append(s.out, l)
 			}
 		}
@@ -132,11 +138,11 @@ func (s *setOpIter) Next() (value.Row, error) {
 				return nil, nil
 			}
 			if s.seen != nil {
-				k := row.Key()
-				if _, dup := s.seen[k]; dup {
+				s.scratch = row.AppendKey(s.scratch[:0])
+				if _, dup := s.seen[string(s.scratch)]; dup {
 					continue
 				}
-				s.seen[k] = struct{}{}
+				s.seen[string(s.scratch)] = struct{}{}
 			}
 			return row, nil
 		}

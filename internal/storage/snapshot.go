@@ -13,6 +13,11 @@ import (
 // serializes to a single gob stream. This keeps eagerly materialized
 // provenance tables available across process restarts — the "store
 // provenance for later investigation" part of the paper's story.
+//
+// Save reads table rows through Table.Snapshot, which shares the live row
+// slice instead of copying it (see the aliasing contract on Snapshot); the
+// encoder only reads, so serialization is allocation-free on the storage
+// side even for large provenance tables.
 
 // snapshotDTO is the on-disk representation.
 type snapshotDTO struct {

@@ -84,8 +84,21 @@ func (t *Table) InsertBatch(rows []value.Row) (int, error) {
 	return len(checked), nil
 }
 
-// Snapshot returns the current rows. The returned slice must be treated as
-// read-only; mutation goes through Insert/Delete/Update.
+// Snapshot returns the current rows WITHOUT copying.
+//
+// Aliasing contract: the returned slice header aliases the table's live row
+// slice, which is safe because every mutation is copy-on-write with respect
+// to previously returned snapshots:
+//
+//   - Insert/InsertBatch append past the snapshot's length; a concurrent
+//     append that grows the backing array never writes into the prefix a
+//     snapshot can see, and an in-place append only writes beyond its length.
+//   - Delete rebuilds the kept rows into a fresh backing array (t.rows[:0:0]).
+//   - Update writes every surviving row into a freshly allocated slice.
+//
+// Row values themselves are immutable once stored. Callers (scans, ANALYZE,
+// persistence) therefore must treat both the slice and its rows as read-only;
+// the executor relies on this to stream tables with zero copies.
 func (t *Table) Snapshot() []value.Row {
 	t.mu.RLock()
 	defer t.mu.RUnlock()

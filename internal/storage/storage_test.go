@@ -208,3 +208,34 @@ func TestConcurrentInsertScan(t *testing.T) {
 		t.Errorf("rows = %d, want 400", tab.RowCount())
 	}
 }
+
+// TestSnapshotCopyOnWrite pins the aliasing contract of Snapshot: the shared
+// slice returned without copying must stay stable across every mutation kind
+// (append, delete, update), since the executor streams it directly.
+func TestSnapshotCopyOnWrite(t *testing.T) {
+	s := NewStore()
+	tab := intTable(t, s, "t", "a")
+	for i := 1; i <= 3; i++ {
+		tab.Insert(value.Row{value.NewInt(int64(i))})
+	}
+	snap := tab.Snapshot()
+
+	if _, err := tab.Delete(func(r value.Row) (bool, error) { return r[0].I == 2, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Update(nil, func(r value.Row) (value.Row, error) {
+		return value.Row{value.NewInt(r[0].I * 10)}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tab.Insert(value.Row{value.NewInt(99)})
+
+	if len(snap) != 3 {
+		t.Fatalf("snapshot length changed to %d", len(snap))
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if snap[i][0].I != want {
+			t.Errorf("snapshot row %d = %v, want %d (mutation leaked into snapshot)", i, snap[i][0], want)
+		}
+	}
+}

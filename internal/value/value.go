@@ -320,24 +320,46 @@ func (v Value) HashInto(h hashWriter) {
 // Key returns a canonical string key for the value, usable as a Go map key,
 // consistent with Distinct (two values are not distinct iff keys are equal).
 func (v Value) Key() string {
+	return string(v.AppendKey(nil))
+}
+
+// AppendKey appends the canonical key encoding of v (the byte form of Key) to
+// dst and returns the extended slice. Hot paths use it with a reusable scratch
+// buffer to build hash keys without per-row allocation.
+func (v Value) AppendKey(dst []byte) []byte {
 	switch v.K {
 	case KindNull:
-		return "\x00"
+		return append(dst, 0x00)
 	case KindBool:
 		if v.B {
-			return "\x01T"
+			return append(dst, 0x01, 'T')
 		}
-		return "\x01F"
+		return append(dst, 0x01, 'F')
 	case KindInt, KindFloat:
 		f := v.Float()
 		if f == math.Trunc(f) && math.Abs(f) < 1e15 {
-			return "\x02" + strconv.FormatInt(int64(f), 10)
+			return strconv.AppendInt(append(dst, 0x02), int64(f), 10)
 		}
-		return "\x02f" + strconv.FormatFloat(f, 'b', -1, 64)
+		return strconv.AppendFloat(append(dst, 0x02, 'f'), f, 'b', -1, 64)
 	case KindString:
-		return "\x03" + v.S
+		return append(append(dst, 0x03), v.S...)
 	}
-	return "\x7f"
+	return append(dst, 0x7f)
+}
+
+// AppendFramedKey appends v's key encoding prefixed with a fixed-width length,
+// so that concatenated framed keys are injective across value boundaries
+// (["ab","c"] never collides with ["a","bc"]).
+func AppendFramedKey(dst []byte, v Value) []byte {
+	lenPos := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = v.AppendKey(dst)
+	n := len(dst) - lenPos - 4
+	dst[lenPos] = byte(n)
+	dst[lenPos+1] = byte(n >> 8)
+	dst[lenPos+2] = byte(n >> 16)
+	dst[lenPos+3] = byte(n >> 24)
+	return dst
 }
 
 // Coerce converts v to the target kind when a lossless or standard SQL cast
@@ -439,14 +461,17 @@ func NullRow(n int) Row {
 
 // Key returns a canonical map key for the whole row (Distinct-consistent).
 func (r Row) Key() string {
-	var b strings.Builder
+	return string(r.AppendKey(nil))
+}
+
+// AppendKey appends the canonical row key (the byte form of Key) to dst.
+// Executor hot paths use it with a reusable scratch buffer so that group-by,
+// DISTINCT and set-operation lookups do not allocate per input row.
+func (r Row) AppendKey(dst []byte) []byte {
 	for _, v := range r {
-		k := v.Key()
-		b.WriteString(strconv.Itoa(len(k)))
-		b.WriteByte(':')
-		b.WriteString(k)
+		dst = AppendFramedKey(dst, v)
 	}
-	return b.String()
+	return dst
 }
 
 // CompareRows orders rows with CompareTotal column-wise.

@@ -108,6 +108,11 @@ type Result struct {
 	ParseTime, AnalyzeTime, RewriteTime, PlanTime, ExecuteTime time.Duration
 	// RewriteDecisions lists the provenance rewrite decisions taken.
 	RewriteDecisions []string
+	// CacheHit reports that the statement was served from the session's plan
+	// cache: parse, analyze, provenance rewrite and planning were skipped and
+	// their timings are zero. Toggle with SET plan_cache = 'on'|'off'; inspect
+	// counters with SHOW plan_cache_stats.
+	CacheHit bool
 }
 
 func wrapResult(r *engine.Result) *Result {
@@ -121,6 +126,7 @@ func wrapResult(r *engine.Result) *Result {
 		PlanTime:         r.Timings.Plan,
 		ExecuteTime:      r.Timings.Execute,
 		RewriteDecisions: r.Rewrites,
+		CacheHit:         r.CacheHit,
 	}
 	if len(r.Schema) > 0 {
 		out.ProvenanceColumns = make([]bool, len(r.Schema))
@@ -201,6 +207,17 @@ func (s *Session) MustExec(sqlText string) *Result {
 // Explain returns the browser artifacts for a query in this session.
 func (s *Session) Explain(sqlText string) (*Explanation, error) {
 	return explainOn(s.s, sqlText, false)
+}
+
+// PlanCacheStats returns this session's plan-cache hit/miss counters and the
+// number of cached plans.
+func (s *Session) PlanCacheStats() (hits, misses uint64, entries int) {
+	return s.s.PlanCacheStats()
+}
+
+// PlanCacheStats returns the plan-cache counters of the DB's implicit session.
+func (d *DB) PlanCacheStats() (hits, misses uint64, entries int) {
+	return d.session.PlanCacheStats()
 }
 
 // Explanation mirrors what the Perm browser of the demo displays (Figure 4):
