@@ -2,10 +2,17 @@
 
 GO ?= go
 
-.PHONY: check build vet test bench bench-figures race
+.PHONY: check build fmt vet test bench bench-figures race
 
-## check: full tier-1 verification (build + vet + tests)
-check: build vet test
+## check: full verification (build + fmt + vet + tests under the race
+## detector — the network server and driver are exercised by concurrent
+## clients, so check always races)
+check: build fmt vet race
+
+## fmt: fail when any file is not gofmt-formatted
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...

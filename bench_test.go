@@ -356,3 +356,27 @@ func BenchmarkPlanCacheHit(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkScratchKeys regression-guards the remaining scratch-key reuse
+// paths: DISTINCT aggregates (seen-set lookups through a reusable buffer)
+// and uncorrelated IN-subquery probes (hash membership without a key string
+// per outer row).
+func BenchmarkScratchKeys(b *testing.B) {
+	db := mustForum(b, 2000)
+	b.Run("distinct-agg", func(b *testing.B) {
+		q := `SELECT count(DISTINCT uid), count(DISTINCT text) FROM messages`
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runQuery(b, db, q)
+		}
+	})
+	b.Run("in-probe", func(b *testing.B) {
+		q := `SELECT count(*) FROM messages WHERE mid IN (SELECT mid FROM approved)`
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runQuery(b, db, q)
+		}
+	})
+}

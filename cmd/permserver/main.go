@@ -1,0 +1,130 @@
+// Command permserver serves a Perm provenance database over TCP using the
+// wire protocol of internal/wire, so standard database/sql clients (via
+// perm/driver) and permshell -connect can query it concurrently.
+//
+//	permserver -addr :5433 -load example
+//	permserver -addr :5433 -open snapshot.perm -save snapshot.perm
+//
+// Every connection gets its own session (settings, plan cache) over the
+// shared database. SIGINT/SIGTERM triggers a graceful shutdown: accepting
+// stops, idle connections close, in-flight requests drain (bounded by
+// -drain), and with -save set a final consistent snapshot is written.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"perm/internal/engine"
+	"perm/internal/server"
+	"perm/internal/workload"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:5433", "listen address (host:port)")
+		maxConns     = flag.Int("max-conns", 256, "maximum concurrent connections (0 = unlimited)")
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-query execution timeout (0 = unlimited)")
+		load         = flag.String("load", "", "bootstrap dataset: example | forum[:N] | star[:N]")
+		open         = flag.String("open", "", "restore the database from a snapshot file at startup")
+		save         = flag.String("save", "", "write a consistent snapshot to this file on shutdown")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		quiet        = flag.Bool("quiet", false, "disable per-session logging")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "permserver: ", log.LstdFlags)
+
+	db := engine.NewDB()
+	if *open != "" {
+		f, err := os.Open(*open)
+		if err != nil {
+			logger.Fatalf("open snapshot: %v", err)
+		}
+		err = db.Store().Restore(f)
+		f.Close()
+		if err != nil {
+			logger.Fatalf("restore %s: %v", *open, err)
+		}
+		logger.Printf("restored database from %s", *open)
+	}
+	if *load != "" {
+		if err := loadDataset(db, *load); err != nil {
+			logger.Fatalf("load %s: %v", *load, err)
+		}
+		logger.Printf("loaded dataset %s", *load)
+	}
+
+	cfg := server.Config{MaxConns: *maxConns, QueryTimeout: *queryTimeout}
+	if !*quiet {
+		cfg.Logf = logger.Printf
+	}
+	srv := server.New(db, cfg)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe(*addr) }()
+	logger.Printf("serving on %s (max-conns=%d, query-timeout=%s)", *addr, *maxConns, *queryTimeout)
+
+	exitCode := 0
+	select {
+	case err := <-serveErr:
+		// Even a fatal serve error must not lose the database when the
+		// operator asked for a shutdown snapshot: drain and fall through to
+		// the -save block below.
+		logger.Printf("serve: %v", err)
+		exitCode = 1
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v (connections force-closed)", err)
+		}
+	case s := <-sig:
+		logger.Printf("received %s, draining (deadline %s)", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Printf("shutdown: %v (connections force-closed)", err)
+		}
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			logger.Fatalf("create snapshot: %v", err)
+		}
+		err = db.Store().Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			logger.Fatalf("save %s: %v", *save, err)
+		}
+		logger.Printf("saved snapshot to %s", *save)
+	}
+	logger.Printf("served %d queries, goodbye", srv.QueriesServed())
+	os.Exit(exitCode)
+}
+
+// loadDataset bootstraps one of the built-in workloads: "example",
+// "forum[:N]", "star[:N]".
+func loadDataset(db *engine.DB, spec string) error {
+	name, arg, _ := strings.Cut(spec, ":")
+	n := 1000
+	if arg != "" {
+		v, err := strconv.Atoi(arg)
+		if err != nil {
+			return fmt.Errorf("bad scale %q", arg)
+		}
+		n = v
+	}
+	return workload.LoadByName(db, name, n)
+}

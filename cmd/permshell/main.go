@@ -3,6 +3,10 @@
 // Perm database that can display, for every query, the result table, the
 // rewritten SQL, and the original and rewritten algebra trees.
 //
+// With -connect host:port the shell becomes a remote client of a running
+// permserver: statements execute in a server-side session over the wire
+// protocol, and \save streams a consistent online backup.
+//
 // Meta commands:
 //
 //	\d [table]        list relations / describe one
@@ -17,27 +21,48 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"perm"
+	"perm/internal/value"
+	"perm/internal/wire"
 	"perm/internal/workload"
 )
 
 type shell struct {
 	db     *perm.DB
+	client *wire.Client // non-nil in -connect mode
 	out    *bufio.Writer
 	trees  bool
 	timing bool
 }
 
 func main() {
+	connect := flag.String("connect", "", "connect to a permserver at host:port instead of running embedded")
+	flag.Parse()
+
 	fmt.Println("Perm shell — provenance management system (SQL-PLE dialect)")
 	fmt.Println(`type SQL statements terminated by ';', \? for help, \q to quit`)
 
-	sh := &shell{db: perm.Open(), out: bufio.NewWriter(os.Stdout)}
+	sh := &shell{out: bufio.NewWriter(os.Stdout)}
+	if *connect != "" {
+		client, err := wire.Dial(*connect)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "connect %s: %v\n", *connect, err)
+			os.Exit(1)
+		}
+		sh.client = client
+		defer client.Close()
+		fmt.Printf("connected to %s (server %q, protocol %d)\n",
+			*connect, client.Server().Server, client.Server().Version)
+	} else {
+		sh.db = perm.Open()
+	}
 	defer sh.out.Flush()
 
 	scanner := bufio.NewScanner(os.Stdin)
@@ -75,6 +100,10 @@ func (s *shell) run(sqlText string) {
 	if sqlText == "" {
 		return
 	}
+	if s.client != nil {
+		s.runRemote(sqlText)
+		return
+	}
 	if s.trees && looksLikeQuery(sqlText) {
 		if ex, err := s.db.Explain(sqlText); err == nil {
 			fmt.Fprintln(s.out, "original algebra tree:")
@@ -92,14 +121,57 @@ func (s *shell) run(sqlText string) {
 		fmt.Fprintln(s.out, "ERROR:", err)
 		return
 	}
+	s.render(res)
+}
+
+// render prints a result the same way for the embedded and remote paths:
+// table, tag, cache-hit note, timings.
+func (s *shell) render(res *perm.Result) {
 	if len(res.Columns) > 0 {
 		fmt.Fprint(s.out, perm.FormatTable(res))
 	}
 	fmt.Fprintln(s.out, res.Tag)
+	if res.CacheHit {
+		fmt.Fprintln(s.out, "(served from plan cache)")
+	}
 	if s.timing {
 		fmt.Fprintf(s.out, "timing: parse=%v analyze=%v rewrite=%v plan=%v execute=%v\n",
 			res.ParseTime, res.AnalyzeTime, res.RewriteTime, res.PlanTime, res.ExecuteTime)
 	}
+}
+
+// runRemote executes one statement in the server-side session and renders
+// the streamed result exactly like the embedded path.
+func (s *shell) runRemote(sqlText string) {
+	rows, err := s.client.Query(sqlText)
+	if err != nil {
+		fmt.Fprintln(s.out, "ERROR:", err)
+		return
+	}
+	res := &perm.Result{Columns: rows.Desc.Names}
+	if n := len(rows.Desc.IsProv); n > 0 {
+		res.ProvenanceColumns = append([]bool(nil), rows.Desc.IsProv...)
+	}
+	for {
+		row, err := rows.Next()
+		if err != nil {
+			fmt.Fprintln(s.out, "ERROR:", err)
+			return
+		}
+		if row == nil {
+			break
+		}
+		res.Rows = append(res.Rows, value.Row(row))
+	}
+	done := rows.Complete
+	res.Tag = done.Tag
+	res.CacheHit = done.CacheHit
+	res.ParseTime = time.Duration(done.Parse)
+	res.AnalyzeTime = time.Duration(done.Analyze)
+	res.RewriteTime = time.Duration(done.Rewrite)
+	res.PlanTime = time.Duration(done.Plan)
+	res.ExecuteTime = time.Duration(done.Execute)
+	s.render(res)
 }
 
 func looksLikeQuery(sqlText string) bool {
@@ -127,18 +199,30 @@ func (s *shell) meta(cmd string) bool {
   \set name value  change a session setting
   \q               quit`)
 	case "\\d":
+		if s.client != nil {
+			fmt.Fprintln(s.out, `\d needs the embedded catalog; not available over -connect`)
+			break
+		}
 		if len(fields) == 1 {
 			s.listRelations()
 		} else {
 			s.describe(fields[1])
 		}
 	case "\\trees":
+		if s.client != nil {
+			fmt.Fprintln(s.out, `\trees runs EXPLAIN locally; not available over -connect`)
+			break
+		}
 		s.trees = len(fields) > 1 && fields[1] == "on"
 		fmt.Fprintf(s.out, "trees: %v\n", s.trees)
 	case "\\timing":
 		s.timing = len(fields) > 1 && fields[1] == "on"
 		fmt.Fprintf(s.out, "timing: %v\n", s.timing)
 	case "\\load":
+		if s.client != nil {
+			fmt.Fprintln(s.out, `\load replaces the local database; not available over -connect (use permserver -load)`)
+			break
+		}
 		s.load(fields[1:])
 	case "\\save":
 		if len(fields) != 2 {
@@ -150,7 +234,12 @@ func (s *shell) meta(cmd string) bool {
 			fmt.Fprintln(s.out, "ERROR:", err)
 			break
 		}
-		err = s.db.Save(f)
+		if s.client != nil {
+			// Remote: stream a consistent online backup over the wire.
+			err = s.client.Backup(f)
+		} else {
+			err = s.db.Save(f)
+		}
 		f.Close()
 		if err != nil {
 			fmt.Fprintln(s.out, "ERROR:", err)
@@ -158,6 +247,10 @@ func (s *shell) meta(cmd string) bool {
 		}
 		fmt.Fprintf(s.out, "saved to %s\n", fields[1])
 	case "\\open":
+		if s.client != nil {
+			fmt.Fprintln(s.out, `\open replaces the local database; not available over -connect (use permserver -open)`)
+			break
+		}
 		if len(fields) != 2 {
 			fmt.Fprintln(s.out, "usage: \\open file")
 			break
@@ -194,26 +287,11 @@ func (s *shell) load(args []string) {
 	}
 	// Loading replaces the database.
 	db := perm.Open()
-	var err error
-	switch args[0] {
-	case "example":
-		err = workload.LoadPaperExample(db.Engine())
-	case "forum":
-		n := 1000
-		if len(args) > 1 {
-			n, _ = strconv.Atoi(args[1])
-		}
-		err = workload.LoadForum(db.Engine(), workload.DefaultForum(n))
-	case "star":
-		n := 1000
-		if len(args) > 1 {
-			n, _ = strconv.Atoi(args[1])
-		}
-		err = workload.LoadStar(db.Engine(), workload.DefaultStar(n))
-	default:
-		fmt.Fprintf(s.out, "unknown dataset %q\n", args[0])
-		return
+	n := 1000
+	if len(args) > 1 {
+		n, _ = strconv.Atoi(args[1])
 	}
+	err := workload.LoadByName(db.Engine(), args[0], n)
 	if err != nil {
 		fmt.Fprintln(s.out, "ERROR:", err)
 		return

@@ -1,0 +1,494 @@
+package driver
+
+import (
+	"context"
+	sqldriver "database/sql/driver"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"perm/internal/engine"
+	"perm/internal/value"
+	"perm/internal/wire"
+)
+
+// connector dials (or embeds) one database; the sql.DB pool calls Connect
+// for every pooled connection.
+type connector struct {
+	drv  *Driver
+	addr string     // remote mode when non-empty
+	mem  *engine.DB // in-process mode otherwise
+}
+
+// Connect implements driver.Connector. Dialing and the wire handshake both
+// observe ctx, so a short query deadline also bounds establishing the pooled
+// connection it needs.
+func (c *connector) Connect(ctx context.Context) (sqldriver.Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.addr != "" {
+		client, err := wire.DialContext(ctx, c.addr)
+		if err != nil {
+			return nil, err
+		}
+		return &conn{remote: client}, nil
+	}
+	return &conn{local: c.mem.NewSession()}, nil
+}
+
+func (c *connector) connect() (sqldriver.Conn, error) {
+	return c.Connect(context.Background())
+}
+
+// Driver implements driver.Connector.
+func (c *connector) Driver() sqldriver.Driver { return c.drv }
+
+// conn is one pooled connection: a wire client (remote) or an engine session
+// (in-process). Exactly one of the two is set.
+type conn struct {
+	remote *wire.Client
+	local  *engine.Session
+}
+
+var _ sqldriver.Conn = (*conn)(nil)
+var _ sqldriver.QueryerContext = (*conn)(nil)
+var _ sqldriver.ExecerContext = (*conn)(nil)
+var _ sqldriver.Pinger = (*conn)(nil)
+var _ sqldriver.Validator = (*conn)(nil)
+
+// Prepare implements driver.Conn. Statements are prepared client-side (the
+// engine has no server-side prepare): the text is kept and placeholders are
+// interpolated at execution.
+func (c *conn) Prepare(query string) (sqldriver.Stmt, error) {
+	return &stmt{c: c, query: query, numInput: countPlaceholders(query)}, nil
+}
+
+// Close implements driver.Conn.
+func (c *conn) Close() error {
+	if c.remote != nil {
+		return c.remote.Close()
+	}
+	return c.local.Close()
+}
+
+// Begin implements driver.Conn. The engine executes with autocommit only.
+func (c *conn) Begin() (sqldriver.Tx, error) {
+	return nil, fmt.Errorf("perm driver: transactions are not supported")
+}
+
+// IsValid implements driver.Validator, so the pool retires connections whose
+// wire protocol state broke.
+func (c *conn) IsValid() bool {
+	return c.remote == nil || c.remote.Broken() == nil
+}
+
+// Ping implements driver.Pinger.
+func (c *conn) Ping(ctx context.Context) error {
+	rows, err := c.QueryContext(ctx, "SELECT 1", nil)
+	if err != nil {
+		return err
+	}
+	return rows.Close()
+}
+
+// QueryContext implements driver.QueryerContext.
+func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	sqlText, err := interpolate(query, args)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.remote != nil {
+		stop := c.watchContext(ctx)
+		wr, err := c.remote.Query(sqlText)
+		if err != nil {
+			stop()
+			return nil, ctxOr(ctx, err)
+		}
+		// The watcher stays armed for the whole row stream; remoteRows.Close
+		// disarms it.
+		return &remoteRows{rows: wr, ctx: ctx, stop: stop}, nil
+	}
+	res, err := c.execLocal(ctx, sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return newLocalRows(res), nil
+}
+
+// ExecContext implements driver.ExecerContext.
+func (c *conn) ExecContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	sqlText, err := interpolate(query, args)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var tag string
+	if c.remote != nil {
+		stop := c.watchContext(ctx)
+		done, err := c.remote.Exec(sqlText)
+		stop()
+		if err != nil {
+			return nil, ctxOr(ctx, err)
+		}
+		tag = done.Tag
+	} else {
+		res, err := c.execLocal(ctx, sqlText)
+		if err != nil {
+			return nil, err
+		}
+		tag = res.Tag
+	}
+	return result{tag: tag}, nil
+}
+
+// watchContext arms context cancellation for a remote request: if ctx ends
+// while the wire client is blocked on the server, Abort unblocks it (the
+// connection is sacrificed — the wire protocol has no cancel message — and
+// the pool retires it through IsValid). The returned func disarms the
+// watcher and must be called exactly once; wire.WatchCancel joins the
+// watcher goroutine, after which the deadline is cleared so a fired (or
+// too-late) Abort cannot bleed into the connection's next request. An abort
+// that already broke this request keeps its effect — the failed read marked
+// the client Broken before the disarm runs.
+func (c *conn) watchContext(ctx context.Context) func() {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	stop := wire.WatchCancel(ctx, c.remote.Abort)
+	return func() {
+		stop()
+		c.remote.ResetDeadline()
+	}
+}
+
+// ctxOr prefers the context's error over the transport error it caused.
+func ctxOr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// execLocal runs a statement on the embedded session with the caller's
+// context cancellation armed as the engine interrupt.
+func (c *conn) execLocal(ctx context.Context, sqlText string) (*engine.Result, error) {
+	if done := ctx.Done(); done != nil {
+		c.local.SetInterrupt(done)
+		defer c.local.SetInterrupt(nil)
+	}
+	res, err := c.local.Execute(sqlText)
+	if err != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	return res, err
+}
+
+// --- statements ----------------------------------------------------------------
+
+type stmt struct {
+	c        *conn
+	query    string
+	numInput int
+}
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return s.numInput }
+func (s *stmt) namedValues(args []sqldriver.Value) []sqldriver.NamedValue {
+	out := make([]sqldriver.NamedValue, len(args))
+	for i, a := range args {
+		out[i] = sqldriver.NamedValue{Ordinal: i + 1, Value: a}
+	}
+	return out
+}
+
+func (s *stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
+	return s.c.ExecContext(context.Background(), s.query, s.namedValues(args))
+}
+
+func (s *stmt) Query(args []sqldriver.Value) (sqldriver.Rows, error) {
+	return s.c.QueryContext(context.Background(), s.query, s.namedValues(args))
+}
+
+// ExecContext implements driver.StmtExecContext, so prepared statements get
+// the same cancellation behavior as conn-level Exec.
+func (s *stmt) ExecContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	return s.c.ExecContext(ctx, s.query, args)
+}
+
+// QueryContext implements driver.StmtQueryContext.
+func (s *stmt) QueryContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	return s.c.QueryContext(ctx, s.query, args)
+}
+
+// --- results -------------------------------------------------------------------
+
+// result derives RowsAffected from the command tag ("INSERT 2", "DELETE 1").
+type result struct{ tag string }
+
+func (result) LastInsertId() (int64, error) {
+	return 0, fmt.Errorf("perm driver: LastInsertId is not supported")
+}
+
+func (r result) RowsAffected() (int64, error) {
+	fields := strings.Fields(r.tag)
+	if len(fields) == 0 {
+		return 0, nil
+	}
+	n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+	if err != nil {
+		return 0, nil // DDL tags ("CREATE TABLE") affect no rows
+	}
+	return n, nil
+}
+
+// --- rows ----------------------------------------------------------------------
+
+// remoteRows streams a wire result set. The connection's context watcher
+// stays armed until Close (database/sql always calls it), so cancellation
+// can unblock a stalled stream.
+type remoteRows struct {
+	rows *wire.Rows
+	ctx  context.Context
+	stop func()
+}
+
+func (r *remoteRows) Columns() []string { return r.rows.Desc.Names }
+
+func (r *remoteRows) Close() error {
+	err := r.rows.Close()
+	if r.stop != nil {
+		r.stop()
+		r.stop = nil
+	}
+	if err != nil && r.ctx != nil {
+		return ctxOr(r.ctx, err)
+	}
+	return err
+}
+
+func (r *remoteRows) Next(dest []sqldriver.Value) error {
+	row, err := r.rows.Next()
+	if err != nil {
+		if r.ctx != nil {
+			return ctxOr(r.ctx, err)
+		}
+		return err
+	}
+	if row == nil {
+		return io.EOF
+	}
+	for i := range dest {
+		if i < len(row) {
+			dest[i] = toDriverValue(row[i])
+		} else {
+			dest[i] = nil
+		}
+	}
+	return nil
+}
+
+// ColumnTypeDatabaseTypeName reports the engine type name ("INTEGER",
+// "TEXT", …) for database/sql's ColumnTypes.
+func (r *remoteRows) ColumnTypeDatabaseTypeName(index int) string {
+	return typeNameOf(r.rows.Desc.Kinds[index])
+}
+
+// localRows iterates a materialized embedded result.
+type localRows struct {
+	cols  []string
+	kinds []value.Kind
+	rows  []value.Row
+	pos   int
+}
+
+func newLocalRows(res *engine.Result) *localRows {
+	lr := &localRows{cols: res.Columns, rows: res.Rows}
+	lr.kinds = make([]value.Kind, len(res.Columns))
+	for i := 0; i < len(lr.kinds) && i < len(res.Schema); i++ {
+		lr.kinds[i] = res.Schema[i].Type
+	}
+	return lr
+}
+
+func (r *localRows) Columns() []string { return r.cols }
+func (r *localRows) Close() error      { r.rows = nil; return nil }
+
+func (r *localRows) Next(dest []sqldriver.Value) error {
+	if r.pos >= len(r.rows) {
+		return io.EOF
+	}
+	row := r.rows[r.pos]
+	r.pos++
+	for i := range dest {
+		if i < len(row) {
+			dest[i] = toDriverValue(row[i])
+		} else {
+			dest[i] = nil
+		}
+	}
+	return nil
+}
+
+func (r *localRows) ColumnTypeDatabaseTypeName(index int) string {
+	return typeNameOf(r.kinds[index])
+}
+
+func typeNameOf(k value.Kind) string {
+	switch k {
+	case value.KindBool:
+		return "BOOLEAN"
+	case value.KindInt:
+		return "INTEGER"
+	case value.KindFloat:
+		return "FLOAT"
+	case value.KindString:
+		return "TEXT"
+	}
+	return ""
+}
+
+func toDriverValue(v value.Value) sqldriver.Value {
+	switch v.K {
+	case value.KindNull:
+		return nil
+	case value.KindBool:
+		return v.B
+	case value.KindInt:
+		return v.I
+	case value.KindFloat:
+		return v.F
+	case value.KindString:
+		return v.S
+	}
+	return nil
+}
+
+// --- placeholder interpolation -------------------------------------------------
+
+// placeholderPositions returns the byte offsets of `?` markers that are
+// outside single-quoted string literals, double-quoted identifiers, and
+// `--` / `/* */` comments — the lexical contexts of the SQL dialect in
+// which a ? is not a placeholder.
+func placeholderPositions(query string) []int {
+	var pos []int
+	for i := 0; i < len(query); i++ {
+		switch query[i] {
+		case '\'':
+			i = skipQuoted(query, i, '\'')
+		case '"':
+			i = skipQuoted(query, i, '"')
+		case '-':
+			if i+1 < len(query) && query[i+1] == '-' {
+				for i < len(query) && query[i] != '\n' {
+					i++
+				}
+			}
+		case '/':
+			if i+1 < len(query) && query[i+1] == '*' {
+				// Block comments nest, matching the SQL lexer.
+				depth := 1
+				i += 2
+				for i < len(query) && depth > 0 {
+					switch {
+					case i+1 < len(query) && query[i] == '/' && query[i+1] == '*':
+						depth++
+						i += 2
+					case i+1 < len(query) && query[i] == '*' && query[i+1] == '/':
+						depth--
+						i += 2
+					default:
+						i++
+					}
+				}
+				i-- // outer loop increments past the comment's last byte
+			}
+		case '?':
+			pos = append(pos, i)
+		}
+	}
+	return pos
+}
+
+// skipQuoted returns the index of the closing quote of the quoted region
+// starting at start (a doubled quote escapes itself), or the end of the
+// string when unterminated.
+func skipQuoted(s string, start int, q byte) int {
+	for i := start + 1; i < len(s); i++ {
+		if s[i] == q {
+			if i+1 < len(s) && s[i+1] == q {
+				i++ // escaped quote, stay inside
+				continue
+			}
+			return i
+		}
+	}
+	return len(s)
+}
+
+// countPlaceholders reports how many `?` placeholders a statement binds.
+func countPlaceholders(query string) int { return len(placeholderPositions(query)) }
+
+// interpolate substitutes `?` placeholders with SQL literals. The engine has
+// no parameter protocol, so this is the driver's binding step; literal
+// rendering goes through value.SQLLiteral and quotes/escapes strings.
+func interpolate(query string, args []sqldriver.NamedValue) (string, error) {
+	pos := placeholderPositions(query)
+	if len(pos) != len(args) {
+		return "", fmt.Errorf("perm driver: %d arguments for %d placeholders", len(args), len(pos))
+	}
+	if len(args) == 0 {
+		return query, nil
+	}
+	var b strings.Builder
+	b.Grow(len(query) + 16*len(args))
+	last := 0
+	for k, p := range pos {
+		b.WriteString(query[last:p])
+		lit, err := literal(args[k].Value)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(lit)
+		last = p + 1
+	}
+	b.WriteString(query[last:])
+	return b.String(), nil
+}
+
+// literal renders one bound argument as a SQL literal.
+func literal(v sqldriver.Value) (string, error) {
+	switch x := v.(type) {
+	case nil:
+		return "NULL", nil
+	case bool:
+		return value.NewBool(x).SQLLiteral(), nil
+	case int64:
+		return value.NewInt(x).SQLLiteral(), nil
+	case float64:
+		// The SQL dialect has no literal form for non-finite floats; reject
+		// them here rather than emitting tokens the parser misreads.
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return "", fmt.Errorf("perm driver: cannot bind non-finite float %v", x)
+		}
+		return value.NewFloat(x).SQLLiteral(), nil
+	case string:
+		return value.NewString(x).SQLLiteral(), nil
+	case []byte:
+		if x == nil {
+			return "NULL", nil // database/sql convention: nil []byte is NULL
+		}
+		return value.NewString(string(x)).SQLLiteral(), nil
+	case time.Time:
+		return value.NewString(x.Format(time.RFC3339Nano)).SQLLiteral(), nil
+	}
+	return "", fmt.Errorf("perm driver: unsupported argument type %T", v)
+}

@@ -1,0 +1,120 @@
+// Package driver registers a database/sql driver named "perm", so any Go
+// program can talk to a Perm provenance database through the standard
+// library's connection pool:
+//
+//	import (
+//		"database/sql"
+//
+//		_ "perm/driver"
+//	)
+//
+//	db, err := sql.Open("perm", "tcp://127.0.0.1:5433")
+//	rows, err := db.Query(`SELECT PROVENANCE text FROM messages`)
+//
+// Provenance is plain relational data (the thesis of Glavic & Alonso, SIGMOD
+// 2009), so it needs no special client support: SELECT PROVENANCE results
+// come back as ordinary rows whose extra prov_<schema>_<relation>_<attr>
+// columns scan like any other column.
+//
+// # Data source names
+//
+//	tcp://host:port — connect to a cmd/permserver instance over the wire
+//	                  protocol; each pooled connection is its own server
+//	                  session (settings, plan cache).
+//	host:port       — shorthand for tcp://.
+//	mem://          — an in-process private database: every sql.DB opened
+//	                  with this DSN owns a fresh empty engine; its pooled
+//	                  connections share that engine as concurrent sessions.
+//	mem://name      — an in-process database shared by every sql.DB in the
+//	                  process that opens the same name (cross-package tests,
+//	                  embedded tools).
+//
+// # Placeholders
+//
+// The engine has no server-side parameters, so the driver interpolates `?`
+// placeholders client-side: arguments are rendered as SQL literals (strings
+// quoted and escaped) before the statement is sent. Supported argument
+// types are the driver.Value set: nil, bool, int64, float64, string, []byte
+// (sent as text) and time.Time (RFC 3339 text).
+//
+// # Semantics and limits
+//
+//   - Statements execute with autocommit; Begin returns an error since the
+//     engine has no transactions.
+//   - Result.LastInsertId is not supported; RowsAffected comes from the
+//     command tag.
+//   - Session settings (SET provenance_contribution = 'copy', …) work per
+//     connection; use a single-connection pool (db.SetMaxOpenConns(1)) or
+//     conn-pinned sql.Conn when you depend on them.
+package driver
+
+import (
+	"database/sql"
+	sqldriver "database/sql/driver"
+	"fmt"
+	"strings"
+	"sync"
+
+	"perm/internal/engine"
+)
+
+func init() {
+	sql.Register("perm", &Driver{})
+}
+
+// Driver is the database/sql driver for Perm.
+type Driver struct{}
+
+// Open implements driver.Driver.
+func (d *Driver) Open(dsn string) (sqldriver.Conn, error) {
+	c, err := d.OpenConnector(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return c.(*connector).connect()
+}
+
+// OpenConnector implements driver.DriverContext: the DSN is parsed once and
+// each pool connection reuses the result.
+func (d *Driver) OpenConnector(dsn string) (sqldriver.Connector, error) {
+	switch {
+	case strings.HasPrefix(dsn, "mem://"):
+		name := strings.TrimPrefix(dsn, "mem://")
+		return &connector{drv: d, mem: memDB(name)}, nil
+	case strings.HasPrefix(dsn, "tcp://"):
+		addr := strings.TrimPrefix(dsn, "tcp://")
+		if addr == "" {
+			return nil, fmt.Errorf("perm driver: empty address in DSN %q", dsn)
+		}
+		return &connector{drv: d, addr: addr}, nil
+	case strings.Contains(dsn, "://"):
+		return nil, fmt.Errorf("perm driver: unsupported scheme in DSN %q (want tcp:// or mem://)", dsn)
+	case dsn == "":
+		return nil, fmt.Errorf("perm driver: empty DSN")
+	default:
+		// Bare host:port.
+		return &connector{drv: d, addr: dsn}, nil
+	}
+}
+
+// memRegistry holds the process-wide named in-memory databases.
+var memRegistry = struct {
+	mu  sync.Mutex
+	dbs map[string]*engine.DB
+}{dbs: make(map[string]*engine.DB)}
+
+// memDB resolves a mem:// DSN to its engine. Named databases are shared
+// across the process; the empty name is always a fresh private engine.
+func memDB(name string) *engine.DB {
+	if name == "" {
+		return engine.NewDB()
+	}
+	memRegistry.mu.Lock()
+	defer memRegistry.mu.Unlock()
+	db := memRegistry.dbs[name]
+	if db == nil {
+		db = engine.NewDB()
+		memRegistry.dbs[name] = db
+	}
+	return db
+}

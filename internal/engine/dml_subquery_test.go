@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// Self-referential DML: a WHERE subquery (or SET expression) that scans the
+// table being mutated must not deadlock — the mutation's decision phase runs
+// outside the table lock. Regression test for the two-phase
+// storage.Table.Delete/Update.
+func TestDMLSubqueryOnSameTable(t *testing.T) {
+	db := NewDB()
+	s := db.NewSession()
+	defer s.Close()
+	mustExec := func(q string) *Result {
+		t.Helper()
+		res, err := s.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return res
+	}
+	mustExec(`CREATE TABLE t (id int, v int)`)
+	mustExec(`INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)`)
+
+	type outcome struct {
+		tag string
+		err error
+	}
+	run := func(q string) outcome {
+		done := make(chan outcome, 1)
+		go func() {
+			res, err := s.Execute(q)
+			var tag string
+			if res != nil {
+				tag = res.Tag
+			}
+			done <- outcome{tag: tag, err: err}
+		}()
+		select {
+		case o := <-done:
+			return o
+		case <-time.After(10 * time.Second):
+			t.Fatalf("statement deadlocked: %s", q)
+			return outcome{}
+		}
+	}
+
+	// DELETE whose subquery scans the same table.
+	o := run(`DELETE FROM t WHERE id IN (SELECT id FROM t WHERE v >= 30)`)
+	if o.err != nil || o.tag != "DELETE 1" {
+		t.Fatalf("self-referential DELETE: tag=%q err=%v", o.tag, o.err)
+	}
+	// UPDATE whose predicate and SET expression both read the same table.
+	o = run(`UPDATE t SET v = (SELECT max(v) FROM t) WHERE id IN (SELECT min(id) FROM t)`)
+	if o.err != nil || o.tag != "UPDATE 1" {
+		t.Fatalf("self-referential UPDATE: tag=%q err=%v", o.tag, o.err)
+	}
+	res := mustExec(`SELECT id, v FROM t ORDER BY id`)
+	if len(res.Rows) != 2 || res.Rows[0][1].Int() != 20 || res.Rows[1][1].Int() != 20 {
+		t.Fatalf("rows after self-referential DML: %v", res.Rows)
+	}
+}

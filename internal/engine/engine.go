@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"perm/internal/algebra"
@@ -30,6 +31,9 @@ type DB struct {
 	// ddlMu serializes DDL so CREATE TABLE + heap allocation stay atomic
 	// relative to other DDL.
 	ddlMu sync.Mutex
+	// sessions counts the sessions currently open (NewSession minus Close) —
+	// the network server surfaces it and tests assert teardown.
+	sessions atomic.Int64
 }
 
 // NewDB creates an empty database.
@@ -60,8 +64,12 @@ func (db *DB) NewSession() *Session {
 		cache: newPlanCache(),
 	}
 	s.fingerprint = s.computeFingerprint()
+	db.sessions.Add(1)
 	return s
 }
+
+// ActiveSessions reports how many sessions are currently open.
+func (db *DB) ActiveSessions() int { return int(db.sessions.Load()) }
 
 // Session is a single-user connection with its own settings and its own plan
 // cache (see plancache.go for the keying and invalidation rules).
@@ -78,6 +86,58 @@ type Session struct {
 	// recomputed only when a setting changes.
 	fingerprint string
 	cache       *planCache
+	// interrupt holds the current query-cancellation channel (see
+	// SetInterrupt); stored atomically because the shared implicit session may
+	// be used from several goroutines. deadline is its wall-clock analog
+	// (UnixNano, 0 = none; see SetDeadline).
+	interrupt atomic.Value // of <-chan struct{}
+	deadline  atomic.Int64
+	closed    atomic.Bool
+}
+
+// SetInterrupt installs a cancellation channel for subsequent statements:
+// once ch is closed, executing queries unwind with executor.ErrInterrupted
+// at their next materialization step. Pass nil to clear. The network server
+// arms this with the connection's kill channel; the in-process driver wires
+// it to the caller's context.
+func (s *Session) SetInterrupt(ch <-chan struct{}) {
+	s.interrupt.Store(ch)
+}
+
+// SetDeadline bounds subsequent statements to the wall-clock instant t — the
+// timer-free per-query timeout (polled alongside the interrupt channel).
+// Pass the zero time to clear.
+func (s *Session) SetDeadline(t time.Time) {
+	if t.IsZero() {
+		s.deadline.Store(0)
+		return
+	}
+	s.deadline.Store(t.UnixNano())
+}
+
+// execContext builds the executor context for one statement, carrying the
+// session's current interrupt channel and deadline.
+func (s *Session) execContext() *executor.Context {
+	ctx := executor.NewContext(s.db.store)
+	if ch, _ := s.interrupt.Load().(<-chan struct{}); ch != nil {
+		ctx.Interrupt = ch
+	}
+	if ns := s.deadline.Load(); ns != 0 {
+		ctx.Deadline = time.Unix(0, ns)
+	}
+	return ctx
+}
+
+// Close tears the session down: the plan cache is released and the session
+// no longer counts as active. Executing a statement on a closed session is
+// an error. Close is idempotent.
+func (s *Session) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.cache.reset()
+	s.db.sessions.Add(-1)
+	return nil
 }
 
 // setting reads one session variable under the read lock.
@@ -132,6 +192,9 @@ type Result struct {
 // identical settings and schema version) skips parse/analyze/rewrite/plan and
 // goes straight to execution.
 func (s *Session) Execute(text string) (*Result, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("engine: session is closed")
+	}
 	caching := s.planCacheOn() && cacheableStatement(text)
 	var key, keyFingerprint string
 	// Capture the schema version BEFORE planning: if concurrent DDL lands
@@ -190,7 +253,7 @@ func (s *Session) executeCached(e *planCacheEntry) (*Result, error) {
 	}
 	res := &Result{CacheHit: true, Rewrites: decisions}
 	t0 := time.Now()
-	out, err := executor.Run(executor.NewContext(s.db.store), e.plan)
+	out, err := executor.Run(s.execContext(), e.plan)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +276,7 @@ func (s *Session) ExecuteScript(text string) ([]*Result, error) {
 	for i, st := range stmts {
 		res, err := s.ExecuteStatement(st)
 		if err != nil {
-			return out, fmt.Errorf("statement %d: %v", i+1, err)
+			return out, fmt.Errorf("statement %d: %w", i+1, err)
 		}
 		out = append(out, res)
 	}
@@ -222,6 +285,9 @@ func (s *Session) ExecuteScript(text string) ([]*Result, error) {
 
 // ExecuteStatement runs a parsed statement.
 func (s *Session) ExecuteStatement(st sql.Statement) (*Result, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("engine: session is closed")
+	}
 	switch x := st.(type) {
 	case *sql.SelectStmt:
 		return s.runSelect(x)
@@ -365,7 +431,7 @@ func (s *Session) runSelectPlan(sel *sql.SelectStmt) (*Result, algebra.Op, error
 	res.Timings.Plan = time.Since(t1)
 
 	t2 := time.Now()
-	out, err := executor.Run(executor.NewContext(s.db.store), plan)
+	out, err := executor.Run(s.execContext(), plan)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -502,7 +568,7 @@ func (s *Session) runInsert(ins *sql.InsertStmt) (*Result, error) {
 		rows = sub.Rows
 	} else {
 		an := analyzer.New(s.db.Catalog())
-		ctx := executor.NewContext(s.db.store)
+		ctx := s.execContext()
 		for i, exprRow := range ins.Rows {
 			if len(exprRow) != len(target) {
 				return nil, fmt.Errorf("row %d has %d values, expected %d", i+1, len(exprRow), len(target))
@@ -557,7 +623,7 @@ func (s *Session) compilePredicate(where sql.Expr, def *catalog.TableDef) (func(
 		return nil, err
 	}
 	pred := executor.CompilePredicate(cond)
-	ctx := executor.NewContext(s.db.store)
+	ctx := s.execContext()
 	return func(row value.Row) (bool, error) {
 		return pred(row, ctx)
 	}, nil
@@ -568,12 +634,10 @@ func (s *Session) runDelete(del *sql.DeleteStmt) (*Result, error) {
 	if table == nil {
 		return nil, fmt.Errorf("table %q does not exist", del.Table)
 	}
+	// A nil predicate (no WHERE) keeps storage's O(1) truncate fast path.
 	pred, err := s.compilePredicate(del.Where, table.Def())
 	if err != nil {
 		return nil, err
-	}
-	if del.Where == nil {
-		pred = func(value.Row) (bool, error) { return true, nil }
 	}
 	n, err := table.Delete(pred)
 	if err != nil {
@@ -614,8 +678,13 @@ func (s *Session) runUpdate(up *sql.UpdateStmt) (*Result, error) {
 		}
 		setters = append(setters, setter{idx: idx, expr: executor.CompileExpr(e)})
 	}
-	ctx := executor.NewContext(s.db.store)
+	ctx := s.execContext()
 	n, err := table.Update(pred, func(row value.Row) (value.Row, error) {
+		// Poll for cancellation here too: with no WHERE clause there is no
+		// ticking predicate, and this loop visits every row.
+		if err := ctx.Tick(); err != nil {
+			return nil, err
+		}
 		out := row.Clone()
 		for _, st := range setters {
 			v, err := st.expr(row, ctx)

@@ -68,7 +68,7 @@ func (s *Session) explain(sel *sql.SelectStmt, analyze bool) (*Explanation, erro
 
 	if analyze {
 		t2 := time.Now()
-		out, err := executor.Run(executor.NewContext(s.db.store), opt)
+		out, err := executor.Run(s.execContext(), opt)
 		if err != nil {
 			return nil, err
 		}

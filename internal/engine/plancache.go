@@ -98,6 +98,13 @@ func (c *planCache) put(key string, e *planCacheEntry) {
 	c.entries[key] = e
 }
 
+// reset drops every cached plan (session teardown).
+func (c *planCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*planCacheEntry)
+}
+
 // stats returns the counters and current size.
 func (c *planCache) stats() (hits, misses uint64, size int) {
 	c.mu.Lock()

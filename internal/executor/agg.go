@@ -28,7 +28,7 @@ type aggState struct {
 	sum      value.Value
 	min      value.Value
 	max      value.Value
-	distinct map[string]value.Value // non-nil iff DISTINCT
+	distinct map[string]struct{} // non-nil iff DISTINCT
 }
 
 func (a *aggIter) Open(ctx *Context) error {
@@ -66,7 +66,7 @@ func (a *aggIter) Open(ctx *Context) error {
 			st := &g.states[i]
 			st.sum, st.min, st.max = value.Null, value.Null, value.Null
 			if ae.Distinct {
-				st.distinct = make(map[string]value.Value)
+				st.distinct = make(map[string]struct{})
 			}
 		}
 		return g
@@ -74,10 +74,18 @@ func (a *aggIter) Open(ctx *Context) error {
 
 	// keyVals and keyScratch are reused across rows: the group key is built in
 	// the scratch buffer, looked up allocation-free, and only cloned into a
-	// fresh Row when the group is new.
+	// fresh Row when the group is new. distinctScratch plays the same role for
+	// DISTINCT-aggregate argument keys: the seen-set lookup goes through
+	// string(scratch) (no allocation), and only first-seen values pay for a
+	// map-owned key string.
 	keyVals := make(value.Row, len(groupBy))
-	var keyScratch []byte
+	var keyScratch, distinctScratch []byte
 	for _, row := range rows {
+		// The fold emits no rows until every input is consumed, so it polls
+		// for cancellation itself (like the join probe loops).
+		if err := ctx.tick(); err != nil {
+			return err
+		}
 		keyScratch = keyScratch[:0]
 		for i, ge := range groupBy {
 			v, err := ge(row, ctx)
@@ -85,7 +93,7 @@ func (a *aggIter) Open(ctx *Context) error {
 				return err
 			}
 			keyVals[i] = v
-			keyScratch = appendFramedKey(keyScratch, v)
+			keyScratch = value.AppendFramedKey(keyScratch, v)
 		}
 		g, ok := groups[string(keyScratch)]
 		if !ok {
@@ -102,7 +110,7 @@ func (a *aggIter) Open(ctx *Context) error {
 				}
 				arg = v
 			}
-			if err := g.states[i].accumulate(ae, arg); err != nil {
+			if err := g.states[i].accumulate(ae, arg, &distinctScratch); err != nil {
 				return err
 			}
 		}
@@ -130,8 +138,9 @@ func (a *aggIter) Open(ctx *Context) error {
 	return nil
 }
 
-// accumulate folds one input value into the state.
-func (s *aggState) accumulate(ae algebra.AggExpr, arg value.Value) error {
+// accumulate folds one input value into the state. scratch is a shared
+// reusable buffer for DISTINCT seen-set keys.
+func (s *aggState) accumulate(ae algebra.AggExpr, arg value.Value, scratch *[]byte) error {
 	if ae.Func == algebra.AggCount && ae.Arg == nil {
 		s.count++ // COUNT(*): every row counts
 		return nil
@@ -140,11 +149,11 @@ func (s *aggState) accumulate(ae algebra.AggExpr, arg value.Value) error {
 		return nil // aggregates skip NULLs
 	}
 	if s.distinct != nil {
-		k := arg.Key()
-		if _, seen := s.distinct[k]; seen {
+		*scratch = arg.AppendKey((*scratch)[:0])
+		if _, seen := s.distinct[string(*scratch)]; seen {
 			return nil
 		}
-		s.distinct[k] = arg
+		s.distinct[string(*scratch)] = struct{}{}
 	}
 	s.count++
 	switch ae.Func {

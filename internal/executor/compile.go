@@ -149,9 +149,17 @@ func compilePred(e algebra.Expr) compiledPred {
 }
 
 // CompilePredicate exposes predicate compilation to the engine (UPDATE/DELETE
-// WHERE clauses run once-compiled over every heap row).
+// WHERE clauses run once-compiled over every heap row). The wrapper also
+// polls for cancellation: DML decision loops run in the storage layer, which
+// has no iterator machinery to poll for it.
 func CompilePredicate(e algebra.Expr) func(row value.Row, ctx *Context) (bool, error) {
-	return compilePred(e)
+	pred := compilePred(e)
+	return func(row value.Row, ctx *Context) (bool, error) {
+		if err := ctx.tick(); err != nil {
+			return false, err
+		}
+		return pred(row, ctx)
+	}
 }
 
 // CompileExpr exposes expression compilation to the engine (UPDATE SET
@@ -401,10 +409,4 @@ func compileAll(exprs []algebra.Expr) []compiledExpr {
 		out[i] = Compile(e)
 	}
 	return out
-}
-
-// appendFramedKey appends v's length-framed canonical key to dst (the hash
-// key building block shared by the join and aggregation iterators).
-func appendFramedKey(dst []byte, v value.Value) []byte {
-	return value.AppendFramedKey(dst, v)
 }

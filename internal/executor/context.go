@@ -5,12 +5,19 @@
 package executor
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"perm/internal/algebra"
 	"perm/internal/storage"
 	"perm/internal/value"
 )
+
+// ErrInterrupted is returned when a query is canceled through the context's
+// Interrupt channel (per-query timeouts in the network server, client
+// cancellation in the in-process driver).
+var ErrInterrupted = errors.New("executor: query interrupted")
 
 // Context carries execution state: the storage engine, the stack of outer
 // rows for correlated evaluation, and the cache for uncorrelated subplans.
@@ -30,6 +37,54 @@ type Context struct {
 	// operator may buffer (protection against runaway provenance joins in
 	// interactive use). Zero means unlimited.
 	RowBudget int
+	// Interrupt, when non-nil, cancels the query once it is closed: the
+	// materialization loops poll it periodically and unwind with
+	// ErrInterrupted. The network server arms it with the connection's kill
+	// channel; the in-process driver with the caller's context.
+	Interrupt <-chan struct{}
+	// Deadline, when non-zero, cancels the query once it passes — the
+	// timer-free form of per-query timeouts (one time.Now per poll, no
+	// goroutine or channel per statement).
+	Deadline time.Time
+	// keyScratch is a reusable buffer for probe-side hash keys (uncorrelated
+	// IN-subquery membership tests), so probing does not allocate per row.
+	keyScratch []byte
+	// ticks counts tick() calls for the row-free cancellation polls.
+	ticks uint
+}
+
+// Tick exposes the cancellation poll to engine-level DML loops (UPDATE
+// setters, and any other per-row work that bypasses the iterator machinery).
+func (c *Context) Tick() error { return c.tick() }
+
+// tick is the cancellation poll for loops that can spin without producing a
+// row (filters rejecting everything, join probes that never match): the
+// materialization loops only poll per emitted row, so these inner loops call
+// tick once per iteration and pay one channel select every interruptMask+1
+// calls.
+func (c *Context) tick() error {
+	c.ticks++
+	if c.ticks&interruptMask != 0 {
+		return nil
+	}
+	return c.interrupted()
+}
+
+// interrupted reports ErrInterrupted once the Interrupt channel has fired or
+// the deadline has passed.
+func (c *Context) interrupted() error {
+	if !c.Deadline.IsZero() && time.Now().After(c.Deadline) {
+		return ErrInterrupted
+	}
+	if c.Interrupt == nil {
+		return nil
+	}
+	select {
+	case <-c.Interrupt:
+		return ErrInterrupted
+	default:
+		return nil
+	}
 }
 
 // subplanIter returns the cached iterator tree for a correlated subplan,
@@ -51,20 +106,26 @@ type subplanResult struct {
 	err  error
 	// Membership index for uncorrelated IN subplans, built on first use:
 	// keys of the first column's values, plus whether a NULL occurred.
-	inSet     map[string]bool
+	inSet     map[string]struct{}
 	inSawNull bool
 }
 
-// membership returns the IN-membership index, building it lazily.
-func (r *subplanResult) membership() (map[string]bool, bool) {
+// membership returns the IN-membership index, building it lazily. Keys are
+// built in a scratch buffer and only materialize into map-owned strings for
+// values not seen before, so duplicate-heavy inputs index allocation-free.
+func (r *subplanResult) membership() (map[string]struct{}, bool) {
 	if r.inSet == nil {
-		r.inSet = make(map[string]bool, len(r.rows))
+		r.inSet = make(map[string]struct{}, len(r.rows))
+		var scratch []byte
 		for _, row := range r.rows {
 			if row[0].IsNull() {
 				r.inSawNull = true
 				continue
 			}
-			r.inSet[row[0].Key()] = true
+			scratch = row[0].AppendKey(scratch[:0])
+			if _, seen := r.inSet[string(scratch)]; !seen {
+				r.inSet[string(scratch)] = struct{}{}
+			}
 		}
 	}
 	return r.inSet, r.inSawNull
@@ -117,6 +178,11 @@ func Run(ctx *Context, plan algebra.Op) (*Result, error) {
 		rows = append(rows, row)
 		if ctx.RowBudget > 0 && len(rows) > ctx.RowBudget {
 			return nil, fmt.Errorf("executor: result exceeds row budget of %d rows", ctx.RowBudget)
+		}
+		if len(rows)&interruptMask == 0 {
+			if err := ctx.interrupted(); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return &Result{Schema: plan.Schema(), Rows: rows}, nil

@@ -249,7 +249,10 @@ func evalSubplan(sp *algebra.Subplan, row value.Row, ctx *Context) (value.Value,
 		if cached.err != nil {
 			return value.Null, cached.err
 		}
-		// Fast path: uncorrelated IN membership via hash lookup.
+		// Fast path: uncorrelated IN membership via hash lookup. The probe key
+		// is built in the context's scratch buffer; map lookups through
+		// string(scratch) stay on the compiler's no-allocation path, so probing
+		// costs zero allocations per outer row.
 		if sp.Mode == algebra.InSubplan {
 			needle, err := Eval(sp.Needle, row, ctx)
 			if err != nil {
@@ -259,7 +262,8 @@ func evalSubplan(sp *algebra.Subplan, row value.Row, ctx *Context) (value.Value,
 				return value.Null, nil
 			}
 			set, sawNull := cached.membership()
-			if set[needle.Key()] {
+			ctx.keyScratch = needle.AppendKey(ctx.keyScratch[:0])
+			if _, ok := set[string(ctx.keyScratch)]; ok {
 				return value.NewBool(!sp.Neg), nil
 			}
 			if sawNull {

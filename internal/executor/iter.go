@@ -138,6 +138,9 @@ func (f *filterIter) Open(ctx *Context) error {
 
 func (f *filterIter) Next() (value.Row, error) {
 	for {
+		if err := f.ctx.tick(); err != nil {
+			return nil, err
+		}
 		in, err := f.input.Next()
 		if err != nil || in == nil {
 			return nil, err
@@ -338,5 +341,16 @@ func drain(it iterator, ctx *Context) ([]value.Row, error) {
 		if ctx.RowBudget > 0 && len(rows) > ctx.RowBudget {
 			return nil, fmt.Errorf("executor: intermediate result exceeds row budget of %d rows", ctx.RowBudget)
 		}
+		if len(rows)&interruptMask == 0 {
+			if err := ctx.interrupted(); err != nil {
+				return nil, err
+			}
+		}
 	}
 }
+
+// interruptMask spaces the cancellation polls in the materialization loops:
+// the channel select runs once every interruptMask+1 rows, which keeps the
+// per-row overhead unmeasurable while still canceling runaway provenance
+// joins within microseconds.
+const interruptMask = 255

@@ -217,7 +217,7 @@ func (h *hashJoinIter) appendKey(dst []byte, row value.Row, side []compiledExpr)
 		if v.IsNull() && !h.nullEq[i] {
 			return dst, false, nil
 		}
-		dst = appendFramedKey(dst, v)
+		dst = value.AppendFramedKey(dst, v)
 	}
 	return dst, true, nil
 }
@@ -241,6 +241,11 @@ func (h *hashJoinIter) Next() (value.Row, error) {
 	nRight := len(h.op.Right.Schema())
 	nLeft := len(h.op.Left.Schema())
 	for {
+		// Poll for cancellation: a probe stream that never matches loops here
+		// without emitting rows, invisible to the materialization polls.
+		if err := h.ctx.tick(); err != nil {
+			return nil, err
+		}
 		if h.done {
 			return nil, nil
 		}
@@ -395,6 +400,9 @@ func (n *nlJoinIter) Next() (value.Row, error) {
 	nLeft := len(n.op.Left.Schema())
 	nRight := len(n.op.Right.Schema())
 	for {
+		if err := n.ctx.tick(); err != nil {
+			return nil, err
+		}
 		if n.done {
 			return nil, nil
 		}
@@ -427,6 +435,11 @@ func (n *nlJoinIter) Next() (value.Row, error) {
 			n.curMatch = false
 		}
 		for n.curIdx < len(n.rightRows) {
+			// Per-candidate poll: one probe row can scan the whole right side
+			// without a match, so the outer-loop poll alone is not enough.
+			if err := n.ctx.tick(); err != nil {
+				return nil, err
+			}
 			br := &n.rightRows[n.curIdx]
 			n.curIdx++
 			ok := true
@@ -530,6 +543,9 @@ func (l *lateralJoinIter) Open(ctx *Context) error {
 func (l *lateralJoinIter) Next() (value.Row, error) {
 	nRight := len(l.op.Right.Schema())
 	for {
+		if err := l.ctx.tick(); err != nil {
+			return nil, err
+		}
 		if l.curProbe == nil {
 			probe, err := l.left.Next()
 			if err != nil {

@@ -1,0 +1,653 @@
+// Package server exposes a Perm database over TCP using the wire protocol
+// of internal/wire. Every accepted connection gets its own engine.Session —
+// per-session settings, plan cache and SQL-PLE provenance queries all work
+// over the network exactly as they do embedded — while the storage engine
+// and catalog are shared, so concurrent clients see one database.
+//
+// Operational behavior:
+//
+//   - Connection limits: at most Config.MaxConns sessions run at once;
+//     excess connections are refused with a wire error at handshake.
+//   - Per-query timeouts: Config.QueryTimeout arms the session's interrupt
+//     channel for each statement; a query that overruns unwinds with
+//     executor.ErrInterrupted, is reported as a wire error, and the
+//     connection stays usable.
+//   - Graceful shutdown: Shutdown stops accepting, closes idle connections
+//     immediately, waits for in-flight requests to drain until the context
+//     expires, then force-closes stragglers (interrupting their queries).
+//   - Online backup: the Backup message streams a consistent storage
+//     snapshot (storage.Store.Save) without blocking concurrent queries.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"perm/internal/engine"
+	"perm/internal/executor"
+	"perm/internal/value"
+	"perm/internal/wire"
+)
+
+// Config tunes a Server. The zero value means no connection limit and no
+// query timeout.
+type Config struct {
+	// MaxConns caps concurrently served connections; 0 means unlimited.
+	MaxConns int
+	// QueryTimeout bounds each statement's execution AND the writing of its
+	// response, so a client that stops reading cannot pin a session (and a
+	// MaxConns slot) forever; 0 means unlimited.
+	QueryTimeout time.Duration
+	// Logf, when set, receives connection lifecycle and error logs.
+	Logf func(format string, args ...any)
+}
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server serves a Perm database over the wire protocol.
+type Server struct {
+	db  *engine.DB
+	cfg Config
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	// conns tracks each served connection: its kill channel (closing it
+	// interrupts the connection's in-flight query, so force-closing a socket
+	// also unwinds the session promptly) and whether a request is currently
+	// being served — graceful shutdown closes idle connections immediately
+	// (the norm with pooled database/sql clients) and lets in-flight requests
+	// finish.
+	conns map[net.Conn]*connState
+	// refuseConns tracks connections currently being refused, so the forced
+	// shutdown path can cut their 5-second courtesy window short.
+	refuseConns map[net.Conn]struct{}
+	active      int
+	closing     bool
+	wg          sync.WaitGroup
+	// refuseWg tracks in-flight connection refusals; refusing counts how many
+	// run right now, so a connection flood cannot grow refusal goroutines
+	// (each with bufio buffers) without bound (see goRefuse).
+	refuseWg sync.WaitGroup
+	refusing int
+
+	queries atomic.Uint64
+}
+
+// New creates a server over db.
+func New(db *engine.DB, cfg Config) *Server {
+	return &Server{
+		db:          db,
+		cfg:         cfg,
+		listeners:   make(map[net.Listener]struct{}),
+		conns:       make(map[net.Conn]*connState),
+		refuseConns: make(map[net.Conn]struct{}),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// QueriesServed reports the total number of statements executed.
+func (s *Server) QueriesServed() uint64 { return s.queries.Load() }
+
+// ActiveConns reports the number of connections currently served.
+func (s *Server) ActiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// ListenAndServe listens on addr ("host:port") and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts connections on l until the listener fails or the server
+// shuts down. It may be called on several listeners concurrently.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+
+	var acceptDelay time.Duration
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return ErrServerClosed
+			}
+			// Transient accept failures (EMFILE under fd pressure, ECONNABORTED)
+			// must not take the whole server down; back off and retry the way
+			// net/http does.
+			if ne, ok := err.(net.Error); ok && ne.Temporary() {
+				if acceptDelay == 0 {
+					acceptDelay = 5 * time.Millisecond
+				} else if acceptDelay *= 2; acceptDelay > time.Second {
+					acceptDelay = time.Second
+				}
+				s.logf("accept: %v; retrying in %v", err, acceptDelay)
+				time.Sleep(acceptDelay)
+				continue
+			}
+			return err
+		}
+		acceptDelay = 0
+		kill, ok := s.registerConn(nc)
+		if !ok {
+			// Over the connection limit (or shutting down): answer the
+			// handshake with an error so clients fail fast and descriptively.
+			s.goRefuse(nc)
+			continue
+		}
+		go func() {
+			defer s.wg.Done()
+			defer s.unregisterConn(nc)
+			s.serveConn(nc, kill)
+		}()
+	}
+}
+
+// registerConn admits nc under the connection limit. The WaitGroup increment
+// happens under the same lock that Shutdown uses to set closing, so a
+// connection is either refused or visible to Shutdown's wait — never
+// admitted into a gap.
+func (s *Server) registerConn(nc net.Conn) (chan struct{}, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return nil, false
+	}
+	if s.cfg.MaxConns > 0 && s.active >= s.cfg.MaxConns {
+		return nil, false
+	}
+	s.active++
+	kill := make(chan struct{})
+	s.conns[nc] = &connState{kill: kill}
+	s.wg.Add(1)
+	return kill, true
+}
+
+// connState is the per-connection bookkeeping shutdown needs.
+type connState struct {
+	kill     chan struct{}
+	inFlight bool
+}
+
+// beginRequest marks the connection busy; it returns false when the server
+// is shutting down and the request should be refused.
+func (s *Server) beginRequest(nc net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		return false
+	}
+	if st := s.conns[nc]; st != nil {
+		st.inFlight = true
+	}
+	return true
+}
+
+// endRequest marks the connection idle again; it returns false when the
+// server started shutting down mid-request, in which case the session
+// should close now that its response is delivered.
+func (s *Server) endRequest(nc net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.conns[nc]; st != nil {
+		st.inFlight = false
+	}
+	return !s.closing
+}
+
+func (s *Server) unregisterConn(nc net.Conn) {
+	s.mu.Lock()
+	s.active--
+	delete(s.conns, nc)
+	s.mu.Unlock()
+}
+
+// maxConcurrentRefusals caps the courtesy-error goroutines: past the cap a
+// flood of over-limit connections is dropped with a bare close instead of a
+// buffered handshake, so MaxConns really does bound server memory.
+const maxConcurrentRefusals = 32
+
+// serverReadLimit bounds client→server frames (1 MiB): ample for any SQL
+// statement, small enough that a flood of hostile length prefixes cannot
+// exhaust memory. Server→client frames keep the full wire.MaxFrameSize for
+// wide provenance rows.
+const serverReadLimit = 1 << 20
+
+// goRefuse runs refuse on its own goroutine, tracked by refuseWg so Shutdown
+// does not return (and permserver does not exit) while a refusal is still
+// delivering its message. The Add happens under s.mu and only while not
+// closing, which orders it strictly before Shutdown's Wait.
+func (s *Server) goRefuse(nc net.Conn) {
+	s.mu.Lock()
+	if s.closing || s.refusing >= maxConcurrentRefusals {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.refusing++
+	s.refuseConns[nc] = struct{}{}
+	s.refuseWg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer func() {
+			s.mu.Lock()
+			s.refusing--
+			delete(s.refuseConns, nc)
+			s.mu.Unlock()
+			s.refuseWg.Done()
+		}()
+		s.refuse(nc)
+	}()
+}
+
+// refuse answers a rejected connection with a wire error naming the actual
+// reason (shutdown vs. capacity).
+func (s *Server) refuse(nc net.Conn) {
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	conn := wire.NewConn(nc)
+	conn.SetReadLimit(serverReadLimit)
+	// Consume the Hello so the client reads our error rather than a reset.
+	if typ, _, err := conn.ReadMessage(); err != nil || typ != wire.MsgHello {
+		return
+	}
+	s.mu.Lock()
+	closing := s.closing
+	s.mu.Unlock()
+	msg := "connection limit reached"
+	if closing {
+		msg = "server is shutting down"
+	}
+	conn.WriteMessage(wire.MsgError, wire.AppendString(nil, msg))
+	conn.Flush()
+}
+
+// Shutdown stops accepting connections, closes idle connections immediately
+// (pooled database/sql clients keep idle connections open indefinitely, so
+// waiting for them would burn the whole drain deadline on every deploy), and
+// waits for in-flight requests to finish. When ctx expires first, remaining
+// connections — including any mid-refusal — are force-closed and their
+// queries interrupted.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for nc, st := range s.conns {
+		if !st.inFlight {
+			nc.Close() // idle: unblocks the read loop, session tears down
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		s.refuseWg.Wait() // refusals carry a 5s deadline, so this is bounded
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for nc, st := range s.conns {
+			close(st.kill) // interrupt the in-flight query
+			nc.Close()
+		}
+		s.conns = make(map[net.Conn]*connState)
+		for nc := range s.refuseConns {
+			nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-closes everything immediately.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// serveConn runs one session's request/response loop. kill is closed when
+// the server force-closes the connection, interrupting in-flight queries.
+func (s *Server) serveConn(nc net.Conn, kill <-chan struct{}) {
+	defer nc.Close()
+	conn := wire.NewConn(nc)
+	// Clients only ever send small frames (handshake, SQL text, backup
+	// request); capping reads stops a hostile length prefix from making each
+	// connection allocate MaxFrameSize before sending a byte.
+	conn.SetReadLimit(serverReadLimit)
+
+	// Handshake, under a deadline so an idle TCP connection cannot hold a
+	// MaxConns slot without ever speaking the protocol.
+	nc.SetDeadline(time.Now().Add(10 * time.Second))
+	typ, body, err := conn.ReadMessage()
+	if err != nil || typ != wire.MsgHello {
+		return
+	}
+	hello, err := wire.DecodeHello(body)
+	if err != nil {
+		return
+	}
+	if hello.Version != wire.ProtocolVersion {
+		conn.WriteMessage(wire.MsgError, wire.AppendString(nil,
+			fmt.Sprintf("protocol version %d not supported (server speaks %d)",
+				hello.Version, wire.ProtocolVersion)))
+		conn.Flush()
+		return
+	}
+	ok := wire.HelloOK{Version: wire.ProtocolVersion, Server: "perm"}
+	if err := conn.WriteMessage(wire.MsgHelloOK, ok.Encode(nil)); err != nil {
+		return
+	}
+	if err := conn.Flush(); err != nil {
+		return
+	}
+	nc.SetDeadline(time.Time{}) // handshake done; sessions may idle
+
+	sess := s.db.NewSession()
+	defer sess.Close()
+	// The connection's kill channel is the session's standing interrupt, so a
+	// forced shutdown unwinds an in-flight query promptly; per-query timeouts
+	// ride on the session deadline (see execute).
+	sess.SetInterrupt(kill)
+	s.logf("session open from %s (client %q)", nc.RemoteAddr(), hello.Client)
+	defer s.logf("session closed from %s", nc.RemoteAddr())
+
+	scratch := make([]byte, 0, 4096)
+	for {
+		typ, body, err := conn.ReadMessage()
+		if err != nil {
+			if err != io.EOF {
+				s.logf("read from %s: %v", nc.RemoteAddr(), err)
+			}
+			return
+		}
+		if typ == wire.MsgTerminate {
+			return
+		}
+		if !s.beginRequest(nc) {
+			// Shutdown raced this request in: tell the client rather than
+			// resetting it.
+			s.writeError(conn, "server is shutting down")
+			return
+		}
+		switch typ {
+		case wire.MsgQuery:
+			r := wire.NewReader(body)
+			sqlText := r.String()
+			if r.Err() != nil {
+				s.writeError(conn, "malformed query frame")
+				return
+			}
+			s.armWriteDeadline(nc)
+			if err := s.runQuery(conn, sess, sqlText, &scratch); err != nil {
+				s.logf("write to %s: %v", nc.RemoteAddr(), err)
+				return
+			}
+			nc.SetWriteDeadline(time.Time{})
+			// Mirror the read path's buffer hygiene: one outlier result must
+			// not pin a huge scratch for the connection's lifetime.
+			if cap(scratch) > 1<<20 {
+				scratch = make([]byte, 0, 4096)
+			}
+		case wire.MsgBackup:
+			s.armWriteDeadline(nc)
+			if err := s.runBackup(conn, nc); err != nil {
+				s.logf("backup to %s: %v", nc.RemoteAddr(), err)
+				return
+			}
+			nc.SetWriteDeadline(time.Time{})
+		default:
+			s.writeError(conn, fmt.Sprintf("unexpected message type %q", typ))
+			return
+		}
+		if !s.endRequest(nc) {
+			// Shutdown began while this request ran; its response is
+			// delivered, now close the session instead of idling.
+			return
+		}
+	}
+}
+
+// armWriteDeadline bounds the writing of one response by the query timeout:
+// a client that sends a request and then stops reading would otherwise block
+// the session goroutine in a deadline-less socket write once the TCP buffers
+// fill, pinning a MaxConns slot forever.
+func (s *Server) armWriteDeadline(nc net.Conn) {
+	if s.cfg.QueryTimeout > 0 {
+		nc.SetWriteDeadline(time.Now().Add(s.cfg.QueryTimeout))
+	}
+}
+
+func (s *Server) writeError(conn *wire.Conn, msg string) error {
+	if err := conn.WriteMessage(wire.MsgError, wire.AppendString(nil, msg)); err != nil {
+		return err
+	}
+	return conn.Flush()
+}
+
+// runQuery executes one statement on the session and streams the result.
+// Returned errors are connection-fatal I/O errors; statement errors travel
+// to the client as wire errors.
+func (s *Server) runQuery(conn *wire.Conn, sess *engine.Session, sqlText string, scratch *[]byte) error {
+	s.queries.Add(1)
+	res, err := s.execute(sess, sqlText)
+	if err != nil {
+		return s.writeError(conn, err.Error())
+	}
+	if err := s.writeResult(conn, res, scratch); err != nil {
+		// An oversize row is rejected before any of its bytes hit the wire,
+		// so the stream is still in sync: report it in-band (the client ends
+		// the row stream with a ServerError) and keep the connection.
+		if errors.Is(err, wire.ErrFrameTooLarge) {
+			return s.writeError(conn, fmt.Sprintf("result row too large for the wire protocol: %v", err))
+		}
+		return err
+	}
+	return conn.Flush()
+}
+
+// execute runs the statement under the per-query timeout. The timeout is a
+// session deadline polled by the executor alongside the standing kill-channel
+// interrupt — no timer, goroutine, or channel is allocated per statement.
+func (s *Server) execute(sess *engine.Session, sqlText string) (*engine.Result, error) {
+	if s.cfg.QueryTimeout <= 0 {
+		return sess.Execute(sqlText)
+	}
+	deadline := time.Now().Add(s.cfg.QueryTimeout)
+	sess.SetDeadline(deadline)
+	defer sess.SetDeadline(time.Time{})
+	res, err := sess.Execute(sqlText)
+	// Only a genuine interrupt unwind past the deadline is relabeled as a
+	// timeout; a statement that failed for its own reasons keeps its error,
+	// and a shutdown kill keeps the interrupt error (the connection is dying
+	// anyway).
+	if errors.Is(err, executor.ErrInterrupted) && !time.Now().Before(deadline) {
+		return nil, fmt.Errorf("query canceled: exceeded the %s per-query timeout", s.cfg.QueryTimeout)
+	}
+	return res, err
+}
+
+// rowDescFor builds the wire column description from an engine result. The
+// schema carries the column types and provenance flags; results that lack a
+// schema entry (SHOW-style synthetic columns always have one, so this is
+// purely defensive) fall back to untyped.
+func rowDescFor(res *engine.Result) wire.RowDesc {
+	n := len(res.Columns)
+	desc := wire.RowDesc{
+		Names:  res.Columns,
+		Kinds:  make([]value.Kind, n),
+		IsProv: make([]bool, n),
+	}
+	for i := 0; i < n && i < len(res.Schema); i++ {
+		desc.Kinds[i] = res.Schema[i].Type
+		desc.IsProv[i] = res.Schema[i].IsProv
+	}
+	return desc
+}
+
+// writeResult streams RowDesc + rows + Complete for res.
+func (s *Server) writeResult(conn *wire.Conn, res *engine.Result, scratch *[]byte) error {
+	// Encoded payloads build in *scratch and the grown buffer is stored back,
+	// so one connection reuses a single buffer across rows and statements
+	// (WriteMessage copies into the bufio writer before returning).
+	if len(res.Columns) > 0 {
+		*scratch = rowDescFor(res).Encode((*scratch)[:0])
+		if err := conn.WriteMessage(wire.MsgRowDesc, *scratch); err != nil {
+			return err
+		}
+		for _, row := range res.Rows {
+			*scratch = wire.AppendRow((*scratch)[:0], row)
+			if err := conn.WriteMessage(wire.MsgRow, *scratch); err != nil {
+				return err
+			}
+		}
+	}
+	done := wire.Complete{
+		Tag:      res.Tag,
+		CacheHit: res.CacheHit,
+		Parse:    int64(res.Timings.Parse),
+		Analyze:  int64(res.Timings.Analyze),
+		Rewrite:  int64(res.Timings.Rewrite),
+		Plan:     int64(res.Timings.Plan),
+		Execute:  int64(res.Timings.Execute),
+	}
+	*scratch = done.Encode((*scratch)[:0])
+	return conn.WriteMessage(wire.MsgComplete, *scratch)
+}
+
+// runBackup streams a consistent snapshot without blocking queries: the
+// storage layer captures a point-in-time image in microseconds and the gob
+// encode happens against copy-on-write row snapshots.
+func (s *Server) runBackup(conn *wire.Conn, nc net.Conn) error {
+	w := &chunkWriter{conn: conn, refresh: func() { s.armWriteDeadline(nc) }}
+	if err := s.db.Store().Save(w); err != nil {
+		if w.writeErr != nil {
+			return w.writeErr // connection gone
+		}
+		return s.writeError(conn, fmt.Sprintf("backup failed: %v", err))
+	}
+	if err := w.flushChunk(); err != nil {
+		return err
+	}
+	if err := conn.WriteMessage(wire.MsgBackupDone, nil); err != nil {
+		return err
+	}
+	return conn.Flush()
+}
+
+// chunkWriter frames an io.Writer stream into BackupChunk messages. refresh
+// re-arms the write deadline before each chunk, so a backup is bounded by
+// per-chunk progress rather than total duration — a large database streams
+// for as long as the client keeps reading, while a stalled client still
+// times out within one QueryTimeout.
+type chunkWriter struct {
+	conn     *wire.Conn
+	refresh  func()
+	buf      []byte
+	writeErr error
+}
+
+const backupChunkSize = 256 << 10
+
+// Write streams full chunks straight out of p (WriteMessage copies into the
+// connection's buffer, so aliasing is safe) and only retains the sub-chunk
+// remainder — constant extra memory and linear work however large the
+// encoder's writes are.
+func (w *chunkWriter) Write(p []byte) (int, error) {
+	if w.writeErr != nil {
+		return 0, w.writeErr
+	}
+	total := len(p)
+	// Top up a buffered partial chunk first.
+	if len(w.buf) > 0 {
+		need := backupChunkSize - len(w.buf)
+		if need > len(p) {
+			need = len(p)
+		}
+		w.buf = append(w.buf, p[:need]...)
+		p = p[need:]
+		if len(w.buf) == backupChunkSize {
+			if err := w.send(w.buf); err != nil {
+				return 0, err
+			}
+			w.buf = w.buf[:0]
+		}
+	}
+	for len(p) >= backupChunkSize {
+		if err := w.send(p[:backupChunkSize]); err != nil {
+			return 0, err
+		}
+		p = p[backupChunkSize:]
+	}
+	w.buf = append(w.buf, p...)
+	return total, nil
+}
+
+func (w *chunkWriter) flushChunk() error {
+	if w.writeErr != nil {
+		return w.writeErr
+	}
+	if len(w.buf) == 0 {
+		return nil
+	}
+	err := w.send(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+func (w *chunkWriter) send(chunk []byte) error {
+	w.refresh()
+	if err := w.conn.WriteMessage(wire.MsgBackupChunk, chunk); err != nil {
+		w.writeErr = err
+		return err
+	}
+	// Flush per chunk so the deadline measures delivery progress, not just
+	// filling the 32 KiB write buffer.
+	if err := w.conn.Flush(); err != nil {
+		w.writeErr = err
+		return err
+	}
+	return nil
+}

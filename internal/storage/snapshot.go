@@ -14,10 +14,24 @@ import (
 // provenance tables available across process restarts — the "store
 // provenance for later investigation" part of the paper's story.
 //
-// Save reads table rows through Table.Snapshot, which shares the live row
-// slice instead of copying it (see the aliasing contract on Snapshot); the
-// encoder only reads, so serialization is allocation-free on the storage
-// side even for large provenance tables.
+// Save is an online, consistent backup. It runs in two phases:
+//
+//  1. collect — under the store lock (shared, so queries keep running) and
+//     the snapshot gate (exclusive, so no row mutation can interleave), it
+//     captures the row-slice header of every table plus the catalog state.
+//     This is O(#tables), microseconds, and the only moment writers wait.
+//  2. encode — the gob stream is written outside all locks. The captured
+//     slice headers stay valid because every mutation is copy-on-write with
+//     respect to previously returned snapshots (see the aliasing contract on
+//     Table.Snapshot); the encoder only reads, so serialization is
+//     allocation-free on the storage side even for large provenance tables.
+//
+// The result is a point-in-time image across all tables at statement
+// granularity: each mutation holds the gate for its whole apply, so no
+// statement's write is ever half-visible. (Multi-statement logical writes
+// are NOT atomic under backup — the engine has no transactions — so a
+// snapshot may fall between two statements of one client workflow.)
+// Concurrent readers are never blocked at all.
 
 // snapshotDTO is the on-disk representation.
 type snapshotDTO struct {
@@ -43,20 +57,39 @@ type viewDTO struct {
 
 const snapshotVersion = 1
 
-// Save writes the full store to w.
+// Save writes the full store to w as a consistent point-in-time snapshot
+// without blocking concurrent readers (and blocking writers only for the
+// header-collection instant).
 func (s *Store) Save(w io.Writer) error {
+	dto, err := s.collect()
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(dto)
+}
+
+// collect captures the snapshot DTO under the store lock and the write gate.
+func (s *Store) collect() (*snapshotDTO, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.gate.Lock()
+	defer s.gate.Unlock()
 	dto := snapshotDTO{Version: snapshotVersion}
 	for _, name := range s.catalog.TableNames() {
-		t := s.Table(name)
+		t := s.tables[keyOf(name)]
 		if t == nil {
-			return fmt.Errorf("storage: table %q in catalog but not in store", name)
+			return nil, fmt.Errorf("storage: table %q in catalog but not in store", name)
 		}
+		rows := t.Snapshot()
 		st := s.catalog.TableStats(name)
 		dto.Tables = append(dto.Tables, tableDTO{
-			Name:     t.Def().Name,
-			Columns:  t.Def().Columns,
-			Rows:     t.Snapshot(),
-			RowCount: st.RowCount,
+			Name:    t.Def().Name,
+			Columns: t.Def().Columns,
+			Rows:    rows,
+			// RowCount derives from the captured rows, not the catalog: DML
+			// refreshes catalog stats after releasing the gate, so the two can
+			// briefly disagree. DistinctFrac stays advisory (as after any DML).
+			RowCount: len(rows),
 			Distinct: st.DistinctFrac,
 		})
 	}
@@ -64,7 +97,7 @@ func (s *Store) Save(w io.Writer) error {
 		v := s.catalog.View(name)
 		dto.Views = append(dto.Views, viewDTO{Name: v.Name, Text: v.Text, Columns: v.Columns})
 	}
-	return gob.NewEncoder(w).Encode(&dto)
+	return &dto, nil
 }
 
 // Restore loads a snapshot written by Save into an EMPTY store. It fails if

@@ -15,10 +15,24 @@ import (
 // Table holds the rows of one base relation. It is safe for concurrent use;
 // scans take a snapshot of the current row slice, so readers never observe a
 // partially applied mutation.
+//
+// Mutations run in two phases under writeMu (which serializes writers per
+// table): first the decision phase evaluates predicates and update
+// expressions against a snapshot WITHOUT holding mu — so a WHERE subquery
+// may scan any table, including this one, without deadlocking — then the
+// apply phase briefly takes the snapshot gate (shared) and mu (exclusive) to
+// swap the new row slice in. writeMu makes the snapshot stable for the
+// duration of the decision phase, so nothing is decided against stale rows.
 type Table struct {
-	mu   sync.RWMutex
-	def  *catalog.TableDef
-	rows []value.Row
+	writeMu sync.Mutex
+	mu      sync.RWMutex
+	def     *catalog.TableDef
+	rows    []value.Row
+	// gate, when non-nil, is the owning store's snapshot gate: the apply
+	// phase holds it shared so Store.Save can briefly exclude all writers and
+	// collect a point-in-time snapshot across every table (see
+	// Store.collect). No store or table lookups happen under it.
+	gate *sync.RWMutex
 }
 
 // NewTable creates an empty table for the definition.
@@ -55,17 +69,22 @@ func (t *Table) checkRow(row value.Row) (value.Row, error) {
 	return out, nil
 }
 
+// applyRows is the apply phase of a mutation: it installs the new row slice
+// under the gate (shared) and mu (exclusive). Callers hold writeMu.
+func (t *Table) applyRows(rows []value.Row) {
+	if t.gate != nil {
+		t.gate.RLock()
+		defer t.gate.RUnlock()
+	}
+	t.mu.Lock()
+	t.rows = rows
+	t.mu.Unlock()
+}
+
 // Insert appends a row after type checking. It returns the number of rows
 // inserted (always 1 on success).
 func (t *Table) Insert(row value.Row) (int, error) {
-	checked, err := t.checkRow(row)
-	if err != nil {
-		return 0, err
-	}
-	t.mu.Lock()
-	t.rows = append(t.rows, checked)
-	t.mu.Unlock()
-	return 1, nil
+	return t.InsertBatch([]value.Row{row})
 }
 
 // InsertBatch appends many rows, failing atomically on the first bad row.
@@ -78,10 +97,18 @@ func (t *Table) InsertBatch(rows []value.Row) (int, error) {
 		}
 		checked[i] = c
 	}
-	t.mu.Lock()
-	t.rows = append(t.rows, checked...)
-	t.mu.Unlock()
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	t.applyRows(append(t.snapshotLocked(), checked...))
 	return len(checked), nil
+}
+
+// snapshotLocked reads the current rows for a mutation's decision phase.
+// Callers hold writeMu, so the result cannot change until they apply.
+func (t *Table) snapshotLocked() []value.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
 }
 
 // Snapshot returns the current rows WITHOUT copying.
@@ -113,18 +140,21 @@ func (t *Table) RowCount() int {
 }
 
 // Delete removes all rows for which pred returns true and reports how many
-// were removed. A nil pred removes every row.
+// were removed. A nil pred removes every row. pred runs in the decision
+// phase — outside the table's read-write lock — so it may itself query this
+// table (DELETE ... WHERE x IN (SELECT ... FROM same_table)).
 func (t *Table) Delete(pred func(value.Row) (bool, error)) (int, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
 	if pred == nil {
-		n := len(t.rows)
-		t.rows = nil
+		n := len(t.snapshotLocked())
+		t.applyRows(nil)
 		return n, nil
 	}
-	kept := t.rows[:0:0]
+	rows := t.snapshotLocked()
+	kept := rows[:0:0]
 	removed := 0
-	for _, r := range t.rows {
+	for _, r := range rows {
 		ok, err := pred(r)
 		if err != nil {
 			return 0, err
@@ -135,18 +165,21 @@ func (t *Table) Delete(pred func(value.Row) (bool, error)) (int, error) {
 		}
 		kept = append(kept, r)
 	}
-	t.rows = kept
+	t.applyRows(kept)
 	return removed, nil
 }
 
 // Update applies fn to every row matching pred, replacing the row with fn's
-// result after type checking. It reports how many rows changed.
+// result after type checking. It reports how many rows changed. Like
+// Delete's pred, both callbacks run outside the table lock and may query any
+// table, including this one.
 func (t *Table) Update(pred func(value.Row) (bool, error), fn func(value.Row) (value.Row, error)) (int, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	rows := t.snapshotLocked()
 	changed := 0
-	out := make([]value.Row, len(t.rows))
-	for i, r := range t.rows {
+	out := make([]value.Row, len(rows))
+	for i, r := range rows {
 		match := true
 		if pred != nil {
 			ok, err := pred(r)
@@ -170,13 +203,22 @@ func (t *Table) Update(pred func(value.Row) (bool, error), fn func(value.Row) (v
 		out[i] = checked
 		changed++
 	}
-	t.rows = out
+	t.applyRows(out)
 	return changed, nil
 }
 
 // Store couples a catalog with the physical tables.
+//
+// Two locks protect it: mu guards the catalog/tables pairing (DDL holds it
+// exclusively so the catalog and the heap map never disagree), and gate
+// orders row mutations against snapshot collection — writers hold it shared,
+// Save's collect phase holds it exclusively for the microseconds it takes to
+// capture every table's row-slice header, which is all a point-in-time
+// snapshot needs under the copy-on-write aliasing contract of
+// Table.Snapshot.
 type Store struct {
 	mu      sync.RWMutex
+	gate    sync.RWMutex
 	catalog *catalog.Catalog
 	tables  map[string]*Table
 }
@@ -189,26 +231,28 @@ func NewStore() *Store {
 // Catalog exposes the schema registry.
 func (s *Store) Catalog() *catalog.Catalog { return s.catalog }
 
-// CreateTable registers the definition and allocates the heap.
+// CreateTable registers the definition and allocates the heap. Catalog entry
+// and heap appear atomically with respect to snapshot collection.
 func (s *Store) CreateTable(def *catalog.TableDef) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.catalog.CreateTable(def); err != nil {
 		return nil, err
 	}
 	t := NewTable(def)
-	s.mu.Lock()
+	t.gate = &s.gate
 	s.tables[keyOf(def.Name)] = t
-	s.mu.Unlock()
 	return t, nil
 }
 
-// DropTable removes definition and data.
+// DropTable removes definition and data atomically.
 func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if err := s.catalog.DropTable(name); err != nil {
 		return err
 	}
-	s.mu.Lock()
 	delete(s.tables, keyOf(name))
-	s.mu.Unlock()
 	return nil
 }
 

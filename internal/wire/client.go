@@ -1,0 +1,337 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"perm/internal/value"
+)
+
+// Client is the client side of the Perm wire protocol: one TCP connection,
+// one server session, strict request/response. It is not safe for concurrent
+// use — database/sql serializes access per connection, which is exactly the
+// discipline the protocol expects.
+type Client struct {
+	nc     net.Conn
+	conn   *Conn
+	server HelloOK
+	// stream is the open row stream, if any; it must be exhausted or closed
+	// before the next request.
+	stream *Rows
+	broken error
+}
+
+// Dial connects, performs the handshake, and returns a ready client.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout is Dial with a timeout covering both the TCP connect and the
+// protocol handshake, so a peer that accepts but never answers cannot hang
+// the caller.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return DialContext(ctx, addr)
+}
+
+// WatchCancel arms abort to run once when ctx ends. The returned stop
+// function disarms the watcher and JOINS it before returning, so after stop
+// no late abort can fire — the invariant both connection-abort call sites
+// (DialContext and the driver's per-request watcher) depend on: an abort
+// that poisons the connection deadline must never land after the caller has
+// moved on and cleared it.
+func WatchCancel(ctx context.Context, abort func()) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	stopCh := make(chan struct{})
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		select {
+		case <-ctx.Done():
+			abort()
+		case <-stopCh:
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-parked
+	}
+}
+
+// DialContext is Dial under a caller-controlled context: both the TCP
+// connect and the handshake observe its deadline and cancellation (the
+// database/sql pool dials new connections through here, so a query context
+// bounds connection establishment too). A context without a deadline still
+// gets a 10-second handshake cap.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{nc: nc, conn: NewConn(nc)}
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		deadline = time.Now().Add(10 * time.Second)
+	}
+	nc.SetDeadline(deadline)
+	stop := WatchCancel(ctx, c.Abort)
+	err = c.handshake()
+	stop()
+	if err == nil {
+		err = ctx.Err()
+	}
+	if err != nil {
+		nc.Close()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, err
+	}
+	nc.SetDeadline(time.Time{})
+	return c, nil
+}
+
+func (c *Client) handshake() error {
+	payload := Hello{Version: ProtocolVersion, Client: "perm-go"}.Encode(nil)
+	if err := c.conn.WriteMessage(MsgHello, payload); err != nil {
+		return err
+	}
+	if err := c.conn.Flush(); err != nil {
+		return err
+	}
+	typ, body, err := c.conn.ReadMessage()
+	if err != nil {
+		return fmt.Errorf("wire: handshake failed: %w", err)
+	}
+	switch typ {
+	case MsgHelloOK:
+		c.server, err = DecodeHelloOK(body)
+		return err
+	case MsgError:
+		return &ServerError{Message: NewReader(body).String()}
+	}
+	return fmt.Errorf("wire: unexpected handshake response %q", typ)
+}
+
+// Server returns the server's handshake information.
+func (c *Client) Server() HelloOK { return c.server }
+
+// fail marks the connection unusable (protocol state lost).
+func (c *Client) fail(err error) error {
+	if c.broken == nil {
+		c.broken = err
+	}
+	return err
+}
+
+// Broken reports the sticky connection error, if any. A client with a broken
+// connection must be discarded; database/sql uses this to retire pooled
+// connections.
+func (c *Client) Broken() error { return c.broken }
+
+// Abort unblocks any in-flight network read or write by expiring the
+// connection's deadline. It is the one Client method safe to call from
+// another goroutine: the perm driver uses it to honor context cancellation
+// while a request is blocked on the server. The protocol state is lost, so
+// the aborted operation fails and the connection becomes Broken. A caller
+// that stops an armed Abort watcher without the abort having mattered must
+// call ResetDeadline (after the watcher has fully exited) so a late Abort
+// cannot leak into the next request.
+func (c *Client) Abort() {
+	c.nc.SetDeadline(time.Unix(1, 0))
+}
+
+// ResetDeadline clears any deadline Abort installed. Only call it when no
+// Abort can fire concurrently anymore — clearing while a cancellation is
+// still in flight would lose it.
+func (c *Client) ResetDeadline() {
+	c.nc.SetDeadline(time.Time{})
+}
+
+func (c *Client) ready() error {
+	if c.broken != nil {
+		return c.broken
+	}
+	if c.stream != nil {
+		return fmt.Errorf("wire: previous result set not closed")
+	}
+	return nil
+}
+
+// Query sends one SQL statement and returns its (possibly empty) row stream.
+// Statement errors come back as *ServerError; the connection stays usable.
+func (c *Client) Query(sqlText string) (*Rows, error) {
+	if err := c.ready(); err != nil {
+		return nil, err
+	}
+	if err := c.conn.WriteMessage(MsgQuery, AppendString(nil, sqlText)); err != nil {
+		return nil, c.fail(err)
+	}
+	if err := c.conn.Flush(); err != nil {
+		return nil, c.fail(err)
+	}
+	typ, body, err := c.conn.ReadMessage()
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	switch typ {
+	case MsgError:
+		return nil, &ServerError{Message: NewReader(body).String()}
+	case MsgRowDesc:
+		desc, err := DecodeRowDesc(body)
+		if err != nil {
+			return nil, c.fail(err)
+		}
+		rows := &Rows{c: c, Desc: desc}
+		c.stream = rows
+		return rows, nil
+	case MsgComplete:
+		done, err := DecodeComplete(body)
+		if err != nil {
+			return nil, c.fail(err)
+		}
+		return &Rows{c: c, done: true, Complete: done}, nil
+	}
+	return nil, c.fail(fmt.Errorf("wire: unexpected response %q to query", typ))
+}
+
+// Exec runs a statement and drains any rows, returning the completion.
+func (c *Client) Exec(sqlText string) (Complete, error) {
+	rows, err := c.Query(sqlText)
+	if err != nil {
+		return Complete{}, err
+	}
+	if err := rows.Close(); err != nil {
+		return Complete{}, err
+	}
+	return rows.Complete, nil
+}
+
+// Backup streams a consistent snapshot of the server's database into w (the
+// remote analog of perm.DB.Save).
+func (c *Client) Backup(w io.Writer) error {
+	if err := c.ready(); err != nil {
+		return err
+	}
+	if err := c.conn.WriteMessage(MsgBackup, nil); err != nil {
+		return c.fail(err)
+	}
+	if err := c.conn.Flush(); err != nil {
+		return c.fail(err)
+	}
+	for {
+		typ, body, err := c.conn.ReadMessage()
+		if err != nil {
+			return c.fail(err)
+		}
+		switch typ {
+		case MsgBackupChunk:
+			if _, err := w.Write(body); err != nil {
+				// The stream must still be drained to keep the protocol in
+				// sync, but the caller's error wins.
+				c.drainBackup()
+				return err
+			}
+		case MsgBackupDone:
+			return nil
+		case MsgError:
+			return &ServerError{Message: NewReader(body).String()}
+		default:
+			return c.fail(fmt.Errorf("wire: unexpected response %q to backup", typ))
+		}
+	}
+}
+
+func (c *Client) drainBackup() {
+	for {
+		typ, _, err := c.conn.ReadMessage()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		if typ == MsgBackupDone || typ == MsgError {
+			return
+		}
+	}
+}
+
+// Close terminates the session and closes the connection.
+func (c *Client) Close() error {
+	if c.broken == nil {
+		// Best effort: the server treats an abrupt close identically.
+		c.conn.WriteMessage(MsgTerminate, nil)
+		c.conn.Flush()
+	}
+	return c.conn.Close()
+}
+
+// Rows is a streaming result set. Desc is empty for statements without a
+// result set; Complete is valid once the stream is exhausted or closed.
+type Rows struct {
+	c        *Client
+	Desc     RowDesc
+	Complete Complete
+	done     bool
+	err      error
+}
+
+// Next returns the next row, or (nil, nil) at end of stream.
+func (r *Rows) Next() (value.Row, error) {
+	if r.done || r.err != nil {
+		return nil, r.err
+	}
+	typ, body, err := r.c.conn.ReadMessage()
+	if err != nil {
+		r.finish(r.c.fail(err))
+		return nil, r.err
+	}
+	switch typ {
+	case MsgRow:
+		rd := NewReader(body)
+		row := rd.Row()
+		if rd.Err() != nil {
+			r.finish(r.c.fail(rd.Err()))
+			return nil, r.err
+		}
+		return row, nil
+	case MsgComplete:
+		done, err := DecodeComplete(body)
+		if err != nil {
+			r.finish(r.c.fail(err))
+			return nil, r.err
+		}
+		r.Complete = done
+		r.finish(nil)
+		return nil, nil
+	case MsgError:
+		r.finish(&ServerError{Message: NewReader(body).String()})
+		return nil, r.err
+	}
+	r.finish(r.c.fail(fmt.Errorf("wire: unexpected frame %q in row stream", typ)))
+	return nil, r.err
+}
+
+func (r *Rows) finish(err error) {
+	r.done = true
+	r.err = err
+	if r.c.stream == r {
+		r.c.stream = nil
+	}
+}
+
+// Close drains the stream so the connection is ready for the next request.
+func (r *Rows) Close() error {
+	for !r.done {
+		if _, err := r.Next(); err != nil {
+			return err
+		}
+	}
+	return r.err
+}

@@ -1,0 +1,449 @@
+// Package wire implements the Perm client/server wire protocol: a compact,
+// length-prefixed binary framing with typed messages for the handshake,
+// query dispatch, row streaming, command completion, errors and online
+// backup. Both sides of the connection — internal/server and the public
+// perm/driver — share the encode/decode routines in this package, so the
+// protocol has exactly one definition.
+//
+// # Framing
+//
+// Every message is one frame:
+//
+//	[1 byte type][4 bytes big-endian payload length][payload]
+//
+// Payload integers use unsigned varints (encoding/binary), strings are
+// varint-length-prefixed UTF-8, and SQL values travel as a kind tag followed
+// by the kind's natural encoding (bool: 1 byte; int: zig-zag varint; float:
+// 8-byte IEEE 754 bits; text: varint-prefixed bytes; NULL: tag only) — the
+// same five runtime kinds as internal/value, so a provenance tuple streams
+// without loss.
+//
+// # Conversation
+//
+// The client opens with Hello and the server answers HelloOK (or Error, and
+// closes). After that the client drives a strict request/response loop: each
+// Query is answered by either Error, or RowDesc followed by zero or more Row
+// frames and a final Complete (statements without a result set skip straight
+// to Complete). Backup is answered by BackupChunk frames then BackupDone.
+// Terminate ends the conversation. The strict alternation means neither side
+// ever needs to demultiplex.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+
+	"perm/internal/value"
+)
+
+// ProtocolVersion is bumped on any incompatible framing or message change.
+const ProtocolVersion = 1
+
+// MaxFrameSize bounds a single frame (64 MiB): a defense against corrupt or
+// malicious length prefixes allocating unbounded memory.
+const MaxFrameSize = 64 << 20
+
+// ErrFrameTooLarge is returned by WriteMessage for payloads over
+// MaxFrameSize, before anything is written — the connection stays in sync,
+// so the sender may report the condition in-band instead of dying.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// Message types. Client→server types are uppercase, server→client lowercase.
+const (
+	MsgHello       byte = 'H' // client: protocol version + client name
+	MsgQuery       byte = 'Q' // client: one SQL statement
+	MsgBackup      byte = 'B' // client: request a consistent snapshot stream
+	MsgTerminate   byte = 'X' // client: goodbye
+	MsgHelloOK     byte = 'h' // server: handshake accepted
+	MsgRowDesc     byte = 'd' // server: result-set column descriptions
+	MsgRow         byte = 'r' // server: one data row
+	MsgComplete    byte = 'c' // server: statement finished (tag, timings)
+	MsgError       byte = 'e' // server: statement or protocol error
+	MsgBackupChunk byte = 'b' // server: snapshot bytes
+	MsgBackupDone  byte = 'k' // server: snapshot complete
+)
+
+// Hello is the client's opening message.
+type Hello struct {
+	Version uint32
+	Client  string
+}
+
+// HelloOK is the server's handshake acceptance.
+type HelloOK struct {
+	Version uint32
+	Server  string
+}
+
+// RowDesc describes the columns of a result set, including which columns are
+// provenance attributes (the prov_… columns SELECT PROVENANCE appends).
+type RowDesc struct {
+	Names  []string
+	Kinds  []value.Kind
+	IsProv []bool
+}
+
+// Complete finishes a statement: the command tag, whether the session plan
+// cache served it, and the per-stage pipeline timings in nanoseconds.
+type Complete struct {
+	Tag      string
+	CacheHit bool
+	Parse    int64
+	Analyze  int64
+	Rewrite  int64
+	Plan     int64
+	Execute  int64
+}
+
+// ServerError is an error reported by the remote server.
+type ServerError struct {
+	Message string
+}
+
+func (e *ServerError) Error() string { return "perm server: " + e.Message }
+
+// Conn wraps a byte stream with buffered frame I/O. It is not safe for
+// concurrent use; the protocol is strictly request/response.
+type Conn struct {
+	raw       io.Closer
+	r         *bufio.Reader
+	w         *bufio.Writer
+	payload   []byte // reused frame read buffer
+	readLimit int
+}
+
+// NewConn wraps a network connection (or any read-write-closer).
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		raw:       c,
+		r:         bufio.NewReaderSize(c, 32<<10),
+		w:         bufio.NewWriterSize(c, 32<<10),
+		readLimit: MaxFrameSize,
+	}
+}
+
+// SetReadLimit caps the frames this side will accept, below MaxFrameSize.
+// The server uses it to bound what a client can make it allocate: everything
+// a client legitimately sends (handshake, SQL text, backup request) is tiny,
+// whereas the length prefix is attacker-controlled and ReadMessage allocates
+// it before a single payload byte arrives.
+func (c *Conn) SetReadLimit(n int) {
+	if n > 0 && n <= MaxFrameSize {
+		c.readLimit = n
+	}
+}
+
+// Close closes the underlying stream.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// WriteMessage writes one frame. The payload is not retained. Frames are
+// buffered; call Flush when a logical response is complete.
+func (c *Conn) WriteMessage(typ byte, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w (%d bytes)", ErrFrameTooLarge, len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.w.Write(payload)
+	return err
+}
+
+// Flush pushes buffered frames to the peer.
+func (c *Conn) Flush() error { return c.w.Flush() }
+
+// ReadMessage reads one frame. The returned payload aliases an internal
+// buffer valid only until the next ReadMessage call.
+func (c *Conn) ReadMessage() (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > uint32(c.readLimit) {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds the %d-byte read limit", n, c.readLimit)
+	}
+	// Grow the reusable buffer on demand, but do not let one outlier frame
+	// pin megabytes for the connection's lifetime: once the retained capacity
+	// dwarfs the need, reallocate back down (never below shrinkThreshold, so
+	// ordinary traffic cannot thrash between sizes).
+	const shrinkThreshold = 64 << 10
+	if cap(c.payload) < int(n) {
+		c.payload = make([]byte, n)
+	} else if cap(c.payload) > shrinkThreshold && int(n) < cap(c.payload)/8 {
+		c.payload = make([]byte, max(int(n), shrinkThreshold))
+	}
+	buf := c.payload[:n]
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], buf, nil
+}
+
+// --- payload encoding ---------------------------------------------------------
+
+// AppendString appends a varint-length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendBool appends a boolean byte.
+func AppendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendValue appends one SQL value in its kind-tagged binary form.
+func AppendValue(dst []byte, v value.Value) []byte {
+	dst = append(dst, byte(v.K))
+	switch v.K {
+	case value.KindNull:
+	case value.KindBool:
+		dst = AppendBool(dst, v.B)
+	case value.KindInt:
+		dst = binary.AppendVarint(dst, v.I)
+	case value.KindFloat:
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.F))
+	case value.KindString:
+		dst = AppendString(dst, v.S)
+	default:
+		// Unknown kinds travel as NULL rather than corrupting the stream.
+		dst[len(dst)-1] = byte(value.KindNull)
+	}
+	return dst
+}
+
+// AppendRow appends a column-count-prefixed tuple.
+func AppendRow(dst []byte, row value.Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(row)))
+	for _, v := range row {
+		dst = AppendValue(dst, v)
+	}
+	return dst
+}
+
+// Reader decodes a frame payload sequentially. Decoding errors stick: after
+// the first failure every subsequent read returns the zero value, and Err
+// reports what went wrong, so message decoders can run unchecked and validate
+// once at the end.
+type Reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewReader wraps a payload.
+func NewReader(payload []byte) *Reader { return &Reader{buf: payload} }
+
+// Err returns the first decoding error, if any.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated or corrupt %s at offset %d", what, r.pos)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+// Byte reads one byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.fail("byte")
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+// Bool reads a boolean byte.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// String reads a varint-length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+// Bytes reads n raw bytes, aliasing the payload.
+func (r *Reader) Bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.buf)-r.pos {
+		r.fail("bytes")
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// Value reads one kind-tagged SQL value.
+func (r *Reader) Value() value.Value {
+	k := value.Kind(r.Byte())
+	switch k {
+	case value.KindNull:
+		return value.Null
+	case value.KindBool:
+		return value.NewBool(r.Bool())
+	case value.KindInt:
+		return value.NewInt(r.Varint())
+	case value.KindFloat:
+		b := r.Bytes(8)
+		if r.err != nil {
+			return value.Null
+		}
+		return value.NewFloat(math.Float64frombits(binary.BigEndian.Uint64(b)))
+	case value.KindString:
+		return value.NewString(r.String())
+	}
+	r.fail("value kind")
+	return value.Null
+}
+
+// Row reads a column-count-prefixed tuple.
+func (r *Reader) Row() value.Row {
+	n := r.Uvarint()
+	// Each value takes at least one byte, so an arity beyond the remaining
+	// payload is corrupt — reject it before allocating the row.
+	if r.err != nil || n > uint64(len(r.buf)-r.pos) {
+		r.fail("row arity")
+		return nil
+	}
+	row := make(value.Row, n)
+	for i := range row {
+		row[i] = r.Value()
+	}
+	return row
+}
+
+// --- message encode/decode ----------------------------------------------------
+
+// Encode appends the Hello payload.
+func (m Hello) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(m.Version))
+	return AppendString(dst, m.Client)
+}
+
+// DecodeHello parses a Hello payload.
+func DecodeHello(payload []byte) (Hello, error) {
+	r := NewReader(payload)
+	m := Hello{Version: uint32(r.Uvarint()), Client: r.String()}
+	return m, r.Err()
+}
+
+// Encode appends the HelloOK payload.
+func (m HelloOK) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(m.Version))
+	return AppendString(dst, m.Server)
+}
+
+// DecodeHelloOK parses a HelloOK payload.
+func DecodeHelloOK(payload []byte) (HelloOK, error) {
+	r := NewReader(payload)
+	m := HelloOK{Version: uint32(r.Uvarint()), Server: r.String()}
+	return m, r.Err()
+}
+
+// Encode appends the RowDesc payload.
+func (m RowDesc) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(m.Names)))
+	for i, name := range m.Names {
+		dst = AppendString(dst, name)
+		dst = append(dst, byte(m.Kinds[i]))
+		dst = AppendBool(dst, m.IsProv[i])
+	}
+	return dst
+}
+
+// DecodeRowDesc parses a RowDesc payload.
+func DecodeRowDesc(payload []byte) (RowDesc, error) {
+	r := NewReader(payload)
+	n := r.Uvarint()
+	// Each column costs at least 3 payload bytes (name length, kind, prov
+	// flag), so bound the count before allocating the slices.
+	if n > uint64(len(payload))/3 {
+		return RowDesc{}, fmt.Errorf("wire: row description with impossible column count %d", n)
+	}
+	m := RowDesc{
+		Names:  make([]string, n),
+		Kinds:  make([]value.Kind, n),
+		IsProv: make([]bool, n),
+	}
+	for i := 0; i < int(n); i++ {
+		m.Names[i] = r.String()
+		m.Kinds[i] = value.Kind(r.Byte())
+		m.IsProv[i] = r.Bool()
+	}
+	return m, r.Err()
+}
+
+// Encode appends the Complete payload.
+func (m Complete) Encode(dst []byte) []byte {
+	dst = AppendString(dst, m.Tag)
+	dst = AppendBool(dst, m.CacheHit)
+	for _, d := range [5]int64{m.Parse, m.Analyze, m.Rewrite, m.Plan, m.Execute} {
+		dst = binary.AppendVarint(dst, d)
+	}
+	return dst
+}
+
+// DecodeComplete parses a Complete payload.
+func DecodeComplete(payload []byte) (Complete, error) {
+	r := NewReader(payload)
+	m := Complete{Tag: r.String(), CacheHit: r.Bool()}
+	m.Parse, m.Analyze, m.Rewrite, m.Plan, m.Execute =
+		r.Varint(), r.Varint(), r.Varint(), r.Varint(), r.Varint()
+	return m, r.Err()
+}

@@ -264,3 +264,19 @@ func LoadPaperExample(db *engine.DB) error {
 	_, err := session.ExecuteScript(script)
 	return err
 }
+
+// LoadByName dispatches a dataset by name with a scale — the single place
+// front ends (permshell \load, permserver -load) resolve dataset names, so
+// they cannot drift. Valid names: "example" (scale ignored), "forum",
+// "star".
+func LoadByName(db *engine.DB, name string, n int) error {
+	switch name {
+	case "example":
+		return LoadPaperExample(db)
+	case "forum":
+		return LoadForum(db, DefaultForum(n))
+	case "star":
+		return LoadStar(db, DefaultStar(n))
+	}
+	return fmt.Errorf("unknown dataset %q (want example, forum, star)", name)
+}

@@ -93,6 +93,10 @@ func (d *DB) NewSession() *Session {
 	return &Session{s: d.db.NewSession()}
 }
 
+// Close releases the session: its plan cache is dropped and it no longer
+// counts as active. Further statements on it fail. Close is idempotent.
+func (s *Session) Close() error { return s.s.Close() }
+
 // Result is the outcome of one statement.
 type Result struct {
 	// Columns are the output column names, in order.
