@@ -4,11 +4,21 @@
 //
 //	permserver -addr :5433 -load example
 //	permserver -addr :5433 -open snapshot.perm -save snapshot.perm
+//	permserver -addr :5434 -replica-of 127.0.0.1:5433
 //
 // Every connection gets its own session (settings, plan cache) over the
 // shared database. SIGINT/SIGTERM triggers a graceful shutdown: accepting
 // stops, idle connections close, in-flight requests drain (bounded by
 // -drain), and with -save set a final consistent snapshot is written.
+//
+// With -replica-of the server runs as a read-scaling replica: it bootstraps
+// from the primary's consistent snapshot stream, applies the logical change
+// feed (reconnecting with backoff and resuming from its applied LSN), and
+// serves read-only sessions — SELECT, provenance queries, EXPLAIN and SHOW
+// work; writes fail with a typed read-only error. A replica restarted with
+// -open resumes incrementally from the snapshot's LSN instead of taking a
+// full re-snapshot, as long as the primary still retains that log tail.
+// Replicas also serve Subscribe themselves, so replicas can be chained.
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"time"
 
 	"perm/internal/engine"
+	"perm/internal/repl"
 	"perm/internal/server"
 	"perm/internal/workload"
 )
@@ -38,11 +49,20 @@ func main() {
 		save         = flag.String("save", "", "write a consistent snapshot to this file on shutdown")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 		quiet        = flag.Bool("quiet", false, "disable per-session logging")
+		replicaOf    = flag.String("replica-of", "", "run as a read-only replica of the primary at host:port")
+		replRetain   = flag.Int("repl-retain", repl.DefaultRetention, "change-log records retained for follower catch-up (0 = unlimited)")
+		replRetainMB = flag.Int("repl-retain-mb", repl.DefaultRetentionBytes>>20, "approximate change-log memory budget in MiB (0 = unlimited)")
+		heartbeat    = flag.Duration("heartbeat", time.Second, "replication heartbeat interval sent to followers")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "permserver: ", log.LstdFlags)
+	if *replicaOf != "" && *load != "" {
+		logger.Fatalf("-load writes to the database; a replica (-replica-of) is read-only — load the primary instead")
+	}
 
 	db := engine.NewDB()
+	db.Store().Log().SetRetention(*replRetain)
+	db.Store().Log().SetRetentionBytes(*replRetainMB << 20)
 	if *open != "" {
 		f, err := os.Open(*open)
 		if err != nil {
@@ -62,11 +82,21 @@ func main() {
 		logger.Printf("loaded dataset %s", *load)
 	}
 
-	cfg := server.Config{MaxConns: *maxConns, QueryTimeout: *queryTimeout}
+	cfg := server.Config{MaxConns: *maxConns, QueryTimeout: *queryTimeout, HeartbeatInterval: *heartbeat}
 	if !*quiet {
 		cfg.Logf = logger.Printf
 	}
 	srv := server.New(db, cfg)
+
+	var follower *server.Follower
+	if *replicaOf != "" {
+		fcfg := server.FollowerConfig{PrimaryAddr: *replicaOf}
+		if !*quiet {
+			fcfg.Logf = logger.Printf
+		}
+		follower = server.StartFollower(db, fcfg)
+		logger.Printf("replica of %s (resuming after LSN %d)", *replicaOf, db.Store().Log().LastLSN())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -94,6 +124,15 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			logger.Printf("shutdown: %v (connections force-closed)", err)
 		}
+	}
+
+	if follower != nil {
+		// Stop applying before the final snapshot so -save captures a stable
+		// LSN the restarted replica resumes from.
+		follower.Stop()
+		st := follower.Status()
+		logger.Printf("replication stopped at LSN %d (primary at %d, lag %d)",
+			st.AppliedLSN, st.PrimaryLSN, st.Lag())
 	}
 
 	if *save != "" {

@@ -16,6 +16,7 @@
 //	\trees on|off     show algebra trees for each query (default off)
 //	\timing on|off    show per-stage timings (default off)
 //	\set name value   session setting (shorthand for SET)
+//	\status           server role and replication status
 //	\q                quit
 package main
 
@@ -197,6 +198,7 @@ func (s *shell) meta(cmd string) bool {
   \trees on|off    show algebra trees per query
   \timing on|off   show stage timings per query
   \set name value  change a session setting
+  \status          server role and replication status
   \q               quit`)
 	case "\\d":
 		if s.client != nil {
@@ -274,6 +276,14 @@ func (s *shell) meta(cmd string) bool {
 		} else {
 			fmt.Fprintln(s.out, "usage: \\set name value")
 		}
+	case "\\status":
+		// Role, LSNs, lag and health — identical columns embedded and over
+		// -connect, because it is plain SQL either way.
+		if s.client != nil {
+			fmt.Fprintf(s.out, "connected to server %q (protocol %d)\n",
+				s.client.Server().Server, s.client.Server().Version)
+		}
+		s.run("SHOW replication_status")
 	default:
 		fmt.Fprintf(s.out, "unknown meta command %s (try \\?)\n", fields[0])
 	}

@@ -3,6 +3,7 @@ package driver
 import (
 	"context"
 	sqldriver "database/sql/driver"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -18,9 +19,10 @@ import (
 // connector dials (or embeds) one database; the sql.DB pool calls Connect
 // for every pooled connection.
 type connector struct {
-	drv  *Driver
-	addr string     // remote mode when non-empty
-	mem  *engine.DB // in-process mode otherwise
+	drv      *Driver
+	addr     string     // remote mode when non-empty
+	mem      *engine.DB // in-process mode otherwise
+	readOnly bool       // `?readonly` DSN option: reject writes client-side
 }
 
 // Connect implements driver.Connector. Dialing and the wire handshake both
@@ -35,9 +37,9 @@ func (c *connector) Connect(ctx context.Context) (sqldriver.Conn, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &conn{remote: client}, nil
+		return &conn{remote: client, readOnly: c.readOnly}, nil
 	}
-	return &conn{local: c.mem.NewSession()}, nil
+	return &conn{local: c.mem.NewSession(), readOnly: c.readOnly}, nil
 }
 
 func (c *connector) connect() (sqldriver.Conn, error) {
@@ -50,8 +52,9 @@ func (c *connector) Driver() sqldriver.Driver { return c.drv }
 // conn is one pooled connection: a wire client (remote) or an engine session
 // (in-process). Exactly one of the two is set.
 type conn struct {
-	remote *wire.Client
-	local  *engine.Session
+	remote   *wire.Client
+	local    *engine.Session
+	readOnly bool
 }
 
 var _ sqldriver.Conn = (*conn)(nil)
@@ -101,6 +104,9 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.
 	if err != nil {
 		return nil, err
 	}
+	if err := c.checkReadOnly(sqlText); err != nil {
+		return nil, err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -109,7 +115,7 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.
 		wr, err := c.remote.Query(sqlText)
 		if err != nil {
 			stop()
-			return nil, ctxOr(ctx, err)
+			return nil, ctxOr(ctx, remoteErr(err))
 		}
 		// The watcher stays armed for the whole row stream; remoteRows.Close
 		// disarms it.
@@ -131,13 +137,16 @@ func (c *conn) ExecContext(ctx context.Context, query string, args []sqldriver.N
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if err := c.checkReadOnly(sqlText); err != nil {
+		return nil, err
+	}
 	var tag string
 	if c.remote != nil {
 		stop := c.watchContext(ctx)
 		done, err := c.remote.Exec(sqlText)
 		stop()
 		if err != nil {
-			return nil, ctxOr(ctx, err)
+			return nil, ctxOr(ctx, remoteErr(err))
 		}
 		tag = done.Tag
 	} else {
@@ -176,6 +185,75 @@ func ctxOr(ctx context.Context, err error) error {
 		return cerr
 	}
 	return err
+}
+
+// remoteErr maps typed wire error codes back onto the driver's sentinel
+// errors, so errors.Is(err, ErrReadOnly) works identically for remote and
+// embedded connections.
+func remoteErr(err error) error {
+	var serr *wire.ServerError
+	if errors.As(err, &serr) && serr.Code == wire.ErrCodeReadOnly {
+		return fmt.Errorf("%w (%s)", ErrReadOnly, serr.Message)
+	}
+	return err
+}
+
+// checkReadOnly enforces the `?readonly` DSN option client-side: write
+// statements fail with ErrReadOnly before anything is sent.
+func (c *conn) checkReadOnly(sqlText string) error {
+	if !c.readOnly {
+		return nil
+	}
+	switch firstKeyword(sqlText) {
+	case "select", "values", "explain", "show", "set", "(", "":
+		// Reads and session-local statements. SET stays allowed: session
+		// settings (contribution semantics, rewrite strategies) shape how
+		// reads are answered and mutate nothing.
+		return nil
+	}
+	return fmt.Errorf("%w (readonly connection)", ErrReadOnly)
+}
+
+// firstKeyword returns the statement's leading keyword, lowercased, skipping
+// whitespace, comments and empty statements — the engine's parser skips
+// leading semicolons too, so ";INSERT …" must classify as "insert", not as
+// empty ("(" for a parenthesized query, "" for a genuinely empty statement).
+func firstKeyword(s string) string {
+	i := 0
+	for i < len(s) {
+		switch {
+		case s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r' || s[i] == ';':
+			i++
+		case s[i] == '-' && i+1 < len(s) && s[i+1] == '-':
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case s[i] == '/' && i+1 < len(s) && s[i+1] == '*':
+			depth := 1
+			i += 2
+			for i < len(s) && depth > 0 {
+				switch {
+				case i+1 < len(s) && s[i] == '/' && s[i+1] == '*':
+					depth++
+					i += 2
+				case i+1 < len(s) && s[i] == '*' && s[i+1] == '/':
+					depth--
+					i += 2
+				default:
+					i++
+				}
+			}
+		case s[i] == '(':
+			return "("
+		default:
+			j := i
+			for j < len(s) && (s[j] == '_' || 'a' <= s[j]|0x20 && s[j]|0x20 <= 'z') {
+				j++
+			}
+			return strings.ToLower(s[i:j])
+		}
+	}
+	return ""
 }
 
 // execLocal runs a statement on the embedded session with the caller's

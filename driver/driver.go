@@ -29,6 +29,14 @@
 //	                  process that opens the same name (cross-package tests,
 //	                  embedded tools).
 //
+// Any DSN may carry a `?readonly` suffix (also `?readonly=1|true`), the
+// option for pools pointed at replicas: the driver rejects INSERT, UPDATE,
+// DELETE, DDL and ANALYZE client-side with ErrReadOnly before anything hits
+// the wire, so misdirected writes fail fast instead of costing a round trip.
+// Replica servers enforce the same rule server-side either way — writes
+// against a replica fail with an error that matches ErrReadOnly under
+// errors.Is even without the DSN option.
+//
 // # Placeholders
 //
 // The engine has no server-side parameters, so the driver interpolates `?`
@@ -62,6 +70,12 @@ func init() {
 	sql.Register("perm", &Driver{})
 }
 
+// ErrReadOnly is the typed error writes fail with on a read-only replica —
+// whether rejected client-side (a `?readonly` DSN) or by the replica server
+// (the wire error carries a read-only code the driver maps back). Match it
+// with errors.Is.
+var ErrReadOnly = engine.ErrReadOnly
+
 // Driver is the database/sql driver for Perm.
 type Driver struct{}
 
@@ -77,24 +91,52 @@ func (d *Driver) Open(dsn string) (sqldriver.Conn, error) {
 // OpenConnector implements driver.DriverContext: the DSN is parsed once and
 // each pool connection reuses the result.
 func (d *Driver) OpenConnector(dsn string) (sqldriver.Connector, error) {
+	target, readOnly, err := splitOptions(dsn)
+	if err != nil {
+		return nil, err
+	}
 	switch {
-	case strings.HasPrefix(dsn, "mem://"):
-		name := strings.TrimPrefix(dsn, "mem://")
-		return &connector{drv: d, mem: memDB(name)}, nil
-	case strings.HasPrefix(dsn, "tcp://"):
-		addr := strings.TrimPrefix(dsn, "tcp://")
+	case strings.HasPrefix(target, "mem://"):
+		name := strings.TrimPrefix(target, "mem://")
+		return &connector{drv: d, mem: memDB(name), readOnly: readOnly}, nil
+	case strings.HasPrefix(target, "tcp://"):
+		addr := strings.TrimPrefix(target, "tcp://")
 		if addr == "" {
 			return nil, fmt.Errorf("perm driver: empty address in DSN %q", dsn)
 		}
-		return &connector{drv: d, addr: addr}, nil
-	case strings.Contains(dsn, "://"):
+		return &connector{drv: d, addr: addr, readOnly: readOnly}, nil
+	case strings.Contains(target, "://"):
 		return nil, fmt.Errorf("perm driver: unsupported scheme in DSN %q (want tcp:// or mem://)", dsn)
-	case dsn == "":
+	case target == "":
 		return nil, fmt.Errorf("perm driver: empty DSN")
 	default:
 		// Bare host:port.
-		return &connector{drv: d, addr: dsn}, nil
+		return &connector{drv: d, addr: target, readOnly: readOnly}, nil
 	}
+}
+
+// splitOptions strips and parses the DSN's ?option suffix.
+func splitOptions(dsn string) (target string, readOnly bool, err error) {
+	target, opts, found := strings.Cut(dsn, "?")
+	if !found {
+		return target, false, nil
+	}
+	for _, opt := range strings.Split(opts, "&") {
+		name, val, _ := strings.Cut(opt, "=")
+		switch name {
+		case "readonly":
+			switch val {
+			case "", "1", "true":
+				readOnly = true
+			case "0", "false":
+			default:
+				return "", false, fmt.Errorf("perm driver: bad value %q for readonly in DSN %q", val, dsn)
+			}
+		default:
+			return "", false, fmt.Errorf("perm driver: unknown DSN option %q in %q", name, dsn)
+		}
+	}
+	return target, readOnly, nil
 }
 
 // memRegistry holds the process-wide named in-memory databases.

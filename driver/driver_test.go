@@ -3,6 +3,7 @@ package driver_test
 import (
 	"context"
 	"database/sql"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
@@ -14,7 +15,7 @@ import (
 	"perm/internal/engine"
 	"perm/internal/server"
 
-	_ "perm/driver"
+	permdriver "perm/driver"
 )
 
 // startServer serves db on a loopback listener and returns the address.
@@ -554,5 +555,86 @@ func TestBadDSN(t *testing.T) {
 		if err == nil {
 			t.Fatalf("DSN %q accepted", dsn)
 		}
+	}
+}
+
+// TestReadOnlyDSNLocal verifies the `?readonly` option rejects writes
+// client-side on an embedded connection, with the typed error.
+func TestReadOnlyDSNLocal(t *testing.T) {
+	rw, err := sql.Open("perm", "mem://roshared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	if _, err := rw.Exec(`CREATE TABLE t (i int)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rw.Exec(`INSERT INTO t VALUES (1), (2)`); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := sql.Open("perm", "mem://roshared?readonly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	var n int
+	if err := ro.QueryRow(`SELECT count(*) FROM t`).Scan(&n); err != nil || n != 2 {
+		t.Fatalf("read on readonly pool: %d, %v", n, err)
+	}
+	for _, stmt := range []string{
+		`INSERT INTO t VALUES (3)`,
+		`UPDATE t SET i = 9`,
+		`DELETE FROM t`,
+		`DROP TABLE t`,
+		`CREATE TABLE u (i int)`,
+		`ANALYZE`,
+	} {
+		if _, err := ro.Exec(stmt); !errors.Is(err, permdriver.ErrReadOnly) {
+			t.Fatalf("%s on readonly pool: err = %v, want ErrReadOnly", stmt, err)
+		}
+	}
+	// SET and EXPLAIN remain usable (session-local / read-only).
+	if _, err := ro.Exec(`SET optimizer = 'off'`); err != nil {
+		t.Fatalf("SET on readonly pool: %v", err)
+	}
+	rows, err := ro.Query(`EXPLAIN SELECT i FROM t`)
+	if err != nil {
+		t.Fatalf("EXPLAIN on readonly pool: %v", err)
+	}
+	rows.Close()
+
+	// Bad option values are rejected at Open/first use.
+	bad, err := sql.Open("perm", "mem://x?readonly=maybe")
+	if err == nil {
+		if err = bad.Ping(); err == nil {
+			t.Fatal("bad readonly value accepted")
+		}
+		bad.Close()
+	}
+}
+
+// TestReadOnlyReplicaRemoteTyped points a pool at a replica server WITHOUT
+// the readonly DSN option: the server's rejection must come back as the same
+// typed error through the wire error code.
+func TestReadOnlyReplicaRemoteTyped(t *testing.T) {
+	edb := engine.NewDB()
+	if _, err := edb.NewSession().Execute(`CREATE TABLE t (i int)`); err != nil {
+		t.Fatal(err)
+	}
+	edb.SetReadOnly(true)
+	addr := startServer(t, edb, server.Config{})
+
+	db, err := sql.Open("perm", "tcp://"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`INSERT INTO t VALUES (1)`); !errors.Is(err, permdriver.ErrReadOnly) {
+		t.Fatalf("remote write to replica: err = %v, want ErrReadOnly", err)
+	}
+	var n int
+	if err := db.QueryRow(`SELECT count(*) FROM t`).Scan(&n); err != nil {
+		t.Fatalf("remote read from replica: %v", err)
 	}
 }

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -24,28 +25,73 @@ import (
 	"perm/internal/value"
 )
 
+// ErrReadOnly is the typed error every write statement fails with on a
+// read-only replica. Callers (and database/sql users, through perm/driver)
+// match it with errors.Is; the network server maps it to the wire protocol's
+// read-only error code so it stays typed across the network.
+var ErrReadOnly = errors.New("read-only replica: writes must go to the primary")
+
+// ReplStatus is the observable replication state surfaced by
+// SHOW replication_status.
+type ReplStatus struct {
+	// Role is "primary" or "replica".
+	Role string
+	// Connected reports whether a replica's feed subscription is currently
+	// established (always true on a primary).
+	Connected bool
+	// AppliedLSN is the node's change-log position: the last LSN written
+	// (primary) or applied (replica).
+	AppliedLSN uint64
+	// PrimaryLSN is the primary's last known LSN (heartbeats carry it); on
+	// the primary itself it equals AppliedLSN.
+	PrimaryLSN uint64
+	// LastError is the most recent replication error, empty when healthy.
+	LastError string
+}
+
+// Lag is the number of primary changes not yet applied here.
+func (st ReplStatus) Lag() uint64 {
+	if st.PrimaryLSN <= st.AppliedLSN {
+		return 0
+	}
+	return st.PrimaryLSN - st.AppliedLSN
+}
+
 // DB is a Perm database instance: storage plus catalog. It is safe for use
 // from multiple sessions.
 type DB struct {
-	store *storage.Store
+	// store is an atomic pointer so a replication follower can bootstrap a
+	// snapshot into a fresh store off to the side and swap it in whole:
+	// readers keep serving the old, complete state until the instant of the
+	// swap, never a half-restored one. Every access goes through Store().
+	store atomic.Pointer[storage.Store]
 	// ddlMu serializes DDL so CREATE TABLE + heap allocation stay atomic
 	// relative to other DDL.
 	ddlMu sync.Mutex
 	// sessions counts the sessions currently open (NewSession minus Close) —
 	// the network server surfaces it and tests assert teardown.
 	sessions atomic.Int64
+	// readOnly marks the database a replica: every session rejects DML, DDL
+	// and ANALYZE with ErrReadOnly. The replication follower bypasses the
+	// engine and applies its feed directly to storage.
+	readOnly atomic.Bool
+	// replStatus, when set, reports the replica's live replication state
+	// (installed by the follower driving this database).
+	replStatus atomic.Value // of func() ReplStatus
 }
 
 // NewDB creates an empty database.
 func NewDB() *DB {
-	return &DB{store: storage.NewStore()}
+	db := &DB{}
+	db.store.Store(storage.NewStore())
+	return db
 }
 
 // Store exposes the storage engine (tools and tests).
-func (db *DB) Store() *storage.Store { return db.store }
+func (db *DB) Store() *storage.Store { return db.store.Load() }
 
 // Catalog exposes the schema registry.
-func (db *DB) Catalog() *catalog.Catalog { return db.store.Catalog() }
+func (db *DB) Catalog() *catalog.Catalog { return db.Store().Catalog() }
 
 // NewSession opens a session with default settings.
 func (db *DB) NewSession() *Session {
@@ -70,6 +116,52 @@ func (db *DB) NewSession() *Session {
 
 // ActiveSessions reports how many sessions are currently open.
 func (db *DB) ActiveSessions() int { return int(db.sessions.Load()) }
+
+// SetReadOnly switches the database into (or out of) replica mode: when
+// read-only, every session's write statements fail with ErrReadOnly.
+func (db *DB) SetReadOnly(ro bool) { db.readOnly.Store(ro) }
+
+// ReadOnly reports whether the database rejects writes.
+func (db *DB) ReadOnly() bool { return db.readOnly.Load() }
+
+// SetReplStatusFunc installs the provider behind SHOW replication_status.
+// The replication follower sets it; pass nil to revert to the built-in
+// primary view.
+func (db *DB) SetReplStatusFunc(f func() ReplStatus) {
+	db.replStatus.Store(f)
+}
+
+// SwapStore atomically replaces the storage engine — the replica bootstrap
+// path: the follower restores a snapshot into a fresh store while sessions
+// keep reading the old, complete one, then swaps. In-flight statements
+// finish against the store they started with. The new catalog's schema
+// version is advanced past the old one first, so plan-cache entries keyed
+// on the old schema can never collide with a coincidentally equal version
+// in the new history.
+func (db *DB) SwapStore(s *storage.Store) {
+	old := db.store.Load()
+	for s.Catalog().Version() <= old.Catalog().Version() {
+		s.Catalog().BumpVersion()
+	}
+	db.store.Store(s)
+}
+
+// ReplicationStatus reports the node's replication state. Without an
+// installed provider the database describes itself as a primary at its
+// change log's position.
+func (db *DB) ReplicationStatus() ReplStatus {
+	if f, _ := db.replStatus.Load().(func() ReplStatus); f != nil {
+		return f()
+	}
+	lsn := db.Store().Log().LastLSN()
+	role := "primary"
+	if db.ReadOnly() {
+		// Read-only without a follower: a replica whose follower is not
+		// running (yet), e.g. between Restore and StartFollower.
+		role = "replica"
+	}
+	return ReplStatus{Role: role, Connected: role == "primary", AppliedLSN: lsn, PrimaryLSN: lsn}
+}
 
 // Session is a single-user connection with its own settings and its own plan
 // cache (see plancache.go for the keying and invalidation rules).
@@ -118,7 +210,12 @@ func (s *Session) SetDeadline(t time.Time) {
 // execContext builds the executor context for one statement, carrying the
 // session's current interrupt channel and deadline.
 func (s *Session) execContext() *executor.Context {
-	ctx := executor.NewContext(s.db.store)
+	return s.execContextOn(s.db.Store())
+}
+
+// execContextOn is execContext against a pinned store (see analyzeOn).
+func (s *Session) execContextOn(store *storage.Store) *executor.Context {
+	ctx := executor.NewContext(store)
 	if ch, _ := s.interrupt.Load().(<-chan struct{}); ch != nil {
 		ctx.Interrupt = ch
 	}
@@ -196,15 +293,19 @@ func (s *Session) Execute(text string) (*Result, error) {
 		return nil, fmt.Errorf("engine: session is closed")
 	}
 	caching := s.planCacheOn() && cacheableStatement(text)
+	// One store pins the whole statement: version check, cache hit
+	// execution, and the full plan pipeline all see the same store even if
+	// a replica re-bootstrap swaps the database's store mid-statement.
+	store := s.db.Store()
 	var key, keyFingerprint string
 	// Capture the schema version BEFORE planning: if concurrent DDL lands
 	// mid-plan, the stored entry is tagged stale and discarded on next use.
 	var schemaVersion uint64
 	if caching {
 		key, keyFingerprint = s.cacheKey(text)
-		schemaVersion = s.db.Catalog().Version()
+		schemaVersion = store.Catalog().Version()
 		if e := s.cache.get(key, schemaVersion); e != nil {
-			return s.executeCached(e)
+			return s.executeCached(e, store)
 		}
 	}
 	t0 := time.Now()
@@ -214,7 +315,7 @@ func (s *Session) Execute(text string) (*Result, error) {
 	}
 	parseDur := time.Since(t0)
 	if sel, ok := st.(*sql.SelectStmt); ok && caching {
-		res, plan, err := s.runSelectPlan(sel)
+		res, plan, err := s.runSelectPlan(sel, store)
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +345,7 @@ func (s *Session) Execute(text string) (*Result, error) {
 
 // executeCached runs a previously planned statement: only the execute stage
 // of the Figure 3 pipeline is paid, the rest reports zero.
-func (s *Session) executeCached(e *planCacheEntry) (*Result, error) {
+func (s *Session) executeCached(e *planCacheEntry, store *storage.Store) (*Result, error) {
 	// Copy the decisions so callers appending to Result.Rewrites cannot write
 	// into the shared cache entry (hits may be served concurrently).
 	var decisions []string
@@ -253,7 +354,7 @@ func (s *Session) executeCached(e *planCacheEntry) (*Result, error) {
 	}
 	res := &Result{CacheHit: true, Rewrites: decisions}
 	t0 := time.Now()
-	out, err := executor.Run(s.execContext(), e.plan)
+	out, err := executor.Run(s.execContextOn(store), e.plan)
 	if err != nil {
 		return nil, err
 	}
@@ -283,10 +384,41 @@ func (s *Session) ExecuteScript(text string) ([]*Result, error) {
 	return out, nil
 }
 
+// writeVerb names the command when st mutates data, schema or statistics;
+// it returns "" for read statements (SELECT including provenance blocks,
+// EXPLAIN, SHOW) and for session-local ones (SET).
+func writeVerb(st sql.Statement) string {
+	switch x := st.(type) {
+	case *sql.InsertStmt:
+		return "INSERT"
+	case *sql.DeleteStmt:
+		return "DELETE"
+	case *sql.UpdateStmt:
+		return "UPDATE"
+	case *sql.CreateTableStmt:
+		return "CREATE TABLE"
+	case *sql.CreateViewStmt:
+		return "CREATE VIEW"
+	case *sql.DropStmt:
+		if x.View {
+			return "DROP VIEW"
+		}
+		return "DROP TABLE"
+	case *sql.AnalyzeStmt:
+		return "ANALYZE"
+	}
+	return ""
+}
+
 // ExecuteStatement runs a parsed statement.
 func (s *Session) ExecuteStatement(st sql.Statement) (*Result, error) {
 	if s.closed.Load() {
 		return nil, fmt.Errorf("engine: session is closed")
+	}
+	if s.db.ReadOnly() {
+		if verb := writeVerb(st); verb != "" {
+			return nil, fmt.Errorf("%s rejected: %w", verb, ErrReadOnly)
+		}
 	}
 	switch x := st.(type) {
 	case *sql.SelectStmt:
@@ -310,7 +442,7 @@ func (s *Session) ExecuteStatement(st sql.Statement) (*Result, error) {
 	case *sql.ShowStmt:
 		return s.runShow(x)
 	case *sql.AnalyzeStmt:
-		if err := s.db.store.Analyze(x.Table); err != nil {
+		if err := s.db.Store().Analyze(x.Table); err != nil {
 			return nil, err
 		}
 		// Fresh statistics can change cost-based rewrite decisions; force
@@ -321,8 +453,9 @@ func (s *Session) ExecuteStatement(st sql.Statement) (*Result, error) {
 	return nil, fmt.Errorf("unsupported statement %T", st)
 }
 
-// rewriterOptions builds core.Options from the session settings.
-func (s *Session) rewriterOptions(defaultSem sql.ContributionSemantics) core.Options {
+// rewriterOptions builds core.Options from the session settings, costing
+// against the given store's catalog.
+func (s *Session) rewriterOptions(store *storage.Store, defaultSem sql.ContributionSemantics) core.Options {
 	opts := core.DefaultOptions()
 	opts.SchemaName, _ = s.setting("provenance_schema_name")
 	switch defaultSem {
@@ -343,7 +476,7 @@ func (s *Session) rewriterOptions(defaultSem sql.ContributionSemantics) core.Opt
 	}
 	if strategy, _ := s.setting("provenance_strategy"); strategy == "cost" {
 		opts.Mode = core.ModeCost
-		pl := planner.New(s.db.Catalog())
+		pl := planner.New(store.Catalog())
 		opts.Estimator = func(op algebra.Op) float64 { return pl.EstimateRows(op) }
 	}
 	aggStrategy, _ := s.setting("provenance_agg_strategy")
@@ -374,12 +507,20 @@ func (s *Session) rewriterOptions(defaultSem sql.ContributionSemantics) core.Opt
 // rewriter for SELECT PROVENANCE blocks. It returns the plan, the rewrite
 // decisions, and the time spent in the rewriter.
 func (s *Session) Analyze(sel *sql.SelectStmt) (algebra.Op, []string, time.Duration, error) {
-	an := analyzer.New(s.db.Catalog())
+	return s.analyzeOn(s.db.Store(), sel)
+}
+
+// analyzeOn is Analyze pinned to one store: every statement resolves names,
+// plans and executes against a single store snapshot, so a replica
+// re-bootstrap (DB.SwapStore) landing mid-statement cannot pair an
+// old-catalog plan with a new store's heaps.
+func (s *Session) analyzeOn(store *storage.Store, sel *sql.SelectStmt) (algebra.Op, []string, time.Duration, error) {
+	an := analyzer.New(store.Catalog())
 	var decisions []string
 	var rewriteDur time.Duration
 	an.Rewrite = func(req analyzer.ProvRequest) (algebra.Op, error) {
 		t0 := time.Now()
-		rw := core.NewRewriter(s.rewriterOptions(req.Contribution))
+		rw := core.NewRewriter(s.rewriterOptions(store, req.Contribution))
 		out, err := rw.Rewrite(req.Input)
 		rewriteDur += time.Since(t0)
 		decisions = append(decisions, rw.Decisions...)
@@ -395,30 +536,38 @@ func (s *Session) Analyze(sel *sql.SelectStmt) (algebra.Op, []string, time.Durat
 // AnalyzeOriginal resolves a query ignoring SELECT PROVENANCE markers (the
 // browser's "original algebra tree" pane).
 func (s *Session) AnalyzeOriginal(sel *sql.SelectStmt) (algebra.Op, error) {
-	an := analyzer.New(s.db.Catalog())
+	return s.analyzeOriginalOn(s.db.Store(), sel)
+}
+
+func (s *Session) analyzeOriginalOn(store *storage.Store, sel *sql.SelectStmt) (algebra.Op, error) {
+	an := analyzer.New(store.Catalog())
 	an.StripProvenance = true
 	return an.AnalyzeSelect(sel)
 }
 
 // Plan optimizes a resolved plan per the session's optimizer setting.
 func (s *Session) Plan(op algebra.Op) algebra.Op {
+	return s.planOn(s.db.Store(), op)
+}
+
+func (s *Session) planOn(store *storage.Store, op algebra.Op) algebra.Op {
 	if opt, _ := s.setting("optimizer"); opt == "off" {
 		return op
 	}
-	return planner.New(s.db.Catalog()).Optimize(op)
+	return planner.New(store.Catalog()).Optimize(op)
 }
 
 func (s *Session) runSelect(sel *sql.SelectStmt) (*Result, error) {
-	res, _, err := s.runSelectPlan(sel)
+	res, _, err := s.runSelectPlan(sel, s.db.Store())
 	return res, err
 }
 
-// runSelectPlan runs the full pipeline and additionally returns the optimized
-// plan so Execute can cache it.
-func (s *Session) runSelectPlan(sel *sql.SelectStmt) (*Result, algebra.Op, error) {
+// runSelectPlan runs the full pipeline — against the one pinned store — and
+// additionally returns the optimized plan so Execute can cache it.
+func (s *Session) runSelectPlan(sel *sql.SelectStmt, store *storage.Store) (*Result, algebra.Op, error) {
 	res := &Result{}
 	t0 := time.Now()
-	plan, decisions, rewriteDur, err := s.Analyze(sel)
+	plan, decisions, rewriteDur, err := s.analyzeOn(store, sel)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -427,11 +576,11 @@ func (s *Session) runSelectPlan(sel *sql.SelectStmt) (*Result, algebra.Op, error
 	res.Rewrites = decisions
 
 	t1 := time.Now()
-	plan = s.Plan(plan)
+	plan = s.planOn(store, plan)
 	res.Timings.Plan = time.Since(t1)
 
 	t2 := time.Now()
-	out, err := executor.Run(s.execContext(), plan)
+	out, err := executor.Run(s.execContextOn(store), plan)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -472,12 +621,12 @@ func (s *Session) runCreateTable(ct *sql.CreateTableStmt) (*Result, error) {
 			}
 			def.Columns = append(def.Columns, catalog.Column{Name: name, Type: typ})
 		}
-		table, err := s.db.store.CreateTable(def)
+		table, err := s.db.Store().CreateTable(def)
 		if err != nil {
 			return nil, err
 		}
 		if _, err := table.InsertBatch(sub.Rows); err != nil {
-			_ = s.db.store.DropTable(ct.Name)
+			_ = s.db.Store().DropTable(ct.Name)
 			return nil, err
 		}
 		s.db.Catalog().SetRowCount(ct.Name, len(sub.Rows))
@@ -491,7 +640,7 @@ func (s *Session) runCreateTable(ct *sql.CreateTableStmt) (*Result, error) {
 		}
 		def.Columns = append(def.Columns, catalog.Column{Name: c.Name, Type: kind, NotNull: c.NotNull})
 	}
-	if _, err := s.db.store.CreateTable(def); err != nil {
+	if _, err := s.db.Store().CreateTable(def); err != nil {
 		return nil, err
 	}
 	return &Result{Tag: "CREATE TABLE"}, nil
@@ -509,7 +658,9 @@ func (s *Session) runCreateView(cv *sql.CreateViewStmt) (*Result, error) {
 	for _, c := range plan.Schema() {
 		cols = append(cols, catalog.Column{Name: c.Name, Type: c.Type})
 	}
-	err = s.db.Catalog().CreateView(&catalog.ViewDef{Name: cv.Name, Text: cv.Text, Columns: cols})
+	// Through the store, not the catalog directly, so the view lands in the
+	// change log for replication followers.
+	err = s.db.Store().CreateView(&catalog.ViewDef{Name: cv.Name, Text: cv.Text, Columns: cols})
 	if err != nil {
 		return nil, err
 	}
@@ -521,9 +672,9 @@ func (s *Session) runDrop(d *sql.DropStmt) (*Result, error) {
 	defer s.db.ddlMu.Unlock()
 	var err error
 	if d.View {
-		err = s.db.Catalog().DropView(d.Name)
+		err = s.db.Store().DropView(d.Name)
 	} else {
-		err = s.db.store.DropTable(d.Name)
+		err = s.db.Store().DropTable(d.Name)
 	}
 	if err != nil {
 		if d.IfExists {
@@ -535,7 +686,7 @@ func (s *Session) runDrop(d *sql.DropStmt) (*Result, error) {
 }
 
 func (s *Session) runInsert(ins *sql.InsertStmt) (*Result, error) {
-	table := s.db.store.Table(ins.Table)
+	table := s.db.Store().Table(ins.Table)
 	if table == nil {
 		return nil, fmt.Errorf("table %q does not exist", ins.Table)
 	}
@@ -630,7 +781,7 @@ func (s *Session) compilePredicate(where sql.Expr, def *catalog.TableDef) (func(
 }
 
 func (s *Session) runDelete(del *sql.DeleteStmt) (*Result, error) {
-	table := s.db.store.Table(del.Table)
+	table := s.db.Store().Table(del.Table)
 	if table == nil {
 		return nil, fmt.Errorf("table %q does not exist", del.Table)
 	}
@@ -648,7 +799,7 @@ func (s *Session) runDelete(del *sql.DeleteStmt) (*Result, error) {
 }
 
 func (s *Session) runUpdate(up *sql.UpdateStmt) (*Result, error) {
-	table := s.db.store.Table(up.Table)
+	table := s.db.Store().Table(up.Table)
 	if table == nil {
 		return nil, fmt.Errorf("table %q does not exist", up.Table)
 	}
@@ -739,6 +890,29 @@ func (s *Session) runSet(st *sql.SetStmt) (*Result, error) {
 
 func (s *Session) runShow(st *sql.ShowStmt) (*Result, error) {
 	name := strings.ToLower(st.Name)
+	if name == "replication_status" {
+		rs := s.db.ReplicationStatus()
+		return &Result{
+			Columns: []string{"role", "connected", "applied_lsn", "primary_lsn", "lag", "last_error"},
+			Schema: algebra.Schema{
+				{Name: "role", Type: value.KindString},
+				{Name: "connected", Type: value.KindBool},
+				{Name: "applied_lsn", Type: value.KindInt},
+				{Name: "primary_lsn", Type: value.KindInt},
+				{Name: "lag", Type: value.KindInt},
+				{Name: "last_error", Type: value.KindString},
+			},
+			Rows: []value.Row{{
+				value.NewString(rs.Role),
+				value.NewBool(rs.Connected),
+				value.NewInt(int64(rs.AppliedLSN)),
+				value.NewInt(int64(rs.PrimaryLSN)),
+				value.NewInt(int64(rs.Lag())),
+				value.NewString(rs.LastError),
+			}},
+			Tag: "SHOW",
+		}, nil
+	}
 	if name == "plan_cache_stats" {
 		hits, misses, size := s.cache.stats()
 		return &Result{

@@ -41,14 +41,16 @@ func (s *Session) ExplainAnalyze(sel *sql.SelectStmt) (*Explanation, error) {
 func (s *Session) explain(sel *sql.SelectStmt, analyze bool) (*Explanation, error) {
 	ex := &Explanation{OriginalSQL: sql.FormatStatement(sel), Analyzed: analyze}
 
-	orig, err := s.AnalyzeOriginal(sel)
+	// One store pins resolution, costing and execution (see analyzeOn).
+	store := s.db.Store()
+	orig, err := s.analyzeOriginalOn(store, sel)
 	if err != nil {
 		return nil, err
 	}
 	ex.OriginalTree = algebra.Tree(orig)
 
 	t0 := time.Now()
-	plan, decisions, rewriteDur, err := s.Analyze(sel)
+	plan, decisions, rewriteDur, err := s.analyzeOn(store, sel)
 	if err != nil {
 		return nil, err
 	}
@@ -59,16 +61,16 @@ func (s *Session) explain(sel *sql.SelectStmt, analyze bool) (*Explanation, erro
 	ex.RewrittenSQL = algebra.ToSQL(plan)
 
 	t1 := time.Now()
-	opt := s.Plan(plan)
+	opt := s.planOn(store, plan)
 	ex.Timings.Plan = time.Since(t1)
-	pl := planner.New(s.db.Catalog())
+	pl := planner.New(store.Catalog())
 	ex.OptimizedTree = algebra.AnnotatedTree(opt, func(op algebra.Op) string {
 		return fmt.Sprintf("(rows≈%.0f)", pl.EstimateRows(op))
 	})
 
 	if analyze {
 		t2 := time.Now()
-		out, err := executor.Run(s.execContext(), opt)
+		out, err := executor.Run(s.execContextOn(store), opt)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,485 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"perm/internal/engine"
+	"perm/internal/repl"
+	"perm/internal/storage"
+	"perm/internal/wire"
+)
+
+// FollowerConfig tunes a replication follower. Only PrimaryAddr is required.
+type FollowerConfig struct {
+	// PrimaryAddr is the primary permserver's host:port.
+	PrimaryAddr string
+	// DialTimeout bounds the TCP connect plus handshake; default 5s.
+	DialTimeout time.Duration
+	// ReadTimeout bounds each read from the stream. The primary heartbeats
+	// every Config.HeartbeatInterval while idle, so this is the failure
+	// detector: default 15s, and it should stay a comfortable multiple of
+	// the primary's heartbeat. Bootstrap snapshot chunks get the same
+	// per-read budget.
+	ReadTimeout time.Duration
+	// RetryMin/RetryMax bound the reconnect backoff; defaults 200ms / 5s.
+	RetryMin time.Duration
+	RetryMax time.Duration
+	// Logf, when set, receives connection lifecycle and error logs.
+	Logf func(format string, args ...any)
+}
+
+func (c *FollowerConfig) fill() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 15 * time.Second
+	}
+	if c.RetryMin <= 0 {
+		c.RetryMin = 200 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 5 * time.Second
+	}
+}
+
+// Follower turns a database into a read-scaling replica: it subscribes to a
+// primary's change feed and applies it to local storage, reconnecting with
+// backoff and resuming from its last applied LSN (the local change log's
+// position, so resumption survives a snapshot-file restart too). While a
+// follower runs, the database is read-only for sessions — SELECT, provenance
+// queries, EXPLAIN and SHOW work; DML/DDL fail with engine.ErrReadOnly.
+//
+// Divergence (a change record whose row images don't match local data) is
+// handled by re-bootstrapping: the follower reconnects asking for a fresh
+// snapshot, restores it into a new store off to the side, and swaps it in
+// atomically — read sessions serve the old, complete state until the swap,
+// never a half-restored one. The same happens when the primary has trimmed
+// its change log past the follower's position, or when the follower's
+// history origin doesn't match the primary's.
+type Follower struct {
+	db  *engine.DB
+	cfg FollowerConfig
+
+	mu         sync.Mutex
+	connected  bool
+	lastErr    string
+	primaryLSN uint64
+	snapshots  int
+	resync     bool
+	nc         net.Conn // current connection, closed by Stop
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// StartFollower marks db read-only, installs the replication status
+// provider, and starts following the primary. Call Stop to detach (the
+// database stays read-only at whatever LSN it reached).
+func StartFollower(db *engine.DB, cfg FollowerConfig) *Follower {
+	cfg.fill()
+	f := &Follower{
+		db:   db,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	db.SetReadOnly(true)
+	db.SetReplStatusFunc(f.Status)
+	go f.loop()
+	return f
+}
+
+func (f *Follower) logf(format string, args ...any) {
+	if f.cfg.Logf != nil {
+		f.cfg.Logf(format, args...)
+	}
+}
+
+// Stop terminates the follower and waits for its goroutine to exit.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.mu.Lock()
+	if f.nc != nil {
+		f.nc.Close()
+	}
+	f.mu.Unlock()
+	<-f.done
+}
+
+// Status reports the follower's replication state (the provider behind
+// SHOW replication_status on this database).
+func (f *Follower) Status() engine.ReplStatus {
+	applied := f.db.Store().Log().LastLSN()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	primary := f.primaryLSN
+	if primary < applied {
+		primary = applied
+	}
+	return engine.ReplStatus{
+		Role:       "replica",
+		Connected:  f.connected,
+		AppliedLSN: applied,
+		PrimaryLSN: primary,
+		LastError:  f.lastErr,
+	}
+}
+
+// Snapshots reports how many bootstrap snapshots this follower has consumed
+// (tests assert a resumed follower did NOT need one).
+func (f *Follower) Snapshots() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.snapshots
+}
+
+func (f *Follower) stopped() bool {
+	select {
+	case <-f.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// loop reconnects forever with capped exponential backoff.
+func (f *Follower) loop() {
+	defer close(f.done)
+	backoff := f.cfg.RetryMin
+	for {
+		started := time.Now()
+		err := f.streamOnce()
+		f.setDisconnected(err)
+		if f.stopped() {
+			return
+		}
+		if err != nil {
+			f.logf("replication stream from %s: %v", f.cfg.PrimaryAddr, err)
+		}
+		// A stream that ran for a while earned a fresh backoff; only rapid
+		// failures escalate it.
+		if time.Since(started) > 10*f.cfg.RetryMin {
+			backoff = f.cfg.RetryMin
+		}
+		select {
+		case <-f.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > f.cfg.RetryMax {
+			backoff = f.cfg.RetryMax
+		}
+	}
+}
+
+// streamOnce runs one subscription: dial, handshake, subscribe at the local
+// log position, then apply frames until the stream breaks.
+func (f *Follower) streamOnce() error {
+	d := net.Dialer{Timeout: f.cfg.DialTimeout}
+	nc, err := d.Dial("tcp", f.cfg.PrimaryAddr)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if f.stopped() {
+		f.mu.Unlock()
+		nc.Close()
+		return nil
+	}
+	f.nc = nc
+	resync := f.resync
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.nc = nil
+		f.mu.Unlock()
+		nc.Close()
+	}()
+
+	conn := wire.NewConn(nc)
+	nc.SetDeadline(time.Now().Add(f.cfg.DialTimeout))
+	if _, err := wire.Handshake(conn, "perm-replica"); err != nil {
+		return err
+	}
+	nc.SetDeadline(time.Time{})
+
+	// The active store is re-read at every use below: bootstrap swaps in a
+	// freshly restored store mid-stream, and everything after the swap must
+	// apply to the new one.
+	after := f.db.Store().Log().LastLSN()
+	// An empty local database asks for a snapshot outright: replaying the
+	// primary's full history from genesis would also converge (the primary
+	// offers it when its log still reaches back that far), but a snapshot is
+	// O(current data) while history is O(everything that ever happened).
+	force := resync || after == 0
+	// Fingerprint the last applied record so the primary can detect a
+	// same-origin timeline fork (it restarted from an older snapshot and
+	// re-assigned our LSNs). Zero when the local tail doesn't reach back to
+	// `after` — e.g. right after a snapshot-file restart — in which case the
+	// primary resumes on the LSN/origin checks alone.
+	var resumeHash uint64
+	if after > 0 {
+		if recs, ok := f.db.Store().Log().Since(after-1, 1); ok && len(recs) == 1 && recs[0].LSN == after {
+			resumeHash = repl.RecordHash(recs[0])
+		}
+	}
+	payload := make([]byte, 0, 32)
+	payload = binary.AppendUvarint(payload, after)
+	payload = wire.AppendBool(payload, force)
+	payload = binary.AppendUvarint(payload, f.db.Store().Origin())
+	payload = binary.AppendUvarint(payload, resumeHash)
+	if err := conn.WriteMessage(wire.MsgSubscribe, payload); err != nil {
+		return err
+	}
+	if err := conn.Flush(); err != nil {
+		return err
+	}
+
+	// The liveness deadline starts at the configured timeout and stretches
+	// once MsgSubLive reports the primary's heartbeat cadence — a primary
+	// heartbeating every 20s must not trip a 15s default failure detector.
+	readTimeout := f.cfg.ReadTimeout
+	adoptHeartbeat := func(hb time.Duration) {
+		if min := 3 * hb; hb > 0 && min > readTimeout {
+			readTimeout = min
+		}
+	}
+	for {
+		nc.SetReadDeadline(time.Now().Add(readTimeout))
+		typ, body, err := conn.ReadMessage()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case wire.MsgSubSnapshot:
+			hb, err := f.bootstrap(conn, nc)
+			if err != nil {
+				return err
+			}
+			adoptHeartbeat(hb)
+			f.setConnected()
+			f.logf("bootstrapped from snapshot at LSN %d", f.db.Store().Log().LastLSN())
+		case wire.MsgSubLive:
+			r := wire.NewReader(body)
+			from := r.Uvarint()
+			if r.Remaining() > 0 {
+				adoptHeartbeat(time.Duration(r.Uvarint()))
+			}
+			if r.Err() != nil {
+				return r.Err()
+			}
+			if from != f.db.Store().Log().LastLSN() {
+				f.markResync()
+				return fmt.Errorf("primary resumed stream at LSN %d, local log is at %d", from, f.db.Store().Log().LastLSN())
+			}
+			f.setConnected()
+			f.logf("live at LSN %d (primary %s)", from, f.cfg.PrimaryAddr)
+		case wire.MsgChanges:
+			recs, err := repl.DecodeBatch(body)
+			if err != nil {
+				return err
+			}
+			store := f.db.Store()
+			for _, rec := range recs {
+				if want := store.Log().LastLSN() + 1; rec.LSN != want {
+					f.markResync()
+					return fmt.Errorf("change feed gap: got LSN %d, want %d", rec.LSN, want)
+				}
+				if err := store.ApplyChange(rec); err != nil {
+					f.markResync()
+					return fmt.Errorf("apply LSN %d: %w", rec.LSN, err)
+				}
+			}
+			if n := len(recs); n > 0 {
+				f.observePrimary(recs[n-1].LSN)
+			}
+		case wire.MsgHeartbeat:
+			r := wire.NewReader(body)
+			lsn := r.Uvarint()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			f.observePrimary(lsn)
+		case wire.MsgError:
+			serr := wire.DecodeServerError(body)
+			if serr.Code == wire.ErrCodeLogTrimmed {
+				// Retained tail moved past us mid-stream; the next attempt's
+				// Subscribe will be answered with a snapshot automatically.
+				f.logf("primary trimmed its change log past our position; re-bootstrapping")
+			}
+			return serr
+		default:
+			return fmt.Errorf("unexpected frame %q in replication stream", typ)
+		}
+	}
+}
+
+// bootstrap wipes local storage and rebuilds it from the snapshot chunk
+// stream, leaving the local change log positioned at the snapshot's LSN (and
+// the store carrying the primary's history origin, via Restore). It returns
+// the primary's heartbeat interval as reported by the closing MsgSubLive.
+func (f *Follower) bootstrap(conn *wire.Conn, nc net.Conn) (time.Duration, error) {
+	f.mu.Lock()
+	f.snapshots++
+	f.mu.Unlock()
+	// Restore off to the side: sessions keep serving the current (old but
+	// complete) store until the new one is whole, then the swap is atomic.
+	// A failed bootstrap leaves the old data serving. The fresh store
+	// inherits the old one's log retention (the operator's -repl-retain*).
+	fresh := storage.NewStore()
+	recs, bytes := f.db.Store().Log().Retention()
+	fresh.Log().SetRetention(recs)
+	fresh.Log().SetRetentionBytes(bytes)
+	cs := &chunkStream{conn: conn, nc: nc, timeout: f.cfg.ReadTimeout}
+	if err := fresh.Restore(cs); err != nil {
+		if cs.err != nil {
+			return 0, cs.err // transport error wins over the decode error it caused
+		}
+		f.markResync()
+		return 0, fmt.Errorf("restore bootstrap snapshot: %w", err)
+	}
+	if err := cs.finish(); err != nil {
+		f.markResync()
+		return 0, err
+	}
+	if cs.liveLSN != fresh.Log().LastLSN() {
+		f.markResync()
+		return 0, fmt.Errorf("snapshot stream live at LSN %d, snapshot payload at %d", cs.liveLSN, fresh.Log().LastLSN())
+	}
+	f.db.SwapStore(fresh)
+	f.mu.Lock()
+	f.resync = false
+	// The primary-LSN ratchet restarts at the snapshot's position: after a
+	// timeline-fork re-seed the old timeline's (higher) LSNs would otherwise
+	// report a lag that never reaches zero again.
+	f.primaryLSN = fresh.Log().LastLSN()
+	f.mu.Unlock()
+	return cs.liveHB, nil
+}
+
+func (f *Follower) setConnected() {
+	f.mu.Lock()
+	f.connected = true
+	f.lastErr = ""
+	f.mu.Unlock()
+}
+
+func (f *Follower) setDisconnected(err error) {
+	f.mu.Lock()
+	f.connected = false
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		f.lastErr = err.Error()
+	}
+	f.mu.Unlock()
+}
+
+func (f *Follower) observePrimary(lsn uint64) {
+	f.mu.Lock()
+	if lsn > f.primaryLSN {
+		f.primaryLSN = lsn
+	}
+	f.mu.Unlock()
+}
+
+// markResync makes the next subscription ask for a fresh snapshot instead of
+// resuming: the local state can no longer be trusted to match the feed.
+func (f *Follower) markResync() {
+	f.mu.Lock()
+	f.resync = true
+	f.mu.Unlock()
+}
+
+// chunkStream adapts the MsgBackupChunk frame sequence of a bootstrap
+// snapshot into an io.Reader for storage.Restore. The stream ends at the
+// MsgSubLive frame, whose LSN is retained for the caller; transport errors
+// stick in err.
+type chunkStream struct {
+	conn    *wire.Conn
+	nc      net.Conn
+	timeout time.Duration
+	buf     []byte
+	live    bool
+	liveLSN uint64
+	liveHB  time.Duration // primary's heartbeat interval, from MsgSubLive
+	err     error
+}
+
+func (c *chunkStream) Read(p []byte) (int, error) {
+	for len(c.buf) == 0 {
+		if c.err != nil {
+			return 0, c.err
+		}
+		if c.live {
+			return 0, io.EOF
+		}
+		if err := c.next(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, c.buf)
+	c.buf = c.buf[n:]
+	return n, nil
+}
+
+// next reads one frame. Chunk payloads alias the connection's read buffer,
+// which is valid until the next ReadMessage — and the only path to another
+// ReadMessage is this method, after the buffered bytes were consumed.
+func (c *chunkStream) next() error {
+	c.nc.SetReadDeadline(time.Now().Add(c.timeout))
+	typ, body, err := c.conn.ReadMessage()
+	if err != nil {
+		c.err = err
+		return err
+	}
+	switch typ {
+	case wire.MsgBackupChunk:
+		c.buf = body
+		return nil
+	case wire.MsgSubLive:
+		r := wire.NewReader(body)
+		c.liveLSN = r.Uvarint()
+		if r.Remaining() > 0 {
+			c.liveHB = time.Duration(r.Uvarint())
+		}
+		if rerr := r.Err(); rerr != nil {
+			c.err = rerr
+			return rerr
+		}
+		c.live = true
+		return nil
+	case wire.MsgError:
+		c.err = wire.DecodeServerError(body)
+		return c.err
+	}
+	c.err = fmt.Errorf("unexpected frame %q in snapshot stream", typ)
+	return c.err
+}
+
+// finish verifies the snapshot stream was fully consumed and positions the
+// reader past the MsgSubLive marker (reading it now if the gob decoder
+// stopped exactly at the last chunk's end).
+func (c *chunkStream) finish() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.buf) > 0 {
+		return fmt.Errorf("snapshot stream has %d undecoded trailing bytes", len(c.buf))
+	}
+	for !c.live {
+		if err := c.next(); err != nil {
+			return err
+		}
+		if len(c.buf) > 0 {
+			return fmt.Errorf("unexpected snapshot bytes after the decoded image")
+		}
+	}
+	return nil
+}

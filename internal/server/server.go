@@ -21,6 +21,7 @@ package server
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -31,6 +32,7 @@ import (
 
 	"perm/internal/engine"
 	"perm/internal/executor"
+	"perm/internal/repl"
 	"perm/internal/value"
 	"perm/internal/wire"
 )
@@ -44,8 +46,19 @@ type Config struct {
 	// response, so a client that stops reading cannot pin a session (and a
 	// MaxConns slot) forever; 0 means unlimited.
 	QueryTimeout time.Duration
+	// HeartbeatInterval is how often a replication subscription sends a
+	// heartbeat (carrying the primary's last LSN) while the change log is
+	// idle; 0 means one second. Followers size their read timeouts to it.
+	HeartbeatInterval time.Duration
 	// Logf, when set, receives connection lifecycle and error logs.
 	Logf func(format string, args ...any)
+}
+
+func (c Config) heartbeat() time.Duration {
+	if c.HeartbeatInterval <= 0 {
+		return time.Second
+	}
+	return c.HeartbeatInterval
 }
 
 // ErrServerClosed is returned by Serve after Shutdown or Close.
@@ -77,7 +90,14 @@ type Server struct {
 	refuseWg sync.WaitGroup
 	refusing int
 
-	queries atomic.Uint64
+	// done is closed when Shutdown begins: replication subscriptions wait on
+	// the change log, not the socket, so closing their connection alone would
+	// not wake them promptly.
+	done     chan struct{}
+	doneOnce sync.Once
+
+	queries       atomic.Uint64
+	subscriptions atomic.Int64
 }
 
 // New creates a server over db.
@@ -88,6 +108,7 @@ func New(db *engine.DB, cfg Config) *Server {
 		listeners:   make(map[net.Listener]struct{}),
 		conns:       make(map[net.Conn]*connState),
 		refuseConns: make(map[net.Conn]struct{}),
+		done:        make(chan struct{}),
 	}
 }
 
@@ -99,6 +120,9 @@ func (s *Server) logf(format string, args ...any) {
 
 // QueriesServed reports the total number of statements executed.
 func (s *Server) QueriesServed() uint64 { return s.queries.Load() }
+
+// ActiveSubscriptions reports how many replication followers are streaming.
+func (s *Server) ActiveSubscriptions() int { return int(s.subscriptions.Load()) }
 
 // ActiveConns reports the number of connections currently served.
 func (s *Server) ActiveConns() int {
@@ -289,7 +313,7 @@ func (s *Server) refuse(nc net.Conn) {
 	if closing {
 		msg = "server is shutting down"
 	}
-	conn.WriteMessage(wire.MsgError, wire.AppendString(nil, msg))
+	conn.WriteMessage(wire.MsgError, wire.AppendError(nil, msg, wire.ErrCodeGeneric))
 	conn.Flush()
 }
 
@@ -300,6 +324,7 @@ func (s *Server) refuse(nc net.Conn) {
 // connections — including any mid-refusal — are force-closed and their
 // queries interrupted.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.doneOnce.Do(func() { close(s.done) })
 	s.mu.Lock()
 	s.closing = true
 	for l := range s.listeners {
@@ -370,9 +395,9 @@ func (s *Server) serveConn(nc net.Conn, kill <-chan struct{}) {
 		return
 	}
 	if hello.Version != wire.ProtocolVersion {
-		conn.WriteMessage(wire.MsgError, wire.AppendString(nil,
+		conn.WriteMessage(wire.MsgError, wire.AppendError(nil,
 			fmt.Sprintf("protocol version %d not supported (server speaks %d)",
-				hello.Version, wire.ProtocolVersion)))
+				hello.Version, wire.ProtocolVersion), wire.ErrCodeGeneric))
 		conn.Flush()
 		return
 	}
@@ -404,6 +429,35 @@ func (s *Server) serveConn(nc net.Conn, kill <-chan struct{}) {
 			return
 		}
 		if typ == wire.MsgTerminate {
+			return
+		}
+		if typ == wire.MsgSubscribe {
+			// Subscribe turns the connection into a one-way replication
+			// stream; the request/response loop — and with it the in-flight
+			// bookkeeping — ends here. The subscription counts as idle for
+			// graceful shutdown (a follower reconnects on its own), and the
+			// streaming loop watches s.done so shutdown wakes it even while
+			// it waits on the change log.
+			r := wire.NewReader(body)
+			sub := subscribeRequest{after: r.Uvarint()}
+			sub.force = r.Remaining() > 0 && r.Bool()
+			if r.Remaining() > 0 {
+				sub.origin = r.Uvarint()
+			}
+			if r.Remaining() > 0 {
+				sub.resumeHash = r.Uvarint()
+			}
+			if r.Err() != nil {
+				s.writeError(conn, "malformed subscribe frame")
+				return
+			}
+			s.logf("replication subscription from %s (after LSN %d, origin %x, force-snapshot %v)",
+				nc.RemoteAddr(), sub.after, sub.origin, sub.force)
+			s.subscriptions.Add(1)
+			defer s.subscriptions.Add(-1)
+			if err := s.serveSubscription(conn, nc, sub, kill); err != nil {
+				s.logf("replication stream to %s: %v", nc.RemoteAddr(), err)
+			}
 			return
 		}
 		if !s.beginRequest(nc) {
@@ -461,10 +515,23 @@ func (s *Server) armWriteDeadline(nc net.Conn) {
 }
 
 func (s *Server) writeError(conn *wire.Conn, msg string) error {
-	if err := conn.WriteMessage(wire.MsgError, wire.AppendString(nil, msg)); err != nil {
+	return s.writeErrorCode(conn, msg, wire.ErrCodeGeneric)
+}
+
+func (s *Server) writeErrorCode(conn *wire.Conn, msg string, code uint64) error {
+	if err := conn.WriteMessage(wire.MsgError, wire.AppendError(nil, msg, code)); err != nil {
 		return err
 	}
 	return conn.Flush()
+}
+
+// errCodeOf classifies a statement error for the wire protocol, so typed
+// engine errors stay typed on the far side of the connection.
+func errCodeOf(err error) uint64 {
+	if errors.Is(err, engine.ErrReadOnly) {
+		return wire.ErrCodeReadOnly
+	}
+	return wire.ErrCodeGeneric
 }
 
 // runQuery executes one statement on the session and streams the result.
@@ -474,7 +541,7 @@ func (s *Server) runQuery(conn *wire.Conn, sess *engine.Session, sqlText string,
 	s.queries.Add(1)
 	res, err := s.execute(sess, sqlText)
 	if err != nil {
-		return s.writeError(conn, err.Error())
+		return s.writeErrorCode(conn, err.Error(), errCodeOf(err))
 	}
 	if err := s.writeResult(conn, res, scratch); err != nil {
 		// An oversize row is rejected before any of its bytes hit the wire,
@@ -650,4 +717,176 @@ func (w *chunkWriter) send(chunk []byte) error {
 		return err
 	}
 	return nil
+}
+
+// --- replication subscriptions --------------------------------------------------
+
+// Change batches stop accumulating past either bound, so one frame stays far
+// below the wire size limit and a follower applies (and acknowledges via its
+// next read) in small steps.
+const (
+	changeBatchMaxRecords  = 512
+	changeBatchTargetBytes = 256 << 10
+)
+
+// subscribeRequest is a parsed MsgSubscribe payload.
+type subscribeRequest struct {
+	// after is the follower's applied LSN; the stream resumes past it.
+	after uint64
+	// force requests a bootstrap snapshot regardless of resumability.
+	force bool
+	// origin is the follower's history id (0 from followers predating it).
+	origin uint64
+	// resumeHash fingerprints the follower's record at `after` (0 when
+	// unavailable — empty log, or restored from a snapshot file).
+	resumeHash uint64
+}
+
+// serveSubscription streams this database's change feed: an optional
+// bootstrap snapshot (when the follower's position precedes the retained log
+// tail, or it asked to be re-seeded), then MsgSubLive, then change batches as
+// mutations commit, with heartbeats carrying the current last LSN while the
+// log is idle. The loop runs until the connection dies, the kill channel
+// fires (forced shutdown) or the server begins shutting down — followers are
+// expected to reconnect and resume from their applied LSN.
+func (s *Server) serveSubscription(conn *wire.Conn, nc net.Conn, sub subscribeRequest, kill <-chan struct{}) error {
+	// The store (and its log) are pinned for the stream's lifetime — the
+	// snapshot, the origin check and the change stream must all describe one
+	// store. If this server is itself a replica and re-bootstraps, the
+	// database swaps in a new store and this log stops growing — detected
+	// below so chained followers reconnect against the new history instead
+	// of idling forever.
+	store := s.db.Store()
+	log := store.Log()
+	after, force := sub.after, sub.force
+	// A follower from a different history (it never restored one of OUR
+	// snapshots — a rebuilt primary, a repointed -replica-of) must not
+	// resume by LSN coincidence: its numbers count someone else's past.
+	// Bootstrap it instead; Restore adopts this store's origin.
+	if sub.origin != 0 && sub.origin != store.Origin() {
+		force = true
+	}
+	needSnapshot := force || after > log.LastLSN()
+	if !needSnapshot {
+		if _, ok := log.Since(after, 1); !ok {
+			needSnapshot = true // trimmed past the follower's position
+		}
+	}
+	if !needSnapshot && sub.resumeHash != 0 && after > 0 {
+		// Same-origin fork check: the follower's last applied record must BE
+		// our record at that LSN. A primary restarted from an older snapshot
+		// shares the origin but may have re-assigned these LSNs to different
+		// changes; resuming would silently diverge (insert-only feeds never
+		// trip the row-image match). Unverifiable positions (our record at
+		// `after` already trimmed) resume on the LSN/origin checks alone.
+		if recs, ok := log.Since(after-1, 1); ok && len(recs) == 1 && recs[0].LSN == after {
+			if repl.RecordHash(recs[0]) != sub.resumeHash {
+				s.logf("subscription resume hash mismatch at LSN %d: follower is on a forked timeline, re-seeding", after)
+				needSnapshot = true
+			}
+		}
+	}
+	if needSnapshot {
+		s.armWriteDeadline(nc)
+		if err := conn.WriteMessage(wire.MsgSubSnapshot, nil); err != nil {
+			return err
+		}
+		w := &chunkWriter{conn: conn, refresh: func() { s.armWriteDeadline(nc) }}
+		lsn, err := store.SaveLSN(w)
+		if err != nil {
+			if w.writeErr != nil {
+				return w.writeErr
+			}
+			return s.writeError(conn, fmt.Sprintf("bootstrap snapshot failed: %v", err))
+		}
+		if err := w.flushChunk(); err != nil {
+			return err
+		}
+		after = lsn
+	}
+	s.armWriteDeadline(nc)
+	// SubLive carries the stream's start LSN and this server's heartbeat
+	// interval, so the follower can size its liveness read deadline to the
+	// cadence it will actually observe instead of guessing.
+	live := binary.AppendUvarint(nil, after)
+	live = binary.AppendUvarint(live, uint64(s.cfg.heartbeat()))
+	if err := conn.WriteMessage(wire.MsgSubLive, live); err != nil {
+		return err
+	}
+	if err := conn.Flush(); err != nil {
+		return err
+	}
+	nc.SetWriteDeadline(time.Time{})
+
+	hb := time.NewTicker(s.cfg.heartbeat())
+	defer hb.Stop()
+	var frame, seg []byte
+	for {
+		if s.db.Store() != store {
+			// The database re-bootstrapped under this stream (it is a
+			// replica that took a fresh snapshot); the pinned log is dead.
+			// Waits below always wake within a heartbeat, so this is seen
+			// promptly.
+			s.armWriteDeadline(nc)
+			s.writeErrorCode(conn, "database was re-bootstrapped; re-subscribe", wire.ErrCodeLogTrimmed)
+			return nil
+		}
+		// Take the growth signal BEFORE reading the tail, so an append that
+		// lands between the two cannot be missed.
+		grown := log.WaitCh()
+		recs, ok := log.Since(after, changeBatchMaxRecords)
+		if !ok {
+			// The log outpaced this stream and trimmed past its position.
+			// Say so with the typed code; the follower reconnects and
+			// bootstraps from a fresh snapshot.
+			s.armWriteDeadline(nc)
+			s.writeErrorCode(conn,
+				fmt.Sprintf("change log trimmed past LSN %d; re-subscribe for a snapshot", after),
+				wire.ErrCodeLogTrimmed)
+			return nil
+		}
+		if len(recs) == 0 {
+			select {
+			case <-grown:
+			case <-hb.C:
+				s.armWriteDeadline(nc)
+				if err := conn.WriteMessage(wire.MsgHeartbeat, binary.AppendUvarint(frame[:0], log.LastLSN())); err != nil {
+					return err
+				}
+				if err := conn.Flush(); err != nil {
+					return err
+				}
+				nc.SetWriteDeadline(time.Time{})
+			case <-kill:
+				return nil
+			case <-s.done:
+				return nil
+			}
+			continue
+		}
+		for i := 0; i < len(recs); {
+			n := 0
+			seg = seg[:0]
+			for i+n < len(recs) && n < changeBatchMaxRecords && len(seg) < changeBatchTargetBytes {
+				seg = repl.AppendRecord(seg, recs[i+n])
+				n++
+			}
+			frame = binary.AppendUvarint(frame[:0], uint64(n))
+			frame = append(frame, seg...)
+			s.armWriteDeadline(nc)
+			if err := conn.WriteMessage(wire.MsgChanges, frame); err != nil {
+				return err
+			}
+			i += n
+		}
+		if err := conn.Flush(); err != nil {
+			return err
+		}
+		nc.SetWriteDeadline(time.Time{})
+		after = recs[len(recs)-1].LSN
+		// One outlier batch must not pin megabytes for the stream's lifetime.
+		if cap(seg) > 1<<20 {
+			seg, frame = nil, nil
+		}
+	}
 }

@@ -39,6 +39,15 @@ type snapshotDTO struct {
 	Version int
 	Tables  []tableDTO
 	Views   []viewDTO
+	// LSN is the change-log position the snapshot was taken at (version ≥ 2;
+	// gob decodes it as 0 from older streams). A store restored from this
+	// snapshot continues the same LSN space: its next local mutation — or
+	// the next record a replication follower applies — is LSN+1.
+	LSN uint64
+	// Origin is the history identifier the LSN belongs to (version ≥ 2); a
+	// restored store adopts it, so replication followers can tell a genuine
+	// resume from a coincidence of LSN numbers across unrelated histories.
+	Origin uint64
 }
 
 type tableDTO struct {
@@ -55,17 +64,26 @@ type viewDTO struct {
 	Columns []catalog.Column
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
 
 // Save writes the full store to w as a consistent point-in-time snapshot
 // without blocking concurrent readers (and blocking writers only for the
 // header-collection instant).
 func (s *Store) Save(w io.Writer) error {
+	_, err := s.SaveLSN(w)
+	return err
+}
+
+// SaveLSN is Save returning the change-log position the snapshot captures:
+// a replica restored from this stream is exactly the primary as of that LSN
+// and subscribes to the change feed from there. The LSN also travels inside
+// the stream itself (Restore repositions the log from it).
+func (s *Store) SaveLSN(w io.Writer) (uint64, error) {
 	dto, err := s.collect()
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return gob.NewEncoder(w).Encode(dto)
+	return dto.LSN, gob.NewEncoder(w).Encode(dto)
 }
 
 // collect captures the snapshot DTO under the store lock and the write gate.
@@ -74,7 +92,10 @@ func (s *Store) collect() (*snapshotDTO, error) {
 	defer s.mu.RUnlock()
 	s.gate.Lock()
 	defer s.gate.Unlock()
-	dto := snapshotDTO{Version: snapshotVersion}
+	// Mutations append their change record inside the same critical sections
+	// the two locks above exclude (gate for DML, mu for DDL), so this LSN and
+	// the row slices collected below describe the same instant.
+	dto := snapshotDTO{Version: snapshotVersion, LSN: s.log.LastLSN(), Origin: s.Origin()}
 	for _, name := range s.catalog.TableNames() {
 		t := s.tables[keyOf(name)]
 		if t == nil {
@@ -101,21 +122,25 @@ func (s *Store) collect() (*snapshotDTO, error) {
 }
 
 // Restore loads a snapshot written by Save into an EMPTY store. It fails if
-// any relation already exists.
+// any relation already exists. Restoring is a bulk load, not a sequence of
+// logical changes: nothing is appended to the change log; instead the log is
+// positioned at the snapshot's LSN, so the restored store continues the
+// saved store's LSN space (a follower restored from this snapshot resumes
+// the primary's feed right after it).
 func (s *Store) Restore(r io.Reader) error {
 	var dto snapshotDTO
 	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
 		return fmt.Errorf("storage: corrupt snapshot: %v", err)
 	}
-	if dto.Version != snapshotVersion {
-		return fmt.Errorf("storage: unsupported snapshot version %d (want %d)", dto.Version, snapshotVersion)
+	if dto.Version < 1 || dto.Version > snapshotVersion {
+		return fmt.Errorf("storage: unsupported snapshot version %d (want 1..%d)", dto.Version, snapshotVersion)
 	}
 	for _, t := range dto.Tables {
-		tab, err := s.CreateTable(&catalog.TableDef{Name: t.Name, Columns: t.Columns})
+		tab, err := s.loadTable(&catalog.TableDef{Name: t.Name, Columns: t.Columns})
 		if err != nil {
 			return err
 		}
-		if _, err := tab.InsertBatch(t.Rows); err != nil {
+		if err := tab.load(t.Rows); err != nil {
 			return err
 		}
 		s.catalog.SetRowCount(t.Name, t.RowCount)
@@ -128,5 +153,35 @@ func (s *Store) Restore(r io.Reader) error {
 			return err
 		}
 	}
+	s.log.Reset(dto.LSN)
+	if dto.Origin != 0 {
+		s.origin.Store(dto.Origin)
+	}
+	return nil
+}
+
+// loadTable registers and attaches a table without logging a change record.
+func (s *Store) loadTable(def *catalog.TableDef) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.catalog.CreateTable(def); err != nil {
+		return nil, err
+	}
+	return s.attach(def), nil
+}
+
+// load type-checks and installs rows without logging a change record.
+func (t *Table) load(rows []value.Row) error {
+	checked := make([]value.Row, len(rows))
+	for i, r := range rows {
+		c, err := t.checkRow(r)
+		if err != nil {
+			return fmt.Errorf("row %d: %v", i+1, err)
+		}
+		checked[i] = c
+	}
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	t.applyRows(checked, nil)
 	return nil
 }

@@ -5,10 +5,14 @@
 package storage
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"perm/internal/catalog"
+	"perm/internal/repl"
 	"perm/internal/value"
 )
 
@@ -33,6 +37,11 @@ type Table struct {
 	// collect a point-in-time snapshot across every table (see
 	// Store.collect). No store or table lookups happen under it.
 	gate *sync.RWMutex
+	// log, when non-nil, is the owning store's change log. Mutations append
+	// their record inside the same gate-shared critical section that swaps
+	// the row slice in, so a snapshot (gate exclusive) always captures a row
+	// state and a log position that agree exactly.
+	log *repl.ChangeLog
 }
 
 // NewTable creates an empty table for the definition.
@@ -70,8 +79,12 @@ func (t *Table) checkRow(row value.Row) (value.Row, error) {
 }
 
 // applyRows is the apply phase of a mutation: it installs the new row slice
-// under the gate (shared) and mu (exclusive). Callers hold writeMu.
-func (t *Table) applyRows(rows []value.Row) {
+// under the gate (shared) and mu (exclusive), and appends the mutation's
+// change record — in the same gate-shared critical section, so snapshot
+// collection can never observe the rows without the record or vice versa. A
+// nil rec applies silently (no-op mutations are not logged). Callers hold
+// writeMu.
+func (t *Table) applyRows(rows []value.Row, rec *repl.Record) {
 	if t.gate != nil {
 		t.gate.RLock()
 		defer t.gate.RUnlock()
@@ -79,6 +92,76 @@ func (t *Table) applyRows(rows []value.Row) {
 	t.mu.Lock()
 	t.rows = rows
 	t.mu.Unlock()
+	if rec != nil && t.log != nil {
+		appendRecord(t.log, *rec)
+	}
+}
+
+// maxRecordRows and maxRecordBytes cap one change record: a single huge
+// mutation (CREATE TABLE AS over a large provenance query, an unqualified
+// DELETE or UPDATE on a wide table) is logged as several consecutive
+// records, so an encoded record always fits comfortably inside a wire frame
+// — a record that cannot frame would wedge every subscription on it
+// forever. The byte bound is approximate (string payloads dominate); 8 MiB
+// leaves an 8× margin under the 64 MiB frame limit. The split happens
+// inside one apply critical section, so snapshots still see all or none of
+// it.
+const (
+	maxRecordRows  = 4096
+	maxRecordBytes = 8 << 20
+)
+
+// approxRowBytes estimates a row image's encoded size.
+func approxRowBytes(row value.Row) int {
+	n := 16 * len(row)
+	for _, v := range row {
+		n += len(v.S)
+	}
+	return n
+}
+
+// appendRecord routes a record to the log: records without an LSN (primary
+// mutations) are assigned the next ones, splitting oversized row sets;
+// records carrying an LSN (a replica replaying the primary's feed — already
+// split by the primary) must land at exactly that position. The replica's
+// apply loop verifies continuity before mutating, so a failed AppendAt here
+// means that check was bypassed — a programming error — and the record is
+// dropped rather than corrupting the LSN space.
+func appendRecord(log *repl.ChangeLog, rec repl.Record) {
+	if rec.LSN != 0 {
+		_ = log.AppendAt(rec)
+		return
+	}
+	if len(rec.Rows) == 0 {
+		log.Append(rec)
+		return
+	}
+	for i := 0; i < len(rec.Rows); {
+		j, bytes := i, 0
+		for j < len(rec.Rows) && j-i < maxRecordRows {
+			b := approxRowBytes(rec.Rows[j])
+			if rec.OldRows != nil {
+				b += approxRowBytes(rec.OldRows[j])
+			}
+			// Always take at least one row; a single row beyond the byte
+			// bound still has to travel somehow.
+			if j > i && bytes+b > maxRecordBytes {
+				break
+			}
+			bytes += b
+			j++
+		}
+		if i == 0 && j == len(rec.Rows) {
+			log.Append(rec) // common case: no split
+			return
+		}
+		sub := repl.Record{Kind: rec.Kind, Table: rec.Table, Rows: rec.Rows[i:j]}
+		if rec.OldRows != nil {
+			sub.OldRows = rec.OldRows[i:j]
+		}
+		log.Append(sub)
+		i = j
+	}
 }
 
 // Insert appends a row after type checking. It returns the number of rows
@@ -97,9 +180,13 @@ func (t *Table) InsertBatch(rows []value.Row) (int, error) {
 		}
 		checked[i] = c
 	}
+	if len(checked) == 0 {
+		return 0, nil
+	}
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
-	t.applyRows(append(t.snapshotLocked(), checked...))
+	rec := &repl.Record{Kind: repl.KindInsert, Table: t.def.Name, Rows: checked}
+	t.applyRows(append(t.snapshotLocked(), checked...), rec)
 	return len(checked), nil
 }
 
@@ -147,26 +234,34 @@ func (t *Table) Delete(pred func(value.Row) (bool, error)) (int, error) {
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
 	if pred == nil {
-		n := len(t.snapshotLocked())
-		t.applyRows(nil)
-		return n, nil
+		rows := t.snapshotLocked()
+		if len(rows) == 0 {
+			return 0, nil
+		}
+		rec := &repl.Record{Kind: repl.KindDelete, Table: t.def.Name, Rows: rows}
+		t.applyRows(nil, rec)
+		return len(rows), nil
 	}
 	rows := t.snapshotLocked()
 	kept := rows[:0:0]
-	removed := 0
+	var removed []value.Row
 	for _, r := range rows {
 		ok, err := pred(r)
 		if err != nil {
 			return 0, err
 		}
 		if ok {
-			removed++
+			removed = append(removed, r)
 			continue
 		}
 		kept = append(kept, r)
 	}
-	t.applyRows(kept)
-	return removed, nil
+	if len(removed) == 0 {
+		return 0, nil
+	}
+	rec := &repl.Record{Kind: repl.KindDelete, Table: t.def.Name, Rows: removed}
+	t.applyRows(kept, rec)
+	return len(removed), nil
 }
 
 // Update applies fn to every row matching pred, replacing the row with fn's
@@ -177,8 +272,10 @@ func (t *Table) Update(pred func(value.Row) (bool, error), fn func(value.Row) (v
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
 	rows := t.snapshotLocked()
-	changed := 0
 	out := make([]value.Row, len(rows))
+	// The change record carries old/new image pairs in table-scan order, the
+	// order a replica re-scans in when it replays the record.
+	var oldImages, newImages []value.Row
 	for i, r := range rows {
 		match := true
 		if pred != nil {
@@ -201,10 +298,15 @@ func (t *Table) Update(pred func(value.Row) (bool, error), fn func(value.Row) (v
 			return 0, err
 		}
 		out[i] = checked
-		changed++
+		oldImages = append(oldImages, r)
+		newImages = append(newImages, checked)
 	}
-	t.applyRows(out)
-	return changed, nil
+	if len(newImages) == 0 {
+		return 0, nil
+	}
+	rec := &repl.Record{Kind: repl.KindUpdate, Table: t.def.Name, Rows: newImages, OldRows: oldImages}
+	t.applyRows(out, rec)
+	return len(newImages), nil
 }
 
 // Store couples a catalog with the physical tables.
@@ -221,38 +323,124 @@ type Store struct {
 	gate    sync.RWMutex
 	catalog *catalog.Catalog
 	tables  map[string]*Table
+	// log is the store's logical change log. DML appends under the gate
+	// (shared) from Table.applyRows; DDL appends under mu (exclusive) here.
+	// Snapshot collection holds mu (shared) AND gate (exclusive), so the LSN
+	// it captures is exact: no mutation of either kind can be half-recorded.
+	log *repl.ChangeLog
+	// origin identifies the history this store's LSNs belong to: random at
+	// creation, adopted from the snapshot on Restore. Two stores share an
+	// origin exactly when one descends from the other's history, so a
+	// replication follower whose origin differs from the primary's must
+	// bootstrap from a snapshot — its LSNs count a different past, even if
+	// the numbers happen to line up.
+	origin atomic.Uint64
 }
 
 // NewStore creates a store over a fresh catalog.
 func NewStore() *Store {
-	return &Store{catalog: catalog.New(), tables: make(map[string]*Table)}
+	s := &Store{
+		catalog: catalog.New(),
+		tables:  make(map[string]*Table),
+		log:     repl.NewChangeLog(),
+	}
+	s.origin.Store(newOrigin())
+	return s
 }
+
+// newOrigin draws a random non-zero history identifier.
+func newOrigin() uint64 {
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("storage: reading randomness: %v", err))
+		}
+		if v := binary.LittleEndian.Uint64(b[:]); v != 0 {
+			return v
+		}
+	}
+}
+
+// Origin returns the store's history identifier.
+func (s *Store) Origin() uint64 { return s.origin.Load() }
 
 // Catalog exposes the schema registry.
 func (s *Store) Catalog() *catalog.Catalog { return s.catalog }
 
+// Log exposes the store's change log (replication, tests).
+func (s *Store) Log() *repl.ChangeLog { return s.log }
+
 // CreateTable registers the definition and allocates the heap. Catalog entry
 // and heap appear atomically with respect to snapshot collection.
 func (s *Store) CreateTable(def *catalog.TableDef) (*Table, error) {
+	return s.createTable(def, 0)
+}
+
+func (s *Store) createTable(def *catalog.TableDef, lsn uint64) (*Table, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.catalog.CreateTable(def); err != nil {
 		return nil, err
 	}
+	t := s.attach(def)
+	appendRecord(s.log, repl.Record{LSN: lsn, Kind: repl.KindCreateTable, Table: def.Name, Columns: def.Columns})
+	return t, nil
+}
+
+// attach allocates the heap for a registered definition. Callers hold s.mu.
+func (s *Store) attach(def *catalog.TableDef) *Table {
 	t := NewTable(def)
 	t.gate = &s.gate
+	t.log = s.log
 	s.tables[keyOf(def.Name)] = t
-	return t, nil
+	return t
 }
 
 // DropTable removes definition and data atomically.
 func (s *Store) DropTable(name string) error {
+	return s.dropTable(name, 0)
+}
+
+func (s *Store) dropTable(name string, lsn uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.catalog.DropTable(name); err != nil {
 		return err
 	}
 	delete(s.tables, keyOf(name))
+	appendRecord(s.log, repl.Record{LSN: lsn, Kind: repl.KindDropTable, Table: name})
+	return nil
+}
+
+// CreateView registers a view in the catalog and logs the change. View DDL
+// must go through the store (not the catalog directly) on any database that
+// may have replication followers.
+func (s *Store) CreateView(def *catalog.ViewDef) error {
+	return s.createView(def, 0)
+}
+
+func (s *Store) createView(def *catalog.ViewDef, lsn uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.catalog.CreateView(def); err != nil {
+		return err
+	}
+	appendRecord(s.log, repl.Record{LSN: lsn, Kind: repl.KindCreateView, Table: def.Name, ViewText: def.Text, Columns: def.Columns})
+	return nil
+}
+
+// DropView removes a view and logs the change.
+func (s *Store) DropView(name string) error {
+	return s.dropView(name, 0)
+}
+
+func (s *Store) dropView(name string, lsn uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.catalog.DropView(name); err != nil {
+		return err
+	}
+	appendRecord(s.log, repl.Record{LSN: lsn, Kind: repl.KindDropView, Table: name})
 	return nil
 }
 
@@ -266,6 +454,15 @@ func (s *Store) Table(name string) *Table {
 // Analyze refreshes the catalog statistics (row count and per-column distinct
 // fraction) for the named table, or for all tables when name is empty.
 func (s *Store) Analyze(name string) error {
+	return s.analyze(name, 0)
+}
+
+// analyze does the statistics refresh and logs it. The record is appended
+// outside the gate (statistics are advisory and influence plan choice, never
+// results), so a replica's ANALYZE may interleave slightly differently with
+// concurrent DML than the primary's did — its statistics can differ
+// transiently, its data cannot.
+func (s *Store) analyze(name string, lsn uint64) error {
 	names := []string{name}
 	if name == "" {
 		names = s.catalog.TableNames()
@@ -289,7 +486,155 @@ func (s *Store) Analyze(name string) error {
 			s.catalog.SetDistinctFrac(n, col.Name, float64(len(seen))/float64(len(rows)))
 		}
 	}
+	appendRecord(s.log, repl.Record{LSN: lsn, Kind: repl.KindAnalyze, Table: name})
 	return nil
+}
+
+// --- replication apply ----------------------------------------------------------
+
+// ApplyChange replays one change record from a primary's feed: it performs
+// the mutation and appends the record to this store's own log at the
+// primary's LSN, atomically with respect to snapshot collection. Records
+// must arrive in LSN order (the caller — internal/server's follower —
+// verifies continuity against Log().LastLSN() before applying).
+//
+// DML against a relation this store does not have is skipped silently: the
+// primary logs mutations decided against a table heap that a concurrent DROP
+// already detached, and the visible state on both sides is identical — no
+// table. A row-image mismatch, by contrast, means the replica has diverged
+// and is returned as an error so the caller can re-bootstrap from a
+// snapshot.
+func (s *Store) ApplyChange(rec repl.Record) error {
+	switch rec.Kind {
+	case repl.KindCreateTable:
+		cols := append([]catalog.Column(nil), rec.Columns...)
+		_, err := s.createTable(&catalog.TableDef{Name: rec.Table, Columns: cols}, rec.LSN)
+		return err
+	case repl.KindDropTable:
+		return s.dropTable(rec.Table, rec.LSN)
+	case repl.KindCreateView:
+		cols := append([]catalog.Column(nil), rec.Columns...)
+		return s.createView(&catalog.ViewDef{Name: rec.Table, Text: rec.ViewText, Columns: cols}, rec.LSN)
+	case repl.KindDropView:
+		return s.dropView(rec.Table, rec.LSN)
+	case repl.KindAnalyze:
+		// The primary logs ANALYZE outside the DDL lock (statistics are
+		// advisory), so its record can land after a concurrent DROP of its
+		// target. Like DML on a dropped table, that replays as a logged
+		// no-op rather than a divergence.
+		if rec.Table != "" && s.Table(rec.Table) == nil {
+			s.mu.Lock()
+			appendRecord(s.log, rec)
+			s.mu.Unlock()
+			return nil
+		}
+		return s.analyze(rec.Table, rec.LSN)
+	case repl.KindInsert, repl.KindDelete, repl.KindUpdate:
+		t := s.Table(rec.Table)
+		if t == nil {
+			// Mutation against a dropped table: a no-op on the primary's
+			// visible state too. Keep the LSN space dense by logging the
+			// skip.
+			s.mu.Lock()
+			appendRecord(s.log, rec)
+			s.mu.Unlock()
+			return nil
+		}
+		if err := t.applyChange(rec); err != nil {
+			return err
+		}
+		// Mirror the engine's post-DML statistics refresh (runInsert and
+		// runDelete call SetRowCount): cost-based plan choices — and with
+		// them un-ORDERed result order — must not drift between primary and
+		// replica on cardinality alone.
+		if rec.Kind != repl.KindUpdate {
+			s.catalog.SetRowCount(rec.Table, t.RowCount())
+		}
+		return nil
+	}
+	return fmt.Errorf("storage: unknown change record kind %d", rec.Kind)
+}
+
+// applyChange replays one DML record on the table.
+func (t *Table) applyChange(rec repl.Record) error {
+	t.writeMu.Lock()
+	defer t.writeMu.Unlock()
+	rows := t.snapshotLocked()
+	var next []value.Row
+	switch rec.Kind {
+	case repl.KindInsert:
+		next = append(rows, rec.Rows...)
+	case repl.KindDelete:
+		var err error
+		if next, err = removeImages(rows, rec.Rows); err != nil {
+			return fmt.Errorf("table %q: %v", t.def.Name, err)
+		}
+	case repl.KindUpdate:
+		var err error
+		if next, err = replaceImages(rows, rec.OldRows, rec.Rows); err != nil {
+			return fmt.Errorf("table %q: %v", t.def.Name, err)
+		}
+	}
+	t.applyRows(next, &rec)
+	return nil
+}
+
+// removeImages deletes the given row images from rows by multiset match in
+// table order — the order the primary's scan removed them in, so the
+// surviving rows come out byte-identical to the primary's.
+func removeImages(rows, images []value.Row) ([]value.Row, error) {
+	pending := make(map[string]int, len(images))
+	var keyBuf []byte
+	for _, img := range images {
+		keyBuf = img.AppendKey(keyBuf[:0])
+		pending[string(keyBuf)]++
+	}
+	kept := rows[:0:0]
+	matched := 0
+	for _, r := range rows {
+		keyBuf = r.AppendKey(keyBuf[:0])
+		if n := pending[string(keyBuf)]; n > 0 {
+			pending[string(keyBuf)] = n - 1
+			matched++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	if matched != len(images) {
+		return nil, fmt.Errorf("replica diverged: %d of %d deleted row images not found", len(images)-matched, len(images))
+	}
+	return kept, nil
+}
+
+// replaceImages substitutes old row images with their parallel new images,
+// matching in table order like removeImages. Duplicate old images consume
+// their new images in order, reproducing the primary's scan exactly.
+func replaceImages(rows, olds, news []value.Row) ([]value.Row, error) {
+	if len(olds) != len(news) {
+		return nil, fmt.Errorf("replica diverged: update record with %d old and %d new images", len(olds), len(news))
+	}
+	queue := make(map[string][]int, len(olds))
+	var keyBuf []byte
+	for i, img := range olds {
+		keyBuf = img.AppendKey(keyBuf[:0])
+		queue[string(keyBuf)] = append(queue[string(keyBuf)], i)
+	}
+	out := make([]value.Row, len(rows))
+	matched := 0
+	for i, r := range rows {
+		keyBuf = r.AppendKey(keyBuf[:0])
+		if idxs := queue[string(keyBuf)]; len(idxs) > 0 {
+			out[i] = news[idxs[0]]
+			queue[string(keyBuf)] = idxs[1:]
+			matched++
+			continue
+		}
+		out[i] = r
+	}
+	if matched != len(olds) {
+		return nil, fmt.Errorf("replica diverged: %d of %d updated row images not found", len(olds)-matched, len(olds))
+	}
+	return out, nil
 }
 
 func keyOf(name string) string {

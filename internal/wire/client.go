@@ -99,25 +99,37 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 }
 
 func (c *Client) handshake() error {
-	payload := Hello{Version: ProtocolVersion, Client: "perm-go"}.Encode(nil)
-	if err := c.conn.WriteMessage(MsgHello, payload); err != nil {
-		return err
-	}
-	if err := c.conn.Flush(); err != nil {
-		return err
-	}
-	typ, body, err := c.conn.ReadMessage()
+	server, err := Handshake(c.conn, "perm-go")
 	if err != nil {
-		return fmt.Errorf("wire: handshake failed: %w", err)
+		return err
+	}
+	c.server = server
+	return nil
+}
+
+// Handshake performs the client side of the protocol handshake on conn:
+// Hello out, HelloOK (or a server error) back. Callers that drive a raw Conn
+// — the replication follower subscribes and then reads a one-way stream that
+// doesn't fit the Client's request/response discipline — use this directly.
+func Handshake(conn *Conn, client string) (HelloOK, error) {
+	payload := Hello{Version: ProtocolVersion, Client: client}.Encode(nil)
+	if err := conn.WriteMessage(MsgHello, payload); err != nil {
+		return HelloOK{}, err
+	}
+	if err := conn.Flush(); err != nil {
+		return HelloOK{}, err
+	}
+	typ, body, err := conn.ReadMessage()
+	if err != nil {
+		return HelloOK{}, fmt.Errorf("wire: handshake failed: %w", err)
 	}
 	switch typ {
 	case MsgHelloOK:
-		c.server, err = DecodeHelloOK(body)
-		return err
+		return DecodeHelloOK(body)
 	case MsgError:
-		return &ServerError{Message: NewReader(body).String()}
+		return HelloOK{}, DecodeServerError(body)
 	}
-	return fmt.Errorf("wire: unexpected handshake response %q", typ)
+	return HelloOK{}, fmt.Errorf("wire: unexpected handshake response %q", typ)
 }
 
 // Server returns the server's handshake information.
@@ -183,7 +195,7 @@ func (c *Client) Query(sqlText string) (*Rows, error) {
 	}
 	switch typ {
 	case MsgError:
-		return nil, &ServerError{Message: NewReader(body).String()}
+		return nil, DecodeServerError(body)
 	case MsgRowDesc:
 		desc, err := DecodeRowDesc(body)
 		if err != nil {
@@ -242,7 +254,7 @@ func (c *Client) Backup(w io.Writer) error {
 		case MsgBackupDone:
 			return nil
 		case MsgError:
-			return &ServerError{Message: NewReader(body).String()}
+			return DecodeServerError(body)
 		default:
 			return c.fail(fmt.Errorf("wire: unexpected response %q to backup", typ))
 		}
@@ -311,7 +323,7 @@ func (r *Rows) Next() (value.Row, error) {
 		r.finish(nil)
 		return nil, nil
 	case MsgError:
-		r.finish(&ServerError{Message: NewReader(body).String()})
+		r.finish(DecodeServerError(body))
 		return nil, r.err
 	}
 	r.finish(r.c.fail(fmt.Errorf("wire: unexpected frame %q in row stream", typ)))

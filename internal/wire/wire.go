@@ -42,7 +42,9 @@ import (
 )
 
 // ProtocolVersion is bumped on any incompatible framing or message change.
-const ProtocolVersion = 1
+// Version 2 added replication (Subscribe and the server→client snapshot /
+// change-batch / heartbeat stream) and the error-code suffix on Error frames.
+const ProtocolVersion = 2
 
 // MaxFrameSize bounds a single frame (64 MiB): a defense against corrupt or
 // malicious length prefixes allocating unbounded memory.
@@ -58,6 +60,7 @@ const (
 	MsgHello       byte = 'H' // client: protocol version + client name
 	MsgQuery       byte = 'Q' // client: one SQL statement
 	MsgBackup      byte = 'B' // client: request a consistent snapshot stream
+	MsgSubscribe   byte = 'S' // client: become a replication follower from an LSN
 	MsgTerminate   byte = 'X' // client: goodbye
 	MsgHelloOK     byte = 'h' // server: handshake accepted
 	MsgRowDesc     byte = 'd' // server: result-set column descriptions
@@ -66,6 +69,30 @@ const (
 	MsgError       byte = 'e' // server: statement or protocol error
 	MsgBackupChunk byte = 'b' // server: snapshot bytes
 	MsgBackupDone  byte = 'k' // server: snapshot complete
+
+	// Replication stream (server→client, after MsgSubscribe). The follower
+	// asks to resume after an LSN; the primary answers either MsgSubLive
+	// (the log still holds everything past that LSN) or MsgSubSnapshot +
+	// BackupChunk frames + MsgSubLive (bootstrap), then pushes MsgChanges
+	// batches as mutations commit and MsgHeartbeat while idle. Subscribe
+	// turns the connection into a one-way stream: the client sends nothing
+	// further and the strict request/response alternation no longer applies.
+	MsgSubSnapshot byte = 'n' // server: bootstrap snapshot stream follows
+	MsgSubLive     byte = 'l' // server: snapshot done / resume accepted; payload = stream start LSN
+	MsgChanges     byte = 'g' // server: a batch of change records (repl.DecodeBatch)
+	MsgHeartbeat   byte = 't' // server: liveness + the primary's current last LSN
+)
+
+// Error codes carried by Error frames, so clients can surface typed errors
+// across the wire (database/sql callers match them with errors.Is).
+const (
+	// ErrCodeGeneric is an ordinary statement or protocol error.
+	ErrCodeGeneric uint64 = 0
+	// ErrCodeReadOnly reports a write rejected by a read-only replica.
+	ErrCodeReadOnly uint64 = 1
+	// ErrCodeLogTrimmed reports a Subscribe position older than the
+	// primary's retained change log; the follower must re-bootstrap.
+	ErrCodeLogTrimmed uint64 = 2
 )
 
 // Hello is the client's opening message.
@@ -100,12 +127,38 @@ type Complete struct {
 	Execute  int64
 }
 
-// ServerError is an error reported by the remote server.
+// ServerError is an error reported by the remote server. Code carries the
+// machine-readable classification (ErrCode…); consumers that need a typed
+// error (the perm driver's read-only mapping) switch on it.
 type ServerError struct {
 	Message string
+	Code    uint64
 }
 
 func (e *ServerError) Error() string { return "perm server: " + e.Message }
+
+// AppendError encodes an Error frame payload: the message followed by the
+// error code.
+func AppendError(dst []byte, msg string, code uint64) []byte {
+	dst = AppendString(dst, msg)
+	return binary.AppendUvarint(dst, code)
+}
+
+// DecodeServerError parses an Error frame payload. For robustness against a
+// bare-string payload (a refusal written before the handshake negotiated
+// anything) a missing code decodes as ErrCodeGeneric.
+func DecodeServerError(payload []byte) *ServerError {
+	r := NewReader(payload)
+	msg := r.String()
+	if r.Err() != nil {
+		return &ServerError{Message: string(payload)}
+	}
+	e := &ServerError{Message: msg}
+	if r.Remaining() > 0 {
+		e.Code = r.Uvarint()
+	}
+	return e
+}
 
 // Conn wraps a byte stream with buffered frame I/O. It is not safe for
 // concurrent use; the protocol is strictly request/response.
@@ -249,11 +302,20 @@ func NewReader(payload []byte) *Reader { return &Reader{buf: payload} }
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }
 
+// Remaining reports how many payload bytes are left to decode.
+func (r *Reader) Remaining() int { return len(r.buf) - r.pos }
+
 func (r *Reader) fail(what string) {
 	if r.err == nil {
 		r.err = fmt.Errorf("wire: truncated or corrupt %s at offset %d", what, r.pos)
 	}
 }
+
+// Fail marks the reader corrupt from the outside: message decoders layered
+// on this package (repl records) use it when a count or bound they validate
+// themselves is impossible, so the payload is rejected as a whole rather
+// than decoded misaligned.
+func (r *Reader) Fail(what string) { r.fail(what) }
 
 // Uvarint reads an unsigned varint.
 func (r *Reader) Uvarint() uint64 {

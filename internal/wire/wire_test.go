@@ -146,3 +146,30 @@ func TestFrameSizeLimit(t *testing.T) {
 		t.Fatal("oversized frame accepted")
 	}
 }
+
+func TestServerErrorCodeRoundTrip(t *testing.T) {
+	payload := AppendError(nil, "read-only replica", ErrCodeReadOnly)
+	e := DecodeServerError(payload)
+	if e.Message != "read-only replica" || e.Code != ErrCodeReadOnly {
+		t.Fatalf("decoded %+v", e)
+	}
+	// A bare-string payload (no code suffix) decodes as generic.
+	e = DecodeServerError(AppendString(nil, "plain"))
+	if e.Message != "plain" || e.Code != ErrCodeGeneric {
+		t.Fatalf("decoded bare payload as %+v", e)
+	}
+}
+
+func TestReaderRemaining(t *testing.T) {
+	payload := AppendString(nil, "abc")
+	r := NewReader(payload)
+	if r.Remaining() != len(payload) {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	if s := r.String(); s != "abc" {
+		t.Fatalf("String = %q", s)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining after full decode = %d", r.Remaining())
+	}
+}
