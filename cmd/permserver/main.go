@@ -53,6 +53,7 @@ func main() {
 		replRetain   = flag.Int("repl-retain", repl.DefaultRetention, "change-log records retained for follower catch-up (0 = unlimited)")
 		replRetainMB = flag.Int("repl-retain-mb", repl.DefaultRetentionBytes>>20, "approximate change-log memory budget in MiB (0 = unlimited)")
 		heartbeat    = flag.Duration("heartbeat", time.Second, "replication heartbeat interval sent to followers")
+		cursorBatch  = flag.Int("cursor-batch", 0, "rows per streamed result batch frame (0 = default 256)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "permserver: ", log.LstdFlags)
@@ -82,7 +83,12 @@ func main() {
 		logger.Printf("loaded dataset %s", *load)
 	}
 
-	cfg := server.Config{MaxConns: *maxConns, QueryTimeout: *queryTimeout, HeartbeatInterval: *heartbeat}
+	cfg := server.Config{
+		MaxConns:          *maxConns,
+		QueryTimeout:      *queryTimeout,
+		HeartbeatInterval: *heartbeat,
+		CursorBatchRows:   *cursorBatch,
+	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
 	}

@@ -41,6 +41,11 @@ type shell struct {
 	out    *bufio.Writer
 	trees  bool
 	timing bool
+	// fetch is the cursor batch size for remote queries: the server
+	// suspends the result every N rows and the shell fetches on, so a huge
+	// provenance result never materializes server-side. 0 streams without
+	// suspending.
+	fetch int
 }
 
 func main() {
@@ -50,7 +55,7 @@ func main() {
 	fmt.Println("Perm shell — provenance management system (SQL-PLE dialect)")
 	fmt.Println(`type SQL statements terminated by ';', \? for help, \q to quit`)
 
-	sh := &shell{out: bufio.NewWriter(os.Stdout)}
+	sh := &shell{out: bufio.NewWriter(os.Stdout), fetch: 512}
 	if *connect != "" {
 		client, err := wire.Dial(*connect)
 		if err != nil {
@@ -141,21 +146,23 @@ func (s *shell) render(res *perm.Result) {
 	}
 }
 
-// runRemote executes one statement in the server-side session and renders
-// the streamed result exactly like the embedded path.
+// runRemote executes one statement in the server-side session through a v3
+// cursor — the server streams the result in \fetch-sized batches instead of
+// materializing it — and renders it exactly like the embedded path.
 func (s *shell) runRemote(sqlText string) {
-	rows, err := s.client.Query(sqlText)
+	cur, err := s.client.Execute("", sqlText, nil, s.fetch)
 	if err != nil {
 		fmt.Fprintln(s.out, "ERROR:", err)
 		return
 	}
-	res := &perm.Result{Columns: rows.Desc.Names}
-	if n := len(rows.Desc.IsProv); n > 0 {
-		res.ProvenanceColumns = append([]bool(nil), rows.Desc.IsProv...)
+	res := &perm.Result{Columns: cur.Desc.Names}
+	if n := len(cur.Desc.IsProv); n > 0 {
+		res.ProvenanceColumns = append([]bool(nil), cur.Desc.IsProv...)
 	}
 	for {
-		row, err := rows.Next()
+		row, err := cur.Next()
 		if err != nil {
+			cur.Close()
 			fmt.Fprintln(s.out, "ERROR:", err)
 			return
 		}
@@ -164,7 +171,11 @@ func (s *shell) runRemote(sqlText string) {
 		}
 		res.Rows = append(res.Rows, value.Row(row))
 	}
-	done := rows.Complete
+	if err := cur.Close(); err != nil {
+		fmt.Fprintln(s.out, "ERROR:", err)
+		return
+	}
+	done := cur.Complete
 	res.Tag = done.Tag
 	res.CacheHit = done.CacheHit
 	res.ParseTime = time.Duration(done.Parse)
@@ -197,6 +208,7 @@ func (s *shell) meta(cmd string) bool {
   \open file       load a persisted database
   \trees on|off    show algebra trees per query
   \timing on|off   show stage timings per query
+  \fetch N         cursor batch size for remote queries (0 = no suspension)
   \set name value  change a session setting
   \status          server role and replication status
   \q               quit`)
@@ -220,6 +232,18 @@ func (s *shell) meta(cmd string) bool {
 	case "\\timing":
 		s.timing = len(fields) > 1 && fields[1] == "on"
 		fmt.Fprintf(s.out, "timing: %v\n", s.timing)
+	case "\\fetch":
+		if len(fields) != 2 {
+			fmt.Fprintln(s.out, "usage: \\fetch N")
+			break
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			fmt.Fprintln(s.out, "usage: \\fetch N (N >= 0)")
+			break
+		}
+		s.fetch = n
+		fmt.Fprintf(s.out, "fetch: %d\n", s.fetch)
 	case "\\load":
 		if s.client != nil {
 			fmt.Fprintln(s.out, `\load replaces the local database; not available over -connect (use permserver -load)`)

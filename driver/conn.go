@@ -55,19 +55,52 @@ type conn struct {
 	remote   *wire.Client
 	local    *engine.Session
 	readOnly bool
+	// stmtSeq names this connection's server-side prepared statements.
+	stmtSeq int
 }
 
 var _ sqldriver.Conn = (*conn)(nil)
+var _ sqldriver.ConnPrepareContext = (*conn)(nil)
 var _ sqldriver.QueryerContext = (*conn)(nil)
 var _ sqldriver.ExecerContext = (*conn)(nil)
 var _ sqldriver.Pinger = (*conn)(nil)
 var _ sqldriver.Validator = (*conn)(nil)
 
-// Prepare implements driver.Conn. Statements are prepared client-side (the
-// engine has no server-side prepare): the text is kept and placeholders are
-// interpolated at execution.
+// defaultFetchSize is the cursor batch the driver requests per round trip
+// when streaming a query result: large enough to amortize the request
+// latency, small enough that client and server memory stay bounded on huge
+// provenance results.
+const defaultFetchSize = 512
+
+// Prepare implements driver.Conn: statements prepare server-side (an engine
+// prepared statement for embedded connections, a wire Parse for remote
+// ones), and `?` placeholders bind as typed parameters at execution —
+// argument values never travel as interpolated SQL text.
 func (c *conn) Prepare(query string) (sqldriver.Stmt, error) {
-	return &stmt{c: c, query: query, numInput: countPlaceholders(query)}, nil
+	return c.PrepareContext(context.Background(), query)
+}
+
+// PrepareContext implements driver.ConnPrepareContext.
+func (c *conn) PrepareContext(ctx context.Context, query string) (sqldriver.Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.remote != nil {
+		c.stmtSeq++
+		name := "s" + strconv.Itoa(c.stmtSeq)
+		stop := c.watchContext(ctx)
+		n, err := c.remote.Prepare(name, query)
+		stop()
+		if err != nil {
+			return nil, ctxOr(ctx, remoteErr(err))
+		}
+		return &stmt{c: c, query: query, name: name, numInput: n}, nil
+	}
+	prep, err := c.local.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{c: c, query: query, prepared: prep, numInput: prep.NumParams()}, nil
 }
 
 // Close implements driver.Conn.
@@ -98,11 +131,21 @@ func (c *conn) Ping(ctx context.Context) error {
 	return rows.Close()
 }
 
-// QueryContext implements driver.QueryerContext.
+// QueryContext implements driver.QueryerContext: `?` arguments travel as
+// typed wire parameters (a one-shot server-side bind — parse + bind +
+// execute in one round trip), never as interpolated SQL text, and results
+// stream — a cursor with batched fetches remotely, the live executor
+// iterator tree embedded.
 func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
-	sqlText, err := interpolate(query, args)
-	if err != nil {
-		return nil, err
+	return c.query(ctx, query, "", args)
+}
+
+// query runs a statement by text (name empty) or by prepared-statement name.
+func (c *conn) query(ctx context.Context, sqlText, name string, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	if name == "" {
+		if err := c.bindCheck(sqlText, args); err != nil {
+			return nil, err
+		}
 	}
 	if err := c.checkReadOnly(sqlText); err != nil {
 		return nil, err
@@ -112,27 +155,55 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []sqldriver.
 	}
 	if c.remote != nil {
 		stop := c.watchContext(ctx)
-		wr, err := c.remote.Query(sqlText)
+		if name == "" && len(args) == 0 {
+			wr, err := c.remote.Query(sqlText)
+			if err != nil {
+				stop()
+				return nil, ctxOr(ctx, remoteErr(err))
+			}
+			// The watcher stays armed for the whole row stream;
+			// remoteRows.Close disarms it.
+			return &remoteRows{rows: wr, ctx: ctx, stop: stop}, nil
+		}
+		vals, err := toEngineValues(args)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		cur, err := c.remote.Execute(name, sqlText, vals, defaultFetchSize)
 		if err != nil {
 			stop()
 			return nil, ctxOr(ctx, remoteErr(err))
 		}
-		// The watcher stays armed for the whole row stream; remoteRows.Close
-		// disarms it.
-		return &remoteRows{rows: wr, ctx: ctx, stop: stop}, nil
+		return &cursorRows{cur: cur, ctx: ctx, stop: stop}, nil
 	}
-	res, err := c.execLocal(ctx, sqlText)
+	vals, err := toEngineValues(args)
 	if err != nil {
 		return nil, err
 	}
-	return newLocalRows(res), nil
+	return c.queryLocal(ctx, func() (*engine.Rows, error) {
+		if len(vals) == 0 {
+			return c.local.Query(sqlText)
+		}
+		prep, err := c.local.Prepare(sqlText)
+		if err != nil {
+			return nil, err
+		}
+		return prep.Query(vals...)
+	})
 }
 
-// ExecContext implements driver.ExecerContext.
+// ExecContext implements driver.ExecerContext; arguments bind server-side
+// exactly as in QueryContext.
 func (c *conn) ExecContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Result, error) {
-	sqlText, err := interpolate(query, args)
-	if err != nil {
-		return nil, err
+	return c.exec(ctx, query, "", args)
+}
+
+func (c *conn) exec(ctx context.Context, sqlText, name string, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	if name == "" {
+		if err := c.bindCheck(sqlText, args); err != nil {
+			return nil, err
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -143,20 +214,56 @@ func (c *conn) ExecContext(ctx context.Context, query string, args []sqldriver.N
 	var tag string
 	if c.remote != nil {
 		stop := c.watchContext(ctx)
-		done, err := c.remote.Exec(sqlText)
+		var done wire.Complete
+		var err error
+		if name == "" && len(args) == 0 {
+			done, err = c.remote.Exec(sqlText)
+		} else {
+			var vals []value.Value
+			vals, err = toEngineValues(args)
+			if err != nil {
+				stop()
+				return nil, err
+			}
+			done, err = c.remote.ExecuteDrain(name, sqlText, vals)
+		}
 		stop()
 		if err != nil {
 			return nil, ctxOr(ctx, remoteErr(err))
 		}
 		tag = done.Tag
 	} else {
-		res, err := c.execLocal(ctx, sqlText)
+		vals, err := toEngineValues(args)
+		if err != nil {
+			return nil, err
+		}
+		res, err := c.execLocal(ctx, func() (*engine.Result, error) {
+			if len(vals) == 0 {
+				return c.local.Execute(sqlText)
+			}
+			prep, err := c.local.Prepare(sqlText)
+			if err != nil {
+				return nil, err
+			}
+			return prep.Exec(vals...)
+		})
 		if err != nil {
 			return nil, err
 		}
 		tag = res.Tag
 	}
 	return result{tag: tag}, nil
+}
+
+// bindCheck verifies the argument count against the driver's placeholder
+// scanner before anything hits the wire — the server re-checks
+// authoritatively with its parser; the differential and fuzz suites pin the
+// two scanners to agree.
+func (c *conn) bindCheck(query string, args []sqldriver.NamedValue) error {
+	if n := countPlaceholders(query); n != len(args) {
+		return fmt.Errorf("perm driver: %d arguments for %d placeholders", len(args), n)
+	}
+	return nil
 }
 
 // watchContext arms context cancellation for a remote request: if ctx ends
@@ -256,29 +363,69 @@ func firstKeyword(s string) string {
 	return ""
 }
 
-// execLocal runs a statement on the embedded session with the caller's
-// context cancellation armed as the engine interrupt.
-func (c *conn) execLocal(ctx context.Context, sqlText string) (*engine.Result, error) {
+// execLocal runs one materialized statement on the embedded session with
+// the caller's context cancellation armed as the engine interrupt — the
+// single home of the arm/disarm/relabel sequence for every local Exec path.
+func (c *conn) execLocal(ctx context.Context, run func() (*engine.Result, error)) (*engine.Result, error) {
 	if done := ctx.Done(); done != nil {
 		c.local.SetInterrupt(done)
 		defer c.local.SetInterrupt(nil)
 	}
-	res, err := c.local.Execute(sqlText)
+	res, err := run()
 	if err != nil && ctx.Err() != nil {
 		return nil, ctx.Err()
 	}
 	return res, err
 }
 
+// queryLocal opens a streaming statement on the embedded session. The
+// engine interrupt stays armed for the whole stream — a canceled context
+// unwinds a half-read result — and is disarmed when the rows close.
+func (c *conn) queryLocal(ctx context.Context, open func() (*engine.Rows, error)) (sqldriver.Rows, error) {
+	disarm := func() {}
+	if done := ctx.Done(); done != nil {
+		c.local.SetInterrupt(done)
+		disarm = func() { c.local.SetInterrupt(nil) }
+	}
+	rows, err := open()
+	if err != nil {
+		disarm()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, err
+	}
+	return newLocalRows(rows, ctx, disarm), nil
+}
+
 // --- statements ----------------------------------------------------------------
 
+// stmt is a prepared statement: a server-side named statement on remote
+// connections (name set), an engine prepared statement embedded (prepared
+// set). Execution always binds arguments as typed parameters.
 type stmt struct {
 	c        *conn
 	query    string
 	numInput int
+	name     string           // remote: wire statement name
+	prepared *engine.Prepared // embedded: engine prepared statement
+	closed   bool
 }
 
-func (s *stmt) Close() error  { return nil }
+// Close deallocates the server-side statement.
+func (s *stmt) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.c.remote != nil && s.c.remote.Broken() == nil {
+		if err := s.c.remote.CloseStmt(s.name); err != nil {
+			return remoteErr(err)
+		}
+	}
+	return nil
+}
+
 func (s *stmt) NumInput() int { return s.numInput }
 func (s *stmt) namedValues(args []sqldriver.Value) []sqldriver.NamedValue {
 	out := make([]sqldriver.NamedValue, len(args))
@@ -289,22 +436,56 @@ func (s *stmt) namedValues(args []sqldriver.Value) []sqldriver.NamedValue {
 }
 
 func (s *stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
-	return s.c.ExecContext(context.Background(), s.query, s.namedValues(args))
+	return s.ExecContext(context.Background(), s.namedValues(args))
 }
 
 func (s *stmt) Query(args []sqldriver.Value) (sqldriver.Rows, error) {
-	return s.c.QueryContext(context.Background(), s.query, s.namedValues(args))
+	return s.QueryContext(context.Background(), s.namedValues(args))
 }
 
 // ExecContext implements driver.StmtExecContext, so prepared statements get
 // the same cancellation behavior as conn-level Exec.
 func (s *stmt) ExecContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Result, error) {
-	return s.c.ExecContext(ctx, s.query, args)
+	if s.prepared != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.c.checkReadOnly(s.query); err != nil {
+			return nil, err
+		}
+		vals, err := toEngineValues(args)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.c.execLocal(ctx, func() (*engine.Result, error) {
+			return s.prepared.Exec(vals...)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return result{tag: res.Tag}, nil
+	}
+	return s.c.exec(ctx, s.query, s.name, args)
 }
 
 // QueryContext implements driver.StmtQueryContext.
 func (s *stmt) QueryContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
-	return s.c.QueryContext(ctx, s.query, args)
+	if s.prepared != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := s.c.checkReadOnly(s.query); err != nil {
+			return nil, err
+		}
+		vals, err := toEngineValues(args)
+		if err != nil {
+			return nil, err
+		}
+		return s.c.queryLocal(ctx, func() (*engine.Rows, error) {
+			return s.prepared.Query(vals...)
+		})
+	}
+	return s.c.query(ctx, s.query, s.name, args)
 }
 
 // --- results -------------------------------------------------------------------
@@ -380,32 +561,101 @@ func (r *remoteRows) ColumnTypeDatabaseTypeName(index int) string {
 	return typeNameOf(r.rows.Desc.Kinds[index])
 }
 
-// localRows iterates a materialized embedded result.
-type localRows struct {
-	cols  []string
-	kinds []value.Kind
-	rows  []value.Row
-	pos   int
+// cursorRows streams a server-side portal: rows arrive in batches, fetched
+// on demand, so neither side materializes the result. The connection's
+// context watcher stays armed until Close (fetch round trips block on the
+// server too).
+type cursorRows struct {
+	cur  *wire.Cursor
+	ctx  context.Context
+	stop func()
 }
 
-func newLocalRows(res *engine.Result) *localRows {
-	lr := &localRows{cols: res.Columns, rows: res.Rows}
-	lr.kinds = make([]value.Kind, len(res.Columns))
-	for i := 0; i < len(lr.kinds) && i < len(res.Schema); i++ {
-		lr.kinds[i] = res.Schema[i].Type
+func (r *cursorRows) Columns() []string { return r.cur.Desc.Names }
+
+func (r *cursorRows) Close() error {
+	err := r.cur.Close()
+	if r.stop != nil {
+		r.stop()
+		r.stop = nil
+	}
+	if err != nil && r.ctx != nil {
+		return ctxOr(r.ctx, remoteErr(err))
+	}
+	if err != nil {
+		return remoteErr(err)
+	}
+	return nil
+}
+
+func (r *cursorRows) Next(dest []sqldriver.Value) error {
+	row, err := r.cur.Next()
+	if err != nil {
+		if r.ctx != nil {
+			return ctxOr(r.ctx, remoteErr(err))
+		}
+		return remoteErr(err)
+	}
+	if row == nil {
+		return io.EOF
+	}
+	for i := range dest {
+		if i < len(row) {
+			dest[i] = toDriverValue(row[i])
+		} else {
+			dest[i] = nil
+		}
+	}
+	return nil
+}
+
+func (r *cursorRows) ColumnTypeDatabaseTypeName(index int) string {
+	return typeNameOf(r.cur.Desc.Kinds[index])
+}
+
+// localRows streams an embedded result: the engine's live iterator tree,
+// pulled one row per Next — embedded huge provenance results stay
+// un-materialized exactly like remote ones.
+type localRows struct {
+	rows   *engine.Rows
+	kinds  []value.Kind
+	ctx    context.Context
+	disarm func()
+}
+
+func newLocalRows(rows *engine.Rows, ctx context.Context, disarm func()) *localRows {
+	lr := &localRows{rows: rows, ctx: ctx, disarm: disarm}
+	lr.kinds = make([]value.Kind, len(rows.Columns))
+	for i := 0; i < len(lr.kinds) && i < len(rows.Schema); i++ {
+		lr.kinds[i] = rows.Schema[i].Type
 	}
 	return lr
 }
 
-func (r *localRows) Columns() []string { return r.cols }
-func (r *localRows) Close() error      { r.rows = nil; return nil }
+func (r *localRows) Columns() []string { return r.rows.Columns }
+
+func (r *localRows) Close() error {
+	err := r.rows.Close()
+	if r.disarm != nil {
+		r.disarm()
+		r.disarm = nil
+	}
+	return err
+}
 
 func (r *localRows) Next(dest []sqldriver.Value) error {
-	if r.pos >= len(r.rows) {
+	row, err := r.rows.Next()
+	if err != nil {
+		if r.ctx != nil {
+			if cerr := r.ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		return err
+	}
+	if row == nil {
 		return io.EOF
 	}
-	row := r.rows[r.pos]
-	r.pos++
 	for i := range dest {
 		if i < len(row) {
 			dest[i] = toDriverValue(row[i])
@@ -432,6 +682,53 @@ func typeNameOf(k value.Kind) string {
 		return "TEXT"
 	}
 	return ""
+}
+
+// toEngineValues converts bound database/sql arguments into engine values —
+// the typed-bind analog of the literal renderer: same supported types, same
+// text forms for []byte and time.Time, but no SQL-text round trip.
+func toEngineValues(args []sqldriver.NamedValue) ([]value.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]value.Value, len(args))
+	for i, a := range args {
+		v, err := toEngineValue(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func toEngineValue(v sqldriver.Value) (value.Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return value.Null, nil
+	case bool:
+		return value.NewBool(x), nil
+	case int64:
+		return value.NewInt(x), nil
+	case float64:
+		// The engine's value domain has no non-finite floats (comparisons,
+		// keys and literals all assume finiteness), so binds reject them
+		// exactly as the literal renderer always has.
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return value.Value{}, fmt.Errorf("perm driver: cannot bind non-finite float %v", x)
+		}
+		return value.NewFloat(x), nil
+	case string:
+		return value.NewString(x), nil
+	case []byte:
+		if x == nil {
+			return value.Null, nil // database/sql convention: nil []byte is NULL
+		}
+		return value.NewString(string(x)), nil
+	case time.Time:
+		return value.NewString(x.Format(time.RFC3339Nano)), nil
+	}
+	return value.Value{}, fmt.Errorf("perm driver: unsupported argument type %T", v)
 }
 
 func toDriverValue(v value.Value) sqldriver.Value {
@@ -513,11 +810,16 @@ func skipQuoted(s string, start int, q byte) int {
 }
 
 // countPlaceholders reports how many `?` placeholders a statement binds.
+// The count is the driver's fast pre-flight check (and the fuzz target
+// pinning this scanner to the engine lexer); the server's parser is the
+// authority at execution time.
 func countPlaceholders(query string) int { return len(placeholderPositions(query)) }
 
-// interpolate substitutes `?` placeholders with SQL literals. The engine has
-// no parameter protocol, so this is the driver's binding step; literal
-// rendering goes through value.SQLLiteral and quotes/escapes strings.
+// interpolate substitutes `?` placeholders with SQL literals. It is no
+// longer on any execution path — parameters travel as typed wire binds —
+// but remains as the reference for the literal forms binds must match
+// (interpolate_test pins them, the differential suite compares all three
+// paths).
 func interpolate(query string, args []sqldriver.NamedValue) (string, error) {
 	pos := placeholderPositions(query)
 	if len(pos) != len(args) {

@@ -37,13 +37,24 @@
 // against a replica fail with an error that matches ErrReadOnly under
 // errors.Is even without the DSN option.
 //
-// # Placeholders
+// # Placeholders and prepared statements
 //
-// The engine has no server-side parameters, so the driver interpolates `?`
-// placeholders client-side: arguments are rendered as SQL literals (strings
-// quoted and escaped) before the statement is sent. Supported argument
-// types are the driver.Value set: nil, bool, int64, float64, string, []byte
-// (sent as text) and time.Time (RFC 3339 text).
+// `?` placeholders bind as typed parameters server-side: db.Prepare
+// registers a real prepared statement on the connection's session (parsed
+// once, planned per distinct argument-type vector through the session plan
+// cache), and ad-hoc queries with arguments parse + bind + execute in one
+// round trip. Argument values never travel as interpolated SQL text.
+// Supported argument types are the driver.Value set: nil, bool, int64,
+// float64, string, []byte (bound as text) and time.Time (RFC 3339 text).
+//
+// # Streaming results
+//
+// Query results stream end-to-end: remote rows arrive through a server-side
+// cursor fetched in bounded batches (the server never materializes the
+// result either), embedded rows come straight off the engine's executor
+// iterators. rows.Next therefore has constant memory cost however large the
+// provenance result — drain or close every *sql.Rows promptly, since an
+// open result set pins its connection's server portal.
 //
 // # Semantics and limits
 //

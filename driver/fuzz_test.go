@@ -1,0 +1,62 @@
+package driver
+
+import (
+	"testing"
+
+	"perm/internal/sql"
+)
+
+// referencePlaceholderCount counts `?` bind markers the way the engine's
+// own lexer does: one QMARK token per placeholder. It is the oracle the
+// driver's lightweight scanner is fuzzed against — the two must agree on
+// every input the lexer accepts, or a statement's client-side arity check
+// would diverge from the server's parse.
+func referencePlaceholderCount(query string) (int, bool) {
+	toks, err := sql.Tokens(query)
+	if err != nil {
+		// The lexer rejects the input (unterminated literal/comment, stray
+		// byte); the server would reject it too, so the scanner's answer is
+		// not load-bearing.
+		return 0, false
+	}
+	n := 0
+	for _, t := range toks {
+		if t.Type == sql.QMARK {
+			n++
+		}
+	}
+	return n, true
+}
+
+// FuzzPlaceholders pins the driver's placeholder scanner to the engine
+// lexer across arbitrary inputs: `?` inside string literals, quoted
+// identifiers, and line/block comments must never count; every other `?`
+// must.
+func FuzzPlaceholders(f *testing.F) {
+	for _, seed := range []string{
+		``,
+		`SELECT * FROM t WHERE a = ? AND b = ?`,
+		`SELECT '?' FROM t`,
+		`SELECT "?" FROM t`,
+		`SELECT '??''?' FROM t WHERE x = ?`,
+		"-- ?\nSELECT ?",
+		`/* ? /* nested ? */ ? */ SELECT ?`,
+		`SELECT 1?2`,
+		`SELECT 'unterminated ?`,
+		`/* unterminated ?`,
+		`SELECT '' '' ? ""`,
+		`INSERT INTO t VALUES (?, ?, 'a''?', ?)`,
+		`SELECT e? FROM t`,
+		`SELECT 1.5e? FROM t`,
+		"SELECT ?;\n-- trailing ?",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, query string) {
+		got := countPlaceholders(query) // must never panic, whatever the input
+		want, ok := referencePlaceholderCount(query)
+		if ok && got != want {
+			t.Fatalf("scanner counted %d placeholders, lexer %d, in %q", got, want, query)
+		}
+	})
+}

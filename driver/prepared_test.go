@@ -1,0 +1,158 @@
+package driver_test
+
+import (
+	"database/sql"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"perm/internal/engine"
+	"perm/internal/server"
+)
+
+// TestPreparedStatementsBothModes proves db.Prepare is a real server-side
+// prepared statement on both transports: `?` arguments bind as typed
+// parameters (never interpolated SQL text) and results match ad-hoc
+// literal queries exactly.
+func TestPreparedStatementsBothModes(t *testing.T) {
+	addr := startServer(t, engine.NewDB(), server.Config{CursorBatchRows: 2})
+	for name, dsn := range map[string]string{
+		"remote":   "tcp://" + addr,
+		"embedded": "mem://",
+	} {
+		t.Run(name, func(t *testing.T) {
+			db, err := sql.Open("perm", dsn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			for _, stmt := range setupScript {
+				if _, err := db.Exec(stmt); err != nil {
+					t.Fatalf("%s: %v", stmt, err)
+				}
+			}
+
+			ins, err := db.Prepare(`INSERT INTO messages VALUES (?, ?, ?)`)
+			if err != nil {
+				t.Fatalf("prepare insert: %v", err)
+			}
+			defer ins.Close()
+			for i := 10; i < 13; i++ {
+				res, err := ins.Exec(int64(i), fmt.Sprintf("msg %d", i), int64(2))
+				if err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+				if n, _ := res.RowsAffected(); n != 1 {
+					t.Fatalf("insert %d affected %d rows", i, n)
+				}
+			}
+			// A value that interpolation would have to escape — binds must
+			// carry it verbatim.
+			if _, err := ins.Exec(int64(13), `it's a '; DROP TABLE messages; -- quote`, int64(3)); err != nil {
+				t.Fatalf("insert quoted: %v", err)
+			}
+
+			sel, err := db.Prepare(`SELECT text FROM messages WHERE uId = ? AND mId >= ? ORDER BY mId`)
+			if err != nil {
+				t.Fatalf("prepare select: %v", err)
+			}
+			defer sel.Close()
+
+			// Executed repeatedly with different binds; compared against the
+			// equivalent literal query each time.
+			for _, tc := range []struct {
+				uid, min int64
+				literal  string
+			}{
+				{2, 0, `SELECT text FROM messages WHERE uId = 2 AND mId >= 0 ORDER BY mId`},
+				{2, 11, `SELECT text FROM messages WHERE uId = 2 AND mId >= 11 ORDER BY mId`},
+				{3, 5, `SELECT text FROM messages WHERE uId = 3 AND mId >= 5 ORDER BY mId`},
+			} {
+				prows, err := sel.Query(tc.uid, tc.min)
+				if err != nil {
+					t.Fatalf("prepared query: %v", err)
+				}
+				_, pdata := readAll(t, prows)
+				prows.Close()
+				lrows, err := db.Query(tc.literal)
+				if err != nil {
+					t.Fatalf("literal query: %v", err)
+				}
+				_, ldata := readAll(t, lrows)
+				lrows.Close()
+				if !reflect.DeepEqual(pdata, ldata) {
+					t.Fatalf("uid=%d min=%d: prepared %v, literal %v", tc.uid, tc.min, pdata, ldata)
+				}
+			}
+
+			// The quoted string round-tripped byte-exactly.
+			var got string
+			err = db.QueryRow(`SELECT text FROM messages WHERE mId = ?`, int64(13)).Scan(&got)
+			if err != nil || got != `it's a '; DROP TABLE messages; -- quote` {
+				t.Fatalf("quoted round trip: %q %v", got, err)
+			}
+
+			// Arity mismatches fail fast.
+			if _, err := sel.Query(int64(1)); err == nil {
+				t.Fatal("wrong arity accepted")
+			}
+			// `?` inside literals and comments is not a placeholder.
+			var s string
+			if err := db.QueryRow(`SELECT '?' /* ? */ -- ?
+				FROM messages WHERE mId = ?`, int64(1)).Scan(&s); err != nil || s != "?" {
+				t.Fatalf("quoted placeholder: %q %v", s, err)
+			}
+		})
+	}
+}
+
+// TestAdHocArgsStreamLargeResult runs a parameterized ad-hoc query whose
+// result spans many cursor batches, verifying the one-shot bind path
+// streams correctly end-to-end.
+func TestAdHocArgsStreamLargeResult(t *testing.T) {
+	edb := engine.NewDB()
+	s := edb.NewSession()
+	if _, err := s.Execute(`CREATE TABLE n (i int)`); err != nil {
+		t.Fatal(err)
+	}
+	insert := `INSERT INTO n VALUES (0)`
+	for i := 1; i < 400; i++ {
+		insert += fmt.Sprintf(", (%d)", i)
+	}
+	if _, err := s.Execute(insert); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	addr := startServer(t, edb, server.Config{CursorBatchRows: 16})
+
+	db, err := sql.Open("perm", "tcp://"+addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	rows, err := db.Query(`SELECT a.i FROM n a, n b WHERE b.i < ? AND a.i >= ? ORDER BY a.i`, int64(5), int64(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	last := int64(-1)
+	for rows.Next() {
+		var v int64
+		if err := rows.Scan(&v); err != nil {
+			t.Fatal(err)
+		}
+		if v < last {
+			t.Fatalf("out of order: %d after %d", v, last)
+		}
+		last = v
+		count++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	if count != 300*5 {
+		t.Fatalf("streamed %d rows, want 1500", count)
+	}
+}

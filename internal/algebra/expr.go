@@ -31,6 +31,20 @@ func (c *Const) String() string   { return c.Val.SQLLiteral() }
 // NewNull returns a NULL constant.
 func NewNull() *Const { return &Const{Val: value.Null} }
 
+// Param references bind parameter Index of the executing statement. The
+// analyzer types it from the kinds of the bound arguments (prepared
+// statements re-analyze — and re-cache — per distinct kind vector), so
+// downstream rewrite and planning treat it exactly like a constant of that
+// kind whose value is only known at execution time.
+type Param struct {
+	Index int
+	Typ   value.Kind
+}
+
+// Type implements Expr.
+func (p *Param) Type() value.Kind { return p.Typ }
+func (p *Param) String() string   { return fmt.Sprintf("$%d", p.Index+1) }
+
 // ColIdx references column Idx of the input row.
 type ColIdx struct {
 	Idx  int
@@ -294,6 +308,8 @@ func MapCols(e Expr, fn func(*ColIdx) Expr) Expr {
 		return nil
 	case *Const:
 		return x
+	case *Param:
+		return x
 	case *ColIdx:
 		return fn(x)
 	case *OuterRef:
@@ -363,7 +379,7 @@ func mapOuterRefs(e Expr, fn func(*OuterRef) Expr) Expr {
 		return nil
 	case *OuterRef:
 		return fn(x)
-	case *Const, *ColIdx:
+	case *Const, *ColIdx, *Param:
 		return x
 	case *Bin:
 		return &Bin{Op: x.Op, L: mapOuterRefs(x.L, fn), R: mapOuterRefs(x.R, fn)}

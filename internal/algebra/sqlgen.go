@@ -226,6 +226,8 @@ func (g *sqlGen) expr(e Expr, refs []string, outerCols []string) string {
 	switch x := e.(type) {
 	case *Const:
 		return x.Val.SQLLiteral()
+	case *Param:
+		return "?"
 	case *ColIdx:
 		if x.Idx < len(refs) {
 			return refs[x.Idx]

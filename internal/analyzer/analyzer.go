@@ -45,6 +45,11 @@ type Analyzer struct {
 	// producing the original (un-rewritten) tree; the Perm browser uses this
 	// to display the original algebra tree next to the rewritten one.
 	StripProvenance bool
+	// Params carries the kind of each bound `?` placeholder (index order).
+	// The engine sets it from the prepared statement's arguments; a
+	// placeholder beyond its length — including any placeholder when no
+	// arguments are bound, as in an interactively typed `?` — is an error.
+	Params []value.Kind
 
 	viewDepth int
 }
@@ -968,6 +973,11 @@ func (a *Analyzer) analyzeExpr(e sql.Expr, sc *scope, ctx exprCtx) (algebra.Expr
 	switch x := e.(type) {
 	case *sql.Literal:
 		return &algebra.Const{Val: x.Val}, nil
+	case *sql.Placeholder:
+		if x.Index < 0 || x.Index >= len(a.Params) {
+			return nil, fmt.Errorf("parameter $%d requires a bound value (%d bound)", x.Index+1, len(a.Params))
+		}
+		return &algebra.Param{Index: x.Index, Typ: a.Params[x.Index]}, nil
 	case *sql.ColRef:
 		if ctx.aggMode {
 			return nil, fmt.Errorf("column %q must appear in the GROUP BY clause or be used in an aggregate function",

@@ -284,86 +284,18 @@ type Result struct {
 	CacheHit bool
 }
 
-// Execute runs a single SQL statement. With the plan cache enabled, a
-// statement textually identical to an earlier SELECT in this session (under
-// identical settings and schema version) skips parse/analyze/rewrite/plan and
-// goes straight to execution.
+// Execute runs a single SQL statement to completion. It is a thin drain
+// wrapper over Query — the streaming path is the only execution path — so
+// its fully-materialized Result contract is unchanged. With the plan cache
+// enabled, a statement textually identical to an earlier SELECT in this
+// session (under identical settings and schema version) skips
+// parse/analyze/rewrite/plan and goes straight to execution.
 func (s *Session) Execute(text string) (*Result, error) {
-	if s.closed.Load() {
-		return nil, fmt.Errorf("engine: session is closed")
-	}
-	caching := s.planCacheOn() && cacheableStatement(text)
-	// One store pins the whole statement: version check, cache hit
-	// execution, and the full plan pipeline all see the same store even if
-	// a replica re-bootstrap swaps the database's store mid-statement.
-	store := s.db.Store()
-	var key, keyFingerprint string
-	// Capture the schema version BEFORE planning: if concurrent DDL lands
-	// mid-plan, the stored entry is tagged stale and discarded on next use.
-	var schemaVersion uint64
-	if caching {
-		key, keyFingerprint = s.cacheKey(text)
-		schemaVersion = store.Catalog().Version()
-		if e := s.cache.get(key, schemaVersion); e != nil {
-			return s.executeCached(e, store)
-		}
-	}
-	t0 := time.Now()
-	st, err := sql.Parse(text)
+	rows, err := s.Query(text)
 	if err != nil {
 		return nil, err
 	}
-	parseDur := time.Since(t0)
-	if sel, ok := st.(*sql.SelectStmt); ok && caching {
-		res, plan, err := s.runSelectPlan(sel, store)
-		if err != nil {
-			return nil, err
-		}
-		res.Timings.Parse = parseDur
-		// Guard against a concurrent SET landing mid-plan on the shared
-		// implicit session: the plan was built from the settings as they were
-		// DURING planning, so store it only if the fingerprint still matches
-		// the one embedded in the key (the settings analog of the
-		// schema-version check in get).
-		if s.currentFingerprint() == keyFingerprint {
-			s.cache.put(key, &planCacheEntry{
-				plan:          plan,
-				columns:       res.Columns,
-				decisions:     res.Rewrites,
-				schemaVersion: schemaVersion,
-			})
-		}
-		return res, nil
-	}
-	res, err := s.ExecuteStatement(st)
-	if err != nil {
-		return nil, err
-	}
-	res.Timings.Parse = parseDur
-	return res, nil
-}
-
-// executeCached runs a previously planned statement: only the execute stage
-// of the Figure 3 pipeline is paid, the rest reports zero.
-func (s *Session) executeCached(e *planCacheEntry, store *storage.Store) (*Result, error) {
-	// Copy the decisions so callers appending to Result.Rewrites cannot write
-	// into the shared cache entry (hits may be served concurrently).
-	var decisions []string
-	if len(e.decisions) > 0 {
-		decisions = append(make([]string, 0, len(e.decisions)), e.decisions...)
-	}
-	res := &Result{CacheHit: true, Rewrites: decisions}
-	t0 := time.Now()
-	out, err := executor.Run(s.execContextOn(store), e.plan)
-	if err != nil {
-		return nil, err
-	}
-	res.Timings.Execute = time.Since(t0)
-	res.Schema = out.Schema
-	res.Columns = e.columns
-	res.Rows = out.Rows
-	res.Tag = fmt.Sprintf("SELECT %d", len(out.Rows))
-	return res, nil
+	return rows.DrainResult()
 }
 
 // ExecuteScript runs a semicolon-separated script, stopping at the first
@@ -412,6 +344,12 @@ func writeVerb(st sql.Statement) string {
 
 // ExecuteStatement runs a parsed statement.
 func (s *Session) ExecuteStatement(st sql.Statement) (*Result, error) {
+	return s.executeStatement(st, nil)
+}
+
+// executeStatement runs a parsed statement with args bound to its `?`
+// placeholders (nil when the statement binds none).
+func (s *Session) executeStatement(st sql.Statement, args []value.Value) (*Result, error) {
 	if s.closed.Load() {
 		return nil, fmt.Errorf("engine: session is closed")
 	}
@@ -422,19 +360,19 @@ func (s *Session) ExecuteStatement(st sql.Statement) (*Result, error) {
 	}
 	switch x := st.(type) {
 	case *sql.SelectStmt:
-		return s.runSelect(x)
+		return s.runSelect(x, args)
 	case *sql.CreateTableStmt:
-		return s.runCreateTable(x)
+		return s.runCreateTable(x, args)
 	case *sql.CreateViewStmt:
 		return s.runCreateView(x)
 	case *sql.DropStmt:
 		return s.runDrop(x)
 	case *sql.InsertStmt:
-		return s.runInsert(x)
+		return s.runInsert(x, args)
 	case *sql.DeleteStmt:
-		return s.runDelete(x)
+		return s.runDelete(x, args)
 	case *sql.UpdateStmt:
-		return s.runUpdate(x)
+		return s.runUpdate(x, args)
 	case *sql.ExplainStmt:
 		return s.runExplain(x)
 	case *sql.SetStmt:
@@ -507,15 +445,17 @@ func (s *Session) rewriterOptions(store *storage.Store, defaultSem sql.Contribut
 // rewriter for SELECT PROVENANCE blocks. It returns the plan, the rewrite
 // decisions, and the time spent in the rewriter.
 func (s *Session) Analyze(sel *sql.SelectStmt) (algebra.Op, []string, time.Duration, error) {
-	return s.analyzeOn(s.db.Store(), sel)
+	return s.analyzeOn(s.db.Store(), sel, nil)
 }
 
 // analyzeOn is Analyze pinned to one store: every statement resolves names,
 // plans and executes against a single store snapshot, so a replica
 // re-bootstrap (DB.SwapStore) landing mid-statement cannot pair an
-// old-catalog plan with a new store's heaps.
-func (s *Session) analyzeOn(store *storage.Store, sel *sql.SelectStmt) (algebra.Op, []string, time.Duration, error) {
+// old-catalog plan with a new store's heaps. params carries the kinds of
+// the statement's bound `?` arguments.
+func (s *Session) analyzeOn(store *storage.Store, sel *sql.SelectStmt, params []value.Kind) (algebra.Op, []string, time.Duration, error) {
 	an := analyzer.New(store.Catalog())
+	an.Params = params
 	var decisions []string
 	var rewriteDur time.Duration
 	an.Rewrite = func(req analyzer.ProvRequest) (algebra.Op, error) {
@@ -557,48 +497,21 @@ func (s *Session) planOn(store *storage.Store, op algebra.Op) algebra.Op {
 	return planner.New(store.Catalog()).Optimize(op)
 }
 
-func (s *Session) runSelect(sel *sql.SelectStmt) (*Result, error) {
-	res, _, err := s.runSelectPlan(sel, s.db.Store())
-	return res, err
+func (s *Session) runSelect(sel *sql.SelectStmt, args []value.Value) (*Result, error) {
+	rows, _, err := s.openSelect(sel, s.db.Store(), args)
+	if err != nil {
+		return nil, err
+	}
+	return rows.DrainResult()
 }
 
-// runSelectPlan runs the full pipeline — against the one pinned store — and
-// additionally returns the optimized plan so Execute can cache it.
-func (s *Session) runSelectPlan(sel *sql.SelectStmt, store *storage.Store) (*Result, algebra.Op, error) {
-	res := &Result{}
-	t0 := time.Now()
-	plan, decisions, rewriteDur, err := s.analyzeOn(store, sel)
-	if err != nil {
-		return nil, nil, err
-	}
-	res.Timings.Analyze = time.Since(t0)
-	res.Timings.Rewrite = rewriteDur
-	res.Rewrites = decisions
-
-	t1 := time.Now()
-	plan = s.planOn(store, plan)
-	res.Timings.Plan = time.Since(t1)
-
-	t2 := time.Now()
-	out, err := executor.Run(s.execContextOn(store), plan)
-	if err != nil {
-		return nil, nil, err
-	}
-	res.Timings.Execute = time.Since(t2)
-	res.Schema = out.Schema
-	res.Columns = out.Schema.Names()
-	res.Rows = out.Rows
-	res.Tag = fmt.Sprintf("SELECT %d", len(out.Rows))
-	return res, plan, nil
-}
-
-func (s *Session) runCreateTable(ct *sql.CreateTableStmt) (*Result, error) {
+func (s *Session) runCreateTable(ct *sql.CreateTableStmt, args []value.Value) (*Result, error) {
 	s.db.ddlMu.Lock()
 	defer s.db.ddlMu.Unlock()
 	if ct.AsSelect != nil {
 		// Eager provenance: CREATE TABLE p AS SELECT PROVENANCE ... stores
 		// the provenance relation for later querying.
-		sub, err := s.runSelect(ct.AsSelect)
+		sub, err := s.runSelect(ct.AsSelect, args)
 		if err != nil {
 			return nil, err
 		}
@@ -685,7 +598,7 @@ func (s *Session) runDrop(d *sql.DropStmt) (*Result, error) {
 	return &Result{Tag: "DROP"}, nil
 }
 
-func (s *Session) runInsert(ins *sql.InsertStmt) (*Result, error) {
+func (s *Session) runInsert(ins *sql.InsertStmt, args []value.Value) (*Result, error) {
 	table := s.db.Store().Table(ins.Table)
 	if table == nil {
 		return nil, fmt.Errorf("table %q does not exist", ins.Table)
@@ -709,7 +622,7 @@ func (s *Session) runInsert(ins *sql.InsertStmt) (*Result, error) {
 
 	var rows []value.Row
 	if ins.Select != nil {
-		sub, err := s.runSelect(ins.Select)
+		sub, err := s.runSelect(ins.Select, args)
 		if err != nil {
 			return nil, err
 		}
@@ -719,7 +632,9 @@ func (s *Session) runInsert(ins *sql.InsertStmt) (*Result, error) {
 		rows = sub.Rows
 	} else {
 		an := analyzer.New(s.db.Catalog())
+		an.Params = paramKinds(args)
 		ctx := s.execContext()
+		ctx.Params = args
 		for i, exprRow := range ins.Rows {
 			if len(exprRow) != len(target) {
 				return nil, fmt.Errorf("row %d has %d values, expected %d", i+1, len(exprRow), len(target))
@@ -760,7 +675,7 @@ func (s *Session) runInsert(ins *sql.InsertStmt) (*Result, error) {
 // compilePredicate resolves a WHERE clause against a table for DELETE/UPDATE
 // and lowers it to a compiled evaluator, so full-heap scans pay the
 // expression-tree dispatch once instead of per row.
-func (s *Session) compilePredicate(where sql.Expr, def *catalog.TableDef) (func(value.Row) (bool, error), error) {
+func (s *Session) compilePredicate(where sql.Expr, def *catalog.TableDef, args []value.Value) (func(value.Row) (bool, error), error) {
 	if where == nil {
 		return nil, nil
 	}
@@ -769,24 +684,26 @@ func (s *Session) compilePredicate(where sql.Expr, def *catalog.TableDef) (func(
 		sch[i] = algebra.Column{Name: c.Name, Table: def.Name, Type: c.Type}
 	}
 	an := analyzer.New(s.db.Catalog())
+	an.Params = paramKinds(args)
 	cond, err := an.AnalyzeExpr(where, sch)
 	if err != nil {
 		return nil, err
 	}
 	pred := executor.CompilePredicate(cond)
 	ctx := s.execContext()
+	ctx.Params = args
 	return func(row value.Row) (bool, error) {
 		return pred(row, ctx)
 	}, nil
 }
 
-func (s *Session) runDelete(del *sql.DeleteStmt) (*Result, error) {
+func (s *Session) runDelete(del *sql.DeleteStmt, args []value.Value) (*Result, error) {
 	table := s.db.Store().Table(del.Table)
 	if table == nil {
 		return nil, fmt.Errorf("table %q does not exist", del.Table)
 	}
 	// A nil predicate (no WHERE) keeps storage's O(1) truncate fast path.
-	pred, err := s.compilePredicate(del.Where, table.Def())
+	pred, err := s.compilePredicate(del.Where, table.Def(), args)
 	if err != nil {
 		return nil, err
 	}
@@ -798,13 +715,13 @@ func (s *Session) runDelete(del *sql.DeleteStmt) (*Result, error) {
 	return &Result{Tag: fmt.Sprintf("DELETE %d", n)}, nil
 }
 
-func (s *Session) runUpdate(up *sql.UpdateStmt) (*Result, error) {
+func (s *Session) runUpdate(up *sql.UpdateStmt, args []value.Value) (*Result, error) {
 	table := s.db.Store().Table(up.Table)
 	if table == nil {
 		return nil, fmt.Errorf("table %q does not exist", up.Table)
 	}
 	def := table.Def()
-	pred, err := s.compilePredicate(up.Where, def)
+	pred, err := s.compilePredicate(up.Where, def, args)
 	if err != nil {
 		return nil, err
 	}
@@ -813,6 +730,7 @@ func (s *Session) runUpdate(up *sql.UpdateStmt) (*Result, error) {
 		sch[i] = algebra.Column{Name: c.Name, Table: def.Name, Type: c.Type}
 	}
 	an := analyzer.New(s.db.Catalog())
+	an.Params = paramKinds(args)
 	type setter struct {
 		idx  int
 		expr func(value.Row, *executor.Context) (value.Value, error)
@@ -830,6 +748,7 @@ func (s *Session) runUpdate(up *sql.UpdateStmt) (*Result, error) {
 		setters = append(setters, setter{idx: idx, expr: executor.CompileExpr(e)})
 	}
 	ctx := s.execContext()
+	ctx.Params = args
 	n, err := table.Update(pred, func(row value.Row) (value.Row, error) {
 		// Poll for cancellation here too: with no WHERE clause there is no
 		// ticking predicate, and this loop visits every row.

@@ -50,7 +50,7 @@ func (s *Session) explain(sel *sql.SelectStmt, analyze bool) (*Explanation, erro
 	ex.OriginalTree = algebra.Tree(orig)
 
 	t0 := time.Now()
-	plan, decisions, rewriteDur, err := s.analyzeOn(store, sel)
+	plan, decisions, rewriteDur, err := s.analyzeOn(store, sel, nil)
 	if err != nil {
 		return nil, err
 	}

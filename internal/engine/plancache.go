@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"perm/internal/algebra"
+	"perm/internal/value"
 )
 
 // The session-level plan cache skips the front half of the Figure 3 pipeline
@@ -169,15 +170,26 @@ func (s *Session) currentFingerprint() string {
 
 // cacheKey builds the plan-cache key for a statement under the session's
 // current settings, also returning the fingerprint it embedded so callers can
-// detect a settings change between key construction and plan storage.
-func (s *Session) cacheKey(text string) (key, fingerprint string) {
+// detect a settings change between key construction and plan storage. Bound
+// `?` arguments contribute their kind vector: a prepared statement is planned
+// (and cached) once per distinct argument-kind combination, because the
+// analyzer types algebra.Param nodes from exactly those kinds. The 0x1f
+// separator cannot occur in the fingerprint (setting names and values are
+// plain words), so a suffixed key can never collide with an unsuffixed one.
+func (s *Session) cacheKey(text string, args []value.Value) (key, fingerprint string) {
 	fp := s.currentFingerprint()
 	var b strings.Builder
 	norm := normalizeSQL(text)
-	b.Grow(len(norm) + 1 + len(fp))
+	b.Grow(len(norm) + 2 + len(fp) + len(args))
 	b.WriteString(norm)
 	b.WriteByte(0x1f)
 	b.WriteString(fp)
+	if len(args) > 0 {
+		b.WriteByte(0x1f)
+		for _, a := range args {
+			b.WriteByte(byte(a.K))
+		}
+	}
 	return b.String(), fp
 }
 

@@ -1,0 +1,355 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"perm/internal/algebra"
+	"perm/internal/executor"
+	"perm/internal/sql"
+	"perm/internal/storage"
+	"perm/internal/value"
+)
+
+// This file is the session's streaming result surface. Provenance rewrites
+// join every result tuple with its witness tuples, so rewritten results are
+// routinely far wider and larger than the original query — materializing
+// them (the historical Result contract) caps result size at available RAM.
+// Query and Prepare expose the executor's pull-based iterator tree directly:
+// columns are known up front, rows are produced one Next at a time, and the
+// command tag's row count is whatever the drain actually delivered. Execute
+// remains exactly what it always was — a thin drain wrapper over Query — so
+// fully-buffered callers keep working unchanged.
+
+// Rows is a streaming statement result. Columns, Schema, Rewrites and
+// CacheHit are valid immediately; rows arrive through Next. For statements
+// without a streaming plan (DML, DDL, SET/SHOW, EXPLAIN) the result is small
+// and already complete, and Rows simply iterates it.
+//
+// A Rows must be fully drained or closed before the session runs its next
+// statement from the same goroutine context (the executor tree holds
+// operator state until then). Next/Close are single-goroutine, like the
+// iterators beneath them.
+type Rows struct {
+	// Columns are the output column names (empty for DDL/DML).
+	Columns []string
+	Schema  algebra.Schema
+	// Rewrites lists the provenance-rewrite decisions taken.
+	Rewrites []string
+	// CacheHit reports that the statement was served from the session plan
+	// cache, skipping parse, analyze, rewrite and planning entirely.
+	CacheHit bool
+
+	stream  *executor.Stream // streaming SELECT plan; nil for materialized results
+	res     *Result          // complete result backing non-streamed statements
+	pos     int
+	opened  time.Time
+	timings Timings
+	done    bool
+	tag     string
+	err     error
+}
+
+// materializedRows wraps an already-complete result in the Rows interface.
+func materializedRows(res *Result) *Rows {
+	return &Rows{
+		Columns:  res.Columns,
+		Schema:   res.Schema,
+		Rewrites: res.Rewrites,
+		CacheHit: res.CacheHit,
+		res:      res,
+		timings:  res.Timings,
+		tag:      res.Tag,
+	}
+}
+
+// Next returns the next row, or (nil, nil) at end of stream. Errors —
+// including interrupt and deadline unwinds mid-stream — are sticky.
+func (r *Rows) Next() (value.Row, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.stream == nil {
+		if r.res == nil || r.pos >= len(r.res.Rows) {
+			r.done = true
+			return nil, nil
+		}
+		row := r.res.Rows[r.pos]
+		r.pos++
+		return row, nil
+	}
+	row, err := r.stream.Next()
+	if err != nil {
+		r.err = err
+		r.finish()
+		return nil, err
+	}
+	if row == nil {
+		r.finish()
+	}
+	return row, nil
+}
+
+// finish seals the result: the executor tree is released, the execute-stage
+// timing stops, and the command tag is fixed from the rows actually
+// delivered — drain-time row counts, not plan-time estimates.
+func (r *Rows) finish() {
+	if r.done {
+		return
+	}
+	r.done = true
+	if r.stream != nil {
+		r.stream.Close()
+		r.timings.Execute += time.Since(r.opened)
+		r.tag = fmt.Sprintf("SELECT %d", r.stream.Rows())
+	}
+}
+
+// Close releases the result. Closing a half-read stream abandons the
+// remaining rows (the tag then reflects only the delivered count). Close is
+// idempotent and never blocks.
+func (r *Rows) Close() error {
+	r.finish()
+	return nil
+}
+
+// Tag returns the command tag. For streamed SELECTs it is only final once
+// the stream is exhausted or closed: "SELECT n" counts delivered rows.
+func (r *Rows) Tag() string {
+	if r.stream != nil && !r.done {
+		return fmt.Sprintf("SELECT %d", r.stream.Rows())
+	}
+	return r.tag
+}
+
+// Timings reports the per-stage latencies; the execute stage accumulates
+// until the stream finishes (for a network cursor it therefore spans the
+// client's fetch cadence, not just CPU time).
+func (r *Rows) Timings() Timings {
+	if r.stream != nil && !r.done {
+		t := r.timings
+		t.Execute += time.Since(r.opened)
+		return t
+	}
+	return r.timings
+}
+
+// Err returns the sticky stream error, if any.
+func (r *Rows) Err() error { return r.err }
+
+// DrainResult materializes the remaining rows into the classic Result —
+// the bridge that keeps Execute's fully-buffered contract (including the
+// executor row budget) on top of the streaming path.
+func (r *Rows) DrainResult() (*Result, error) {
+	if r.stream == nil {
+		r.done = true
+		return r.res, nil
+	}
+	rows, err := r.stream.Drain()
+	if err != nil {
+		r.err = err
+		r.finish()
+		return nil, err
+	}
+	r.finish()
+	return &Result{
+		Columns:  r.Columns,
+		Schema:   r.Schema,
+		Rows:     rows,
+		Tag:      r.tag,
+		Timings:  r.timings,
+		Rewrites: r.Rewrites,
+		CacheHit: r.CacheHit,
+	}, nil
+}
+
+// Query runs one SQL statement and returns its result as a stream: SELECTs
+// (including SELECT PROVENANCE) expose the live executor iterator tree —
+// server-side memory stays bounded however large the provenance result —
+// while other statements execute eagerly and replay their (small) output.
+// The session plan cache works exactly as under Execute.
+func (s *Session) Query(text string) (*Rows, error) {
+	return s.query(text, nil, nil)
+}
+
+// query is the single execution entry: optional pre-parsed statement
+// (prepared path) and optional bound parameter values.
+func (s *Session) query(text string, st sql.Statement, args []value.Value) (*Rows, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("engine: session is closed")
+	}
+	caching := s.planCacheOn() && cacheableStatement(text)
+	// One store pins the whole statement: version check, cache hit
+	// execution, and the full plan pipeline all see the same store even if
+	// a replica re-bootstrap swaps the database's store mid-statement.
+	store := s.db.Store()
+	var key, keyFingerprint string
+	// Capture the schema version BEFORE planning: if concurrent DDL lands
+	// mid-plan, the stored entry is tagged stale and discarded on next use.
+	var schemaVersion uint64
+	if caching {
+		key, keyFingerprint = s.cacheKey(text, args)
+		schemaVersion = store.Catalog().Version()
+		if e := s.cache.get(key, schemaVersion); e != nil {
+			return s.openCached(e, store, args)
+		}
+	}
+	t0 := time.Now()
+	if st == nil {
+		var err error
+		st, err = sql.Parse(text)
+		if err != nil {
+			return nil, err
+		}
+	}
+	parseDur := time.Since(t0)
+	if sel, ok := st.(*sql.SelectStmt); ok {
+		rows, plan, err := s.openSelect(sel, store, args)
+		if err != nil {
+			return nil, err
+		}
+		rows.timings.Parse = parseDur
+		// Guard against a concurrent SET landing mid-plan on the shared
+		// implicit session: the plan was built from the settings as they were
+		// DURING planning, so store it only if the fingerprint still matches
+		// the one embedded in the key (the settings analog of the
+		// schema-version check in get).
+		if caching && s.currentFingerprint() == keyFingerprint {
+			s.cache.put(key, &planCacheEntry{
+				plan:          plan,
+				columns:       rows.Columns,
+				decisions:     rows.Rewrites,
+				schemaVersion: schemaVersion,
+			})
+		}
+		return rows, nil
+	}
+	res, err := s.executeStatement(st, args)
+	if err != nil {
+		return nil, err
+	}
+	res.Timings.Parse = parseDur
+	return materializedRows(res), nil
+}
+
+// openSelect runs the front half of the Figure 3 pipeline against the one
+// pinned store and opens the executor stream, returning the live rows and
+// the optimized plan for caching.
+func (s *Session) openSelect(sel *sql.SelectStmt, store *storage.Store, args []value.Value) (*Rows, algebra.Op, error) {
+	rows := &Rows{}
+	t0 := time.Now()
+	plan, decisions, rewriteDur, err := s.analyzeOn(store, sel, paramKinds(args))
+	if err != nil {
+		return nil, nil, err
+	}
+	rows.timings.Analyze = time.Since(t0)
+	rows.timings.Rewrite = rewriteDur
+	rows.Rewrites = decisions
+
+	t1 := time.Now()
+	plan = s.planOn(store, plan)
+	rows.timings.Plan = time.Since(t1)
+
+	ctx := s.execContextOn(store)
+	ctx.Params = args
+	rows.opened = time.Now()
+	stream, err := executor.Open(ctx, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows.stream = stream
+	rows.Schema = stream.Schema()
+	rows.Columns = rows.Schema.Names()
+	return rows, plan, nil
+}
+
+// openCached opens a stream over a previously planned statement: only the
+// execute stage of the Figure 3 pipeline is paid, the rest reports zero.
+func (s *Session) openCached(e *planCacheEntry, store *storage.Store, args []value.Value) (*Rows, error) {
+	// Copy the decisions so callers appending to Rewrites cannot write into
+	// the shared cache entry (hits may be served concurrently).
+	var decisions []string
+	if len(e.decisions) > 0 {
+		decisions = append(make([]string, 0, len(e.decisions)), e.decisions...)
+	}
+	ctx := s.execContextOn(store)
+	ctx.Params = args
+	rows := &Rows{CacheHit: true, Rewrites: decisions, opened: time.Now()}
+	stream, err := executor.Open(ctx, e.plan)
+	if err != nil {
+		return nil, err
+	}
+	rows.stream = stream
+	rows.Schema = stream.Schema()
+	rows.Columns = e.columns
+	return rows, nil
+}
+
+// paramKinds extracts the kind vector of a bound argument list — the part
+// of the plan-cache key (and the analyzer's typing input) parameters
+// contribute.
+func paramKinds(args []value.Value) []value.Kind {
+	if len(args) == 0 {
+		return nil
+	}
+	kinds := make([]value.Kind, len(args))
+	for i, v := range args {
+		kinds[i] = v.K
+	}
+	return kinds
+}
+
+// Prepared is a server-side prepared statement: parsed once, analyzed and
+// planned per distinct bound-argument kind vector (entries live in the
+// session plan cache keyed on statement text + parameter kinds), executed
+// with true binds — parameter values never pass through SQL text.
+type Prepared struct {
+	s    *Session
+	text string
+	st   sql.Statement
+	n    int
+}
+
+// Prepare parses one statement and returns its prepared handle. `?`
+// placeholders are numbered in textual order; Query/Exec bind them
+// positionally.
+func (s *Session) Prepare(text string) (*Prepared, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("engine: session is closed")
+	}
+	st, n, err := sql.ParseWithParams(text)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{s: s, text: text, st: st, n: n}, nil
+}
+
+// NumParams reports how many `?` placeholders the statement binds.
+func (p *Prepared) NumParams() int { return p.n }
+
+// bindCheck validates the argument count.
+func (p *Prepared) bindCheck(args []value.Value) error {
+	if len(args) != p.n {
+		return fmt.Errorf("engine: statement binds %d parameters, got %d arguments", p.n, len(args))
+	}
+	return nil
+}
+
+// Query executes the prepared statement with args bound, streaming the
+// result.
+func (p *Prepared) Query(args ...value.Value) (*Rows, error) {
+	if err := p.bindCheck(args); err != nil {
+		return nil, err
+	}
+	return p.s.query(p.text, p.st, args)
+}
+
+// Exec executes the prepared statement with args bound and drains the
+// result — the materialized companion of Query, used for DML.
+func (p *Prepared) Exec(args ...value.Value) (*Result, error) {
+	rows, err := p.Query(args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.DrainResult()
+}

@@ -34,6 +34,14 @@ func Compile(e algebra.Expr) compiledExpr {
 	case *algebra.Const:
 		v := x.Val
 		return func(value.Row, *Context) (value.Value, error) { return v, nil }
+	case *algebra.Param:
+		idx := x.Index
+		return func(_ value.Row, ctx *Context) (value.Value, error) {
+			if idx < 0 || idx >= len(ctx.Params) {
+				return value.Null, fmt.Errorf("executor: parameter $%d not bound (%d bound)", idx+1, len(ctx.Params))
+			}
+			return ctx.Params[idx], nil
+		}
 	case *algebra.ColIdx:
 		idx := x.Idx
 		return func(row value.Row, _ *Context) (value.Value, error) {

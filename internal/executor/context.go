@@ -46,6 +46,9 @@ type Context struct {
 	// timer-free form of per-query timeouts (one time.Now per poll, no
 	// goroutine or channel per statement).
 	Deadline time.Time
+	// Params are the statement's bound `?` arguments, indexed by placeholder
+	// ordinal; algebra.Param expressions read them at evaluation time.
+	Params []value.Value
 	// keyScratch is a reusable buffer for probe-side hash keys (uncorrelated
 	// IN-subquery membership tests), so probing does not allocate per row.
 	keyScratch []byte
@@ -156,36 +159,19 @@ type Result struct {
 	Rows   []value.Row
 }
 
-// Run executes the plan to completion.
+// Run executes the plan to completion — Open + Drain over the streaming
+// surface, kept for callers that want the whole result at once.
 func Run(ctx *Context, plan algebra.Op) (*Result, error) {
-	it, err := build(plan)
+	s, err := Open(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
-	if err := it.Open(ctx); err != nil {
+	defer s.Close()
+	rows, err := s.Drain()
+	if err != nil {
 		return nil, err
 	}
-	defer it.Close()
-	var rows []value.Row
-	for {
-		row, err := it.Next()
-		if err != nil {
-			return nil, err
-		}
-		if row == nil {
-			break
-		}
-		rows = append(rows, row)
-		if ctx.RowBudget > 0 && len(rows) > ctx.RowBudget {
-			return nil, fmt.Errorf("executor: result exceeds row budget of %d rows", ctx.RowBudget)
-		}
-		if len(rows)&interruptMask == 0 {
-			if err := ctx.interrupted(); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return &Result{Schema: plan.Schema(), Rows: rows}, nil
+	return &Result{Schema: s.Schema(), Rows: rows}, nil
 }
 
 // iterator is the Volcano operator interface. Next returns (nil, nil) at end

@@ -14,6 +14,11 @@ func Eval(e algebra.Expr, row value.Row, ctx *Context) (value.Value, error) {
 	switch x := e.(type) {
 	case *algebra.Const:
 		return x.Val, nil
+	case *algebra.Param:
+		if x.Index < 0 || x.Index >= len(ctx.Params) {
+			return value.Null, fmt.Errorf("executor: parameter $%d not bound (%d bound)", x.Index+1, len(ctx.Params))
+		}
+		return ctx.Params[x.Index], nil
 	case *algebra.ColIdx:
 		if x.Idx < 0 || x.Idx >= len(row) {
 			return value.Null, fmt.Errorf("executor: column index %d out of range (row width %d)", x.Idx, len(row))

@@ -1,0 +1,361 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"perm/internal/engine"
+	"perm/internal/value"
+	"perm/internal/wire"
+	"perm/internal/workload"
+)
+
+// The differential harness runs the provenance query suite through every
+// execution path the system now has and asserts byte-identical results:
+//
+//   - embedded:       engine Session.Execute (materialized drain wrapper)
+//   - embedded-prep:  engine Session.Prepare + streaming Rows (typed binds)
+//   - wire-query:     MsgQuery streaming (server forwards batched frames)
+//   - wire-cursor:    Parse-less one-shot cursor with a tiny fetch size, so
+//     every query crosses several Fetch round trips
+//   - wire-prepared:  real server-side prepared statement + bind execution
+//
+// It extends PR 3's assertIdentical: same rendered-result comparison, but
+// across execution paths of one database instead of across replicas.
+
+// differentialSuite is the unparameterized battery (the replication suite's
+// provenance coverage, verbatim).
+var differentialSuite = replicationSuite
+
+// paramCase pairs a parameterized statement with bind arguments and the
+// equivalent literal SQL. The bind paths must match the literal text run
+// embedded — that is the "binds travel as typed wire parameters and results
+// are identical to the interpolated path" guarantee.
+type paramCase struct {
+	sql     string
+	args    []value.Value
+	literal string
+}
+
+var paramSuite = []paramCase{
+	{
+		sql:     `SELECT PROVENANCE mId, text FROM messages WHERE mId > ? ORDER BY mId`,
+		args:    []value.Value{value.NewInt(1)},
+		literal: `SELECT PROVENANCE mId, text FROM messages WHERE mId > 1 ORDER BY mId`,
+	},
+	{
+		sql:     `SELECT PROVENANCE name FROM users u, messages m WHERE u.uId = m.uId AND name <> ? ORDER BY name`,
+		args:    []value.Value{value.NewString("nobody")},
+		literal: `SELECT PROVENANCE name FROM users u, messages m WHERE u.uId = m.uId AND name <> 'nobody' ORDER BY name`,
+	},
+	{
+		sql:     `SELECT mId, text FROM messages WHERE text LIKE ? ORDER BY mId`,
+		args:    []value.Value{value.NewString("%a%")},
+		literal: `SELECT mId, text FROM messages WHERE text LIKE '%a%' ORDER BY mId`,
+	},
+	{
+		sql:     `SELECT PROVENANCE uId, count(*) FROM approved WHERE uId >= ? GROUP BY uId HAVING count(*) >= ? ORDER BY uId`,
+		args:    []value.Value{value.NewInt(0), value.NewInt(1)},
+		literal: `SELECT PROVENANCE uId, count(*) FROM approved WHERE uId >= 0 GROUP BY uId HAVING count(*) >= 1 ORDER BY uId`,
+	},
+	{
+		sql:     `SELECT mId, ? FROM messages WHERE mId IN (?, ?) ORDER BY mId`,
+		args:    []value.Value{value.NewString("tag"), value.NewInt(1), value.NewInt(3)},
+		literal: `SELECT mId, 'tag' FROM messages WHERE mId IN (1, 3) ORDER BY mId`,
+	},
+	{
+		sql:     `SELECT PROVENANCE mId FROM messages WHERE mId > ANY (SELECT mId FROM approved WHERE uId <> ?) ORDER BY mId`,
+		args:    []value.Value{value.NewInt(99)},
+		literal: `SELECT PROVENANCE mId FROM messages WHERE mId > ANY (SELECT mId FROM approved WHERE uId <> 99) ORDER BY mId`,
+	},
+	{
+		sql:     `SELECT CASE WHEN mId = ? THEN ? ELSE NULL END FROM messages ORDER BY mId`,
+		args:    []value.Value{value.NewInt(2), value.NewFloat(2.5)},
+		literal: `SELECT CASE WHEN mId = 2 THEN 2.5 ELSE NULL END FROM messages ORDER BY mId`,
+	},
+}
+
+// renderWire flattens a wire result (desc + rows + tag) in exactly the
+// renderResult format, so the two sides compare byte for byte.
+func renderWire(desc wire.RowDesc, rows []value.Row, tag string) string {
+	var b strings.Builder
+	for i, c := range desc.Names {
+		fmt.Fprintf(&b, "%s|", c)
+		fmt.Fprintf(&b, "%s|%v|", desc.Kinds[i], desc.IsProv[i])
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		for _, v := range row {
+			b.WriteString(v.SQLLiteral())
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(tag)
+	return b.String()
+}
+
+// renderEngineResult is renderResult plus the command tag.
+func renderEngineResult(res *engine.Result) string {
+	return renderResult(res) + res.Tag
+}
+
+// drainCursor collects a wire cursor.
+func drainCursor(t *testing.T, cur *wire.Cursor) (wire.RowDesc, []value.Row, string) {
+	t.Helper()
+	var rows []value.Row
+	for {
+		row, err := cur.Next()
+		if err != nil {
+			t.Fatalf("cursor next: %v", err)
+		}
+		if row == nil {
+			break
+		}
+		rows = append(rows, row)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("cursor close: %v", err)
+	}
+	return cur.Desc, rows, cur.Complete.Tag
+}
+
+func TestDifferentialSuite(t *testing.T) {
+	db := engine.NewDB()
+	if err := workload.LoadPaperExample(db); err != nil {
+		t.Fatal(err)
+	}
+	addr, srv, shutdown := startServerSrv(t, db, Config{CursorBatchRows: 3})
+	defer shutdown()
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	sess := db.NewSession()
+	defer sess.Close()
+
+	for i, q := range differentialSuite {
+		res, err := sess.Execute(q)
+		if err != nil {
+			t.Fatalf("embedded %q: %v", q, err)
+		}
+		want := renderEngineResult(res)
+
+		// Embedded streaming path (Session.Query drained by hand).
+		erows, err := sess.Query(q)
+		if err != nil {
+			t.Fatalf("embedded stream %q: %v", q, err)
+		}
+		var streamed []value.Row
+		for {
+			row, err := erows.Next()
+			if err != nil {
+				t.Fatalf("embedded stream next %q: %v", q, err)
+			}
+			if row == nil {
+				break
+			}
+			streamed = append(streamed, row)
+		}
+		got := renderEngineResult(&engine.Result{Columns: erows.Columns, Schema: erows.Schema, Rows: streamed, Tag: erows.Tag()})
+		if got != want {
+			t.Fatalf("embedded stream diverged on %q:\nwant:\n%s\ngot:\n%s", q, want, got)
+		}
+
+		// Wire streaming query (MsgQuery).
+		wr, err := c.Query(q)
+		if err != nil {
+			t.Fatalf("wire query %q: %v", q, err)
+		}
+		var wrows []value.Row
+		for {
+			row, err := wr.Next()
+			if err != nil {
+				t.Fatalf("wire next %q: %v", q, err)
+			}
+			if row == nil {
+				break
+			}
+			wrows = append(wrows, row)
+		}
+		if got := renderWire(wr.Desc, wrows, wr.Complete.Tag); got != want {
+			t.Fatalf("wire query diverged on %q:\nwant:\n%s\ngot:\n%s", q, want, got)
+		}
+
+		// Wire cursor with a tiny fetch, forcing several Fetch round trips.
+		cur, err := c.Execute("", q, nil, 2)
+		if err != nil {
+			t.Fatalf("wire cursor %q: %v", q, err)
+		}
+		desc, crows, tag := drainCursor(t, cur)
+		if got := renderWire(desc, crows, tag); got != want {
+			t.Fatalf("wire cursor diverged on %q:\nwant:\n%s\ngot:\n%s", q, want, got)
+		}
+
+		// Server-side prepared statement, executed by name.
+		name := fmt.Sprintf("dq%d", i)
+		if _, err := c.Prepare(name, q); err != nil {
+			t.Fatalf("prepare %q: %v", q, err)
+		}
+		pcur, err := c.Execute(name, "", nil, 3)
+		if err != nil {
+			t.Fatalf("execute prepared %q: %v", q, err)
+		}
+		desc, crows, tag = drainCursor(t, pcur)
+		if got := renderWire(desc, crows, tag); got != want {
+			t.Fatalf("wire prepared diverged on %q:\nwant:\n%s\ngot:\n%s", q, want, got)
+		}
+		if err := c.CloseStmt(name); err != nil {
+			t.Fatalf("close stmt: %v", err)
+		}
+	}
+	if n := srv.ActivePortals(); n != 0 {
+		t.Fatalf("portals leaked: %d", n)
+	}
+}
+
+func TestDifferentialParams(t *testing.T) {
+	db := engine.NewDB()
+	if err := workload.LoadPaperExample(db); err != nil {
+		t.Fatal(err)
+	}
+	addr, shutdown := startServer(t, db, Config{CursorBatchRows: 2})
+	defer shutdown()
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	sess := db.NewSession()
+	defer sess.Close()
+
+	for i, pc := range paramSuite {
+		res, err := sess.Execute(pc.literal)
+		if err != nil {
+			t.Fatalf("literal %q: %v", pc.literal, err)
+		}
+		want := renderEngineResult(res)
+
+		// Engine-level binds (embedded prepared statement).
+		prep, err := sess.Prepare(pc.sql)
+		if err != nil {
+			t.Fatalf("engine prepare %q: %v", pc.sql, err)
+		}
+		if got := prep.NumParams(); got != len(pc.args) {
+			t.Fatalf("engine prepare %q: %d params, want %d", pc.sql, got, len(pc.args))
+		}
+		pres, err := prep.Exec(pc.args...)
+		if err != nil {
+			t.Fatalf("engine bind exec %q: %v", pc.sql, err)
+		}
+		if got := renderEngineResult(pres); got != want {
+			t.Fatalf("engine binds diverged on %q:\nwant:\n%s\ngot:\n%s", pc.sql, want, got)
+		}
+
+		// One-shot wire binds.
+		cur, err := c.Execute("", pc.sql, pc.args, 2)
+		if err != nil {
+			t.Fatalf("wire one-shot bind %q: %v", pc.sql, err)
+		}
+		desc, crows, tag := drainCursor(t, cur)
+		if got := renderWire(desc, crows, tag); got != want {
+			t.Fatalf("wire one-shot binds diverged on %q:\nwant:\n%s\ngot:\n%s", pc.sql, want, got)
+		}
+
+		// Named server-side prepared statement, executed twice (the second
+		// run hits the session plan cache keyed on text + param kinds).
+		name := fmt.Sprintf("pq%d", i)
+		if n, err := c.Prepare(name, pc.sql); err != nil || n != len(pc.args) {
+			t.Fatalf("wire prepare %q: n=%d err=%v", pc.sql, n, err)
+		}
+		for round := 0; round < 2; round++ {
+			pcur, err := c.Execute(name, "", pc.args, 3)
+			if err != nil {
+				t.Fatalf("wire prepared bind %q round %d: %v", pc.sql, round, err)
+			}
+			desc, crows, tag = drainCursor(t, pcur)
+			if got := renderWire(desc, crows, tag); got != want {
+				t.Fatalf("wire prepared binds diverged on %q round %d:\nwant:\n%s\ngot:\n%s", pc.sql, round, want, got)
+			}
+		}
+	}
+}
+
+// TestDifferentialDML proves DML binds mutate identically to literal DML:
+// the same statements run with binds over the wire against one database and
+// as literals embedded against another, then every table must render
+// byte-identically (assertIdentical, PR 3's comparator).
+func TestDifferentialDML(t *testing.T) {
+	bindDB := engine.NewDB()
+	litDB := engine.NewDB()
+	for _, db := range []*engine.DB{bindDB, litDB} {
+		if err := workload.LoadPaperExample(db); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr, shutdown := startServer(t, bindDB, Config{})
+	defer shutdown()
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	litSess := litDB.NewSession()
+	defer litSess.Close()
+
+	type dml struct {
+		sql     string
+		args    []value.Value
+		literal string
+	}
+	steps := []dml{
+		{
+			sql:     `INSERT INTO messages VALUES (?, ?, ?)`,
+			args:    []value.Value{value.NewInt(9), value.NewString("bound insert"), value.NewInt(1)},
+			literal: `INSERT INTO messages VALUES (9, 'bound insert', 1)`,
+		},
+		{
+			sql:     `UPDATE users SET name = ? WHERE uId = ?`,
+			args:    []value.Value{value.NewString("Bound Bertha"), value.NewInt(1)},
+			literal: `UPDATE users SET name = 'Bound Bertha' WHERE uId = 1`,
+		},
+		{
+			sql:     `DELETE FROM approved WHERE mId = ?`,
+			args:    []value.Value{value.NewInt(2)},
+			literal: `DELETE FROM approved WHERE mId = 2`,
+		},
+		{
+			sql:     `INSERT INTO imports (mId, text) SELECT mId + ?, text FROM messages WHERE mId = ?`,
+			args:    []value.Value{value.NewInt(100), value.NewInt(9)},
+			literal: `INSERT INTO imports (mId, text) SELECT mId + 100, text FROM messages WHERE mId = 9`,
+		},
+	}
+	for _, st := range steps {
+		done, err := c.Execute("", st.sql, st.args, 0)
+		if err != nil {
+			t.Fatalf("bind dml %q: %v", st.sql, err)
+		}
+		if err := done.Close(); err != nil {
+			t.Fatalf("bind dml close %q: %v", st.sql, err)
+		}
+		lres, err := litSess.Execute(st.literal)
+		if err != nil {
+			t.Fatalf("literal dml %q: %v", st.literal, err)
+		}
+		if done.Complete.Tag != lres.Tag {
+			t.Fatalf("dml %q: bind tag %q, literal tag %q", st.sql, done.Complete.Tag, lres.Tag)
+		}
+	}
+	assertIdentical(t, bindDB, litDB, append(replicationSuite,
+		`SELECT * FROM imports ORDER BY mId, text`,
+		`SELECT PROVENANCE * FROM messages ORDER BY mId`,
+	))
+}

@@ -44,8 +44,19 @@ type Config struct {
 	MaxConns int
 	// QueryTimeout bounds each statement's execution AND the writing of its
 	// response, so a client that stops reading cannot pin a session (and a
-	// MaxConns slot) forever; 0 means unlimited.
+	// MaxConns slot) forever; 0 means unlimited. For cursors the timeout
+	// spans the portal's whole lifetime — a client that parks an open cursor
+	// past it gets a typed timeout on its next Fetch — while the write
+	// deadline is re-armed per fetch, so a long result is bounded by
+	// per-batch delivery progress, not total duration.
 	QueryTimeout time.Duration
+	// CursorBatchRows caps the rows packed into one RowBatch frame (and is
+	// the fetch size used when a client asks for 0); 0 means 256.
+	CursorBatchRows int
+	// CursorBatchBytes is the target encoded size of one RowBatch frame;
+	// wide provenance rows flush early so a frame never dwarfs it. 0 means
+	// 256 KiB.
+	CursorBatchBytes int
 	// HeartbeatInterval is how often a replication subscription sends a
 	// heartbeat (carrying the primary's last LSN) while the change log is
 	// idle; 0 means one second. Followers size their read timeouts to it.
@@ -59,6 +70,25 @@ func (c Config) heartbeat() time.Duration {
 		return time.Second
 	}
 	return c.HeartbeatInterval
+}
+
+func (c Config) batchRows() int {
+	if c.CursorBatchRows <= 0 {
+		return 256
+	}
+	// The batch writer's fixed-width count header holds 28 bits; a frame of
+	// two million rows is far past any sane batch anyway.
+	if c.CursorBatchRows > 1<<21 {
+		return 1 << 21
+	}
+	return c.CursorBatchRows
+}
+
+func (c Config) batchBytes() int {
+	if c.CursorBatchBytes <= 0 {
+		return 256 << 10
+	}
+	return c.CursorBatchBytes
 }
 
 // ErrServerClosed is returned by Serve after Shutdown or Close.
@@ -98,6 +128,7 @@ type Server struct {
 
 	queries       atomic.Uint64
 	subscriptions atomic.Int64
+	portals       atomic.Int64
 }
 
 // New creates a server over db.
@@ -123,6 +154,11 @@ func (s *Server) QueriesServed() uint64 { return s.queries.Load() }
 
 // ActiveSubscriptions reports how many replication followers are streaming.
 func (s *Server) ActiveSubscriptions() int { return int(s.subscriptions.Load()) }
+
+// ActivePortals reports how many cursors are currently open across all
+// connections — a live portal pins an executor iterator tree, so this is
+// the observable for leak tests and capacity monitoring.
+func (s *Server) ActivePortals() int { return int(s.portals.Load()) }
 
 // ActiveConns reports the number of connections currently served.
 func (s *Server) ActiveConns() int {
@@ -222,17 +258,30 @@ func (s *Server) registerConn(nc net.Conn) (chan struct{}, bool) {
 type connState struct {
 	kill     chan struct{}
 	inFlight bool
+	// portalOpen marks a suspended cursor: the connection is between
+	// requests, but an executor tree is live. Graceful shutdown treats such
+	// connections like in-flight ones — the client may keep fetching (or
+	// close the portal) until the drain deadline kills stragglers.
+	portalOpen bool
+	// portalDeadline is the open portal's query deadline (zero when no
+	// timeout is configured). Shutdown closes portal connections already
+	// past it immediately: their next Fetch is guaranteed to fail with the
+	// typed timeout, so there is nothing to drain.
+	portalDeadline time.Time
 }
 
 // beginRequest marks the connection busy; it returns false when the server
-// is shutting down and the request should be refused.
-func (s *Server) beginRequest(nc net.Conn) bool {
+// is shutting down and the request should be refused. draining requests
+// (Fetch, ClosePortal) stay admissible during shutdown on a connection
+// whose portal is open, so a client can finish reading its cursor.
+func (s *Server) beginRequest(nc net.Conn, draining bool) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closing {
+	st := s.conns[nc]
+	if s.closing && !(draining && st != nil && st.portalOpen) {
 		return false
 	}
-	if st := s.conns[nc]; st != nil {
+	if st != nil {
 		st.inFlight = true
 	}
 	return true
@@ -240,14 +289,29 @@ func (s *Server) beginRequest(nc net.Conn) bool {
 
 // endRequest marks the connection idle again; it returns false when the
 // server started shutting down mid-request, in which case the session
-// should close now that its response is delivered.
+// should close now that its response is delivered — unless a portal is
+// still open, which keeps the connection alive to drain it.
 func (s *Server) endRequest(nc net.Conn) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if st := s.conns[nc]; st != nil {
+	st := s.conns[nc]
+	if st != nil {
 		st.inFlight = false
 	}
-	return !s.closing
+	if s.closing {
+		return st != nil && st.portalOpen
+	}
+	return true
+}
+
+// setPortalOpen records whether nc has a live cursor (see connState).
+func (s *Server) setPortalOpen(nc net.Conn, open bool, deadline time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.conns[nc]; st != nil {
+		st.portalOpen = open
+		st.portalDeadline = deadline
+	}
 }
 
 func (s *Server) unregisterConn(nc net.Conn) {
@@ -330,9 +394,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for l := range s.listeners {
 		l.Close()
 	}
+	now := time.Now()
 	for nc, st := range s.conns {
-		if !st.inFlight {
-			nc.Close() // idle: unblocks the read loop, session tears down
+		expired := st.portalOpen && !st.portalDeadline.IsZero() && now.After(st.portalDeadline)
+		if !st.inFlight && (!st.portalOpen || expired) {
+			nc.Close() // idle (or holding a dead cursor): unblocks the read loop
 		}
 	}
 	s.mu.Unlock()
@@ -419,7 +485,13 @@ func (s *Server) serveConn(nc net.Conn, kill <-chan struct{}) {
 	s.logf("session open from %s (client %q)", nc.RemoteAddr(), hello.Client)
 	defer s.logf("session closed from %s", nc.RemoteAddr())
 
-	scratch := make([]byte, 0, 4096)
+	// Per-connection protocol state: named prepared statements and the (at
+	// most one) open portal. Both die with the connection: an abrupt client
+	// disconnect mid-cursor unwinds here, closing the executor tree and
+	// releasing the portal immediately.
+	st := &connStreams{s: s, nc: nc}
+	defer st.closePortal()
+
 	for {
 		typ, body, err := conn.ReadMessage()
 		if err != nil {
@@ -460,12 +532,14 @@ func (s *Server) serveConn(nc net.Conn, kill <-chan struct{}) {
 			}
 			return
 		}
-		if !s.beginRequest(nc) {
+		draining := typ == wire.MsgFetch || typ == wire.MsgClosePortal
+		if !s.beginRequest(nc, draining) {
 			// Shutdown raced this request in: tell the client rather than
 			// resetting it.
 			s.writeError(conn, "server is shutting down")
 			return
 		}
+		var fatal error
 		switch typ {
 		case wire.MsgQuery:
 			r := wire.NewReader(body)
@@ -475,33 +549,87 @@ func (s *Server) serveConn(nc net.Conn, kill <-chan struct{}) {
 				return
 			}
 			s.armWriteDeadline(nc)
-			if err := s.runQuery(conn, sess, sqlText, &scratch); err != nil {
-				s.logf("write to %s: %v", nc.RemoteAddr(), err)
+			fatal = st.runQuery(conn, sess, sqlText)
+		case wire.MsgParse:
+			p, err := wire.DecodeParse(body)
+			if err != nil {
+				s.writeError(conn, "malformed parse frame")
 				return
 			}
-			nc.SetWriteDeadline(time.Time{})
-			// Mirror the read path's buffer hygiene: one outlier result must
-			// not pin a huge scratch for the connection's lifetime.
-			if cap(scratch) > 1<<20 {
-				scratch = make([]byte, 0, 4096)
+			s.armWriteDeadline(nc)
+			fatal = st.runParse(conn, sess, p)
+		case wire.MsgExecute:
+			req, err := wire.DecodeExecute(body)
+			if err != nil {
+				s.writeError(conn, "malformed execute frame")
+				return
 			}
+			s.armWriteDeadline(nc)
+			fatal = st.runExecute(conn, sess, req)
+		case wire.MsgFetch:
+			r := wire.NewReader(body)
+			fetch := r.Uvarint()
+			if r.Err() != nil {
+				s.writeError(conn, "malformed fetch frame")
+				return
+			}
+			s.armWriteDeadline(nc)
+			fatal = st.runFetch(conn, fetch)
+		case wire.MsgClosePortal:
+			st.closePortal()
+			s.armWriteDeadline(nc)
+			fatal = s.writeMessageFlush(conn, wire.MsgCloseOK, nil)
+		case wire.MsgCloseStmt:
+			r := wire.NewReader(body)
+			name := r.String()
+			if r.Err() != nil {
+				s.writeError(conn, "malformed close frame")
+				return
+			}
+			delete(st.stmts, name)
+			s.armWriteDeadline(nc)
+			fatal = s.writeMessageFlush(conn, wire.MsgCloseOK, nil)
 		case wire.MsgBackup:
 			s.armWriteDeadline(nc)
-			if err := s.runBackup(conn, nc); err != nil {
-				s.logf("backup to %s: %v", nc.RemoteAddr(), err)
-				return
-			}
-			nc.SetWriteDeadline(time.Time{})
+			fatal = s.runBackup(conn, nc)
 		default:
 			s.writeError(conn, fmt.Sprintf("unexpected message type %q", typ))
 			return
 		}
+		if fatal != nil {
+			s.logf("write to %s: %v", nc.RemoteAddr(), fatal)
+			return
+		}
+		nc.SetWriteDeadline(time.Time{})
+		// Mirror the read path's buffer hygiene: one outlier result must
+		// not pin huge encode buffers for the connection's lifetime.
+		st.trim()
+		// While a portal sits suspended, bound how long a silent client can
+		// pin its executor tree: the next read is deadlined to the portal's
+		// query deadline plus one grace timeout. A late Fetch inside the
+		// grace still gets the clean typed timeout error; past it, the read
+		// fails and the connection (and portal) is reaped.
+		if st.port != nil && !st.port.deadline.IsZero() {
+			nc.SetReadDeadline(st.port.deadline.Add(s.cfg.QueryTimeout))
+		} else {
+			nc.SetReadDeadline(time.Time{})
+		}
 		if !s.endRequest(nc) {
 			// Shutdown began while this request ran; its response is
-			// delivered, now close the session instead of idling.
+			// delivered and no cursor remains to drain, so close the
+			// session instead of idling.
 			return
 		}
 	}
+}
+
+// writeMessageFlush writes one frame and flushes it; errors are
+// connection-fatal.
+func (s *Server) writeMessageFlush(conn *wire.Conn, typ byte, payload []byte) error {
+	if err := conn.WriteMessage(typ, payload); err != nil {
+		return err
+	}
+	return conn.Flush()
 }
 
 // armWriteDeadline bounds the writing of one response by the query timeout:
@@ -534,94 +662,350 @@ func errCodeOf(err error) uint64 {
 	return wire.ErrCodeGeneric
 }
 
-// runQuery executes one statement on the session and streams the result.
+// connStreams is one connection's statement-serving state: its named
+// prepared statements, its (at most one) open portal, and the reusable
+// encode buffers row batches build in. It lives on the serveConn stack, so
+// everything here — including the executor tree behind an open cursor —
+// dies the moment the connection does.
+type connStreams struct {
+	s     *Server
+	nc    net.Conn
+	stmts map[string]*engine.Prepared
+	port  *portal
+	seg   []byte // encoded rows of the batch being built
+	frame []byte // finished frame payload (count prefix + seg)
+}
+
+// portal is one open cursor: a live engine row stream plus the wall-clock
+// deadline the whole cursor (across fetches) must finish by.
+type portal struct {
+	rows     *engine.Rows
+	deadline time.Time
+	descSent bool
+}
+
+// maxPreparedStmts caps the per-connection statement registry, so a client
+// cannot grow server memory without bound by preparing forever.
+const maxPreparedStmts = 256
+
+// closePortal releases the connection's open cursor, if any: the executor
+// tree closes immediately (a disconnected client frees its resources here)
+// and the portal bookkeeping that shutdown draining relies on is cleared.
+func (st *connStreams) closePortal() {
+	if st.port == nil {
+		return
+	}
+	st.port.rows.Close()
+	st.port = nil
+	st.s.portals.Add(-1)
+	st.s.setPortalOpen(st.nc, false, time.Time{})
+}
+
+// trim drops outlier encode buffers so one huge batch cannot pin megabytes
+// for the connection's lifetime.
+func (st *connStreams) trim() {
+	if cap(st.seg) > 1<<20 {
+		st.seg = nil
+	}
+	if cap(st.frame) > 1<<20 {
+		st.frame = nil
+	}
+}
+
+// openRows opens a statement under the per-query timeout. The timeout is a
+// session deadline polled by the executor alongside the standing
+// kill-channel interrupt — no timer, goroutine, or channel is allocated per
+// statement — and it is captured into the statement's execution context, so
+// it keeps governing the stream across later fetches. The deadline is
+// returned for the portal's own between-fetch checks.
+func (s *Server) openRows(sess *engine.Session, open func() (*engine.Rows, error)) (*engine.Rows, time.Time, error) {
+	if s.cfg.QueryTimeout <= 0 {
+		rows, err := open()
+		return rows, time.Time{}, err
+	}
+	deadline := time.Now().Add(s.cfg.QueryTimeout)
+	sess.SetDeadline(deadline)
+	defer sess.SetDeadline(time.Time{})
+	rows, err := open()
+	// Only a genuine interrupt unwind past the deadline is relabeled as a
+	// timeout; a statement that failed for its own reasons keeps its error,
+	// and a shutdown kill keeps the interrupt error (the connection is dying
+	// anyway). DML executes eagerly inside open; SELECTs can also unwind
+	// here when a blocking operator (sort, aggregate) drains its input
+	// during Open.
+	if errors.Is(err, executor.ErrInterrupted) && !time.Now().Before(deadline) {
+		return nil, deadline, errors.New(s.timeoutMessage())
+	}
+	return rows, deadline, err
+}
+
+// timeoutMessage is the one wording of the typed per-query-timeout error,
+// paired with wire.ErrCodeTimeout at every site that reports one.
+func (s *Server) timeoutMessage() string {
+	return fmt.Sprintf("query canceled: exceeded the %s per-query timeout", s.cfg.QueryTimeout)
+}
+
+// timeoutCode reports whether err should travel as a typed timeout: an
+// interrupt unwind on a statement whose deadline has passed.
+func timeoutCode(err error, deadline time.Time) bool {
+	return errors.Is(err, executor.ErrInterrupted) &&
+		!deadline.IsZero() && !time.Now().Before(deadline)
+}
+
+// runQuery executes one statement on the session and streams the result to
+// completion in bounded row batches — the server never materializes it.
 // Returned errors are connection-fatal I/O errors; statement errors travel
-// to the client as wire errors.
-func (s *Server) runQuery(conn *wire.Conn, sess *engine.Session, sqlText string, scratch *[]byte) error {
+// to the client as wire errors (typed, including mid-stream).
+func (st *connStreams) runQuery(conn *wire.Conn, sess *engine.Session, sqlText string) error {
+	s := st.s
 	s.queries.Add(1)
-	res, err := s.execute(sess, sqlText)
+	if st.port != nil {
+		// A suspended cursor owns the session's active statement (its
+		// executor tree is live); running another statement under it would
+		// break the engine's one-active-statement contract. Same refusal as
+		// runExecute — the portal stays usable.
+		return s.writeError(conn, "a cursor is already open on this connection")
+	}
+	rows, deadline, err := s.openRows(sess, func() (*engine.Rows, error) { return sess.Query(sqlText) })
+	if err != nil {
+		code := errCodeOf(err)
+		if timeoutCode(err, deadline) {
+			code = wire.ErrCodeTimeout
+		}
+		return s.writeErrorCode(conn, err.Error(), code)
+	}
+	defer rows.Close()
+	if _, fatal := st.streamBatches(conn, &portal{rows: rows, deadline: deadline}, 0); fatal != nil {
+		return fatal
+	}
+	return conn.Flush()
+}
+
+// runParse registers a server-side prepared statement on the session.
+func (st *connStreams) runParse(conn *wire.Conn, sess *engine.Session, p wire.Parse) error {
+	s := st.s
+	if st.stmts == nil {
+		st.stmts = make(map[string]*engine.Prepared)
+	}
+	if _, exists := st.stmts[p.Name]; !exists && len(st.stmts) >= maxPreparedStmts {
+		return s.writeError(conn, fmt.Sprintf("too many prepared statements (limit %d per connection)", maxPreparedStmts))
+	}
+	prep, err := sess.Prepare(p.SQL)
 	if err != nil {
 		return s.writeErrorCode(conn, err.Error(), errCodeOf(err))
 	}
-	if err := s.writeResult(conn, res, scratch); err != nil {
-		// An oversize row is rejected before any of its bytes hit the wire,
-		// so the stream is still in sync: report it in-band (the client ends
-		// the row stream with a ServerError) and keep the connection.
-		if errors.Is(err, wire.ErrFrameTooLarge) {
-			return s.writeError(conn, fmt.Sprintf("result row too large for the wire protocol: %v", err))
+	st.stmts[p.Name] = prep
+	st.frame = binary.AppendUvarint(st.frame[:0], uint64(prep.NumParams()))
+	return s.writeMessageFlush(conn, wire.MsgParseOK, st.frame)
+}
+
+// runExecute binds arguments to a prepared (or inline one-shot) statement,
+// opens the connection's portal and streams the first batch. A FetchSize of
+// 0 streams the whole result without suspending.
+func (st *connStreams) runExecute(conn *wire.Conn, sess *engine.Session, req wire.Execute) error {
+	s := st.s
+	s.queries.Add(1)
+	if st.port != nil {
+		// One portal per connection; the protocol is strictly
+		// request/response, so a second Execute is a client bug. The open
+		// portal stays usable.
+		return s.writeError(conn, "a cursor is already open on this connection")
+	}
+	prep := st.stmts[req.Name]
+	if req.Name == "" {
+		var err error
+		prep, err = sess.Prepare(req.SQL)
+		if err != nil {
+			return s.writeErrorCode(conn, err.Error(), errCodeOf(err))
 		}
+	} else if prep == nil {
+		return s.writeError(conn, fmt.Sprintf("unknown prepared statement %q", req.Name))
+	}
+	rows, deadline, err := s.openRows(sess, func() (*engine.Rows, error) { return prep.Query(req.Args...) })
+	if err != nil {
+		code := errCodeOf(err)
+		if timeoutCode(err, deadline) {
+			code = wire.ErrCodeTimeout
+		}
+		return s.writeErrorCode(conn, err.Error(), code)
+	}
+	port := &portal{rows: rows, deadline: deadline}
+	finished, fatal := st.streamBatches(conn, port, req.FetchSize)
+	if fatal != nil {
+		rows.Close()
+		return fatal
+	}
+	if finished {
+		rows.Close()
+		return conn.Flush()
+	}
+	// The limit suspended the result: the portal stays open for Fetch, and
+	// the connection counts as draining-eligible for graceful shutdown.
+	st.port = port
+	s.portals.Add(1)
+	s.setPortalOpen(st.nc, true, port.deadline)
+	if err := conn.WriteMessage(wire.MsgSuspended, nil); err != nil {
 		return err
 	}
 	return conn.Flush()
 }
 
-// execute runs the statement under the per-query timeout. The timeout is a
-// session deadline polled by the executor alongside the standing kill-channel
-// interrupt — no timer, goroutine, or channel is allocated per statement.
-func (s *Server) execute(sess *engine.Session, sqlText string) (*engine.Result, error) {
-	if s.cfg.QueryTimeout <= 0 {
-		return sess.Execute(sqlText)
+// runFetch continues the open portal by up to fetch rows (0 = to
+// completion). The cursor's query deadline is enforced between fetches too,
+// so a timeout firing while the portal sits idle surfaces as a typed error
+// on the next fetch instead of an untyped stall.
+func (st *connStreams) runFetch(conn *wire.Conn, fetch uint64) error {
+	s := st.s
+	if st.port == nil {
+		return s.writeError(conn, "no cursor is open on this connection")
 	}
-	deadline := time.Now().Add(s.cfg.QueryTimeout)
-	sess.SetDeadline(deadline)
-	defer sess.SetDeadline(time.Time{})
-	res, err := sess.Execute(sqlText)
-	// Only a genuine interrupt unwind past the deadline is relabeled as a
-	// timeout; a statement that failed for its own reasons keeps its error,
-	// and a shutdown kill keeps the interrupt error (the connection is dying
-	// anyway).
-	if errors.Is(err, executor.ErrInterrupted) && !time.Now().Before(deadline) {
-		return nil, fmt.Errorf("query canceled: exceeded the %s per-query timeout", s.cfg.QueryTimeout)
+	p := st.port
+	if !p.deadline.IsZero() && !time.Now().Before(p.deadline) {
+		st.closePortal()
+		return s.writeErrorCode(conn, s.timeoutMessage(), wire.ErrCodeTimeout)
 	}
-	return res, err
+	finished, fatal := st.streamBatches(conn, p, fetch)
+	if fatal != nil {
+		st.closePortal()
+		return fatal
+	}
+	if finished {
+		st.closePortal()
+		return conn.Flush()
+	}
+	if err := conn.WriteMessage(wire.MsgSuspended, nil); err != nil {
+		return err
+	}
+	return conn.Flush()
 }
 
-// rowDescFor builds the wire column description from an engine result. The
-// schema carries the column types and provenance flags; results that lack a
-// schema entry (SHOW-style synthetic columns always have one, so this is
-// purely defensive) fall back to untyped.
-func rowDescFor(res *engine.Result) wire.RowDesc {
-	n := len(res.Columns)
-	desc := wire.RowDesc{
-		Names:  res.Columns,
-		Kinds:  make([]value.Kind, n),
-		IsProv: make([]bool, n),
-	}
-	for i := 0; i < n && i < len(res.Schema); i++ {
-		desc.Kinds[i] = res.Schema[i].Type
-		desc.IsProv[i] = res.Schema[i].IsProv
-	}
-	return desc
-}
-
-// writeResult streams RowDesc + rows + Complete for res.
-func (s *Server) writeResult(conn *wire.Conn, res *engine.Result, scratch *[]byte) error {
-	// Encoded payloads build in *scratch and the grown buffer is stored back,
-	// so one connection reuses a single buffer across rows and statements
-	// (WriteMessage copies into the bufio writer before returning).
-	if len(res.Columns) > 0 {
-		*scratch = rowDescFor(res).Encode((*scratch)[:0])
-		if err := conn.WriteMessage(wire.MsgRowDesc, *scratch); err != nil {
-			return err
-		}
-		for _, row := range res.Rows {
-			*scratch = wire.AppendRow((*scratch)[:0], row)
-			if err := conn.WriteMessage(wire.MsgRow, *scratch); err != nil {
-				return err
+// streamBatches forwards up to limit rows (0 = all) from p.rows as RowBatch
+// frames, each bounded by the configured row/byte caps and flushed
+// individually so the write deadline measures per-batch delivery progress —
+// server-side memory is bounded by one batch regardless of result size. It
+// reports finished=true once the result ended (Complete or in-band Error
+// written; the portal is dead), finished=false when the limit suspended it.
+// The returned error is a connection-fatal I/O failure.
+func (st *connStreams) streamBatches(conn *wire.Conn, p *portal, limit uint64) (bool, error) {
+	s := st.s
+	if !p.descSent {
+		p.descSent = true
+		if len(p.rows.Columns) > 0 {
+			st.frame = rowDescOf(p.rows).Encode(st.frame[:0])
+			if err := conn.WriteMessage(wire.MsgRowDesc, st.frame); err != nil {
+				return false, err
 			}
 		}
 	}
-	done := wire.Complete{
-		Tag:      res.Tag,
-		CacheHit: res.CacheHit,
-		Parse:    int64(res.Timings.Parse),
-		Analyze:  int64(res.Timings.Analyze),
-		Rewrite:  int64(res.Timings.Rewrite),
-		Plan:     int64(res.Timings.Plan),
-		Execute:  int64(res.Timings.Execute),
+	maxRows, maxBytes := s.cfg.batchRows(), s.cfg.batchBytes()
+	var sent uint64
+	for {
+		n := 0
+		st.beginBatch()
+		for n < maxRows && len(st.seg) < maxBytes && (limit == 0 || sent < limit) {
+			row, err := p.rows.Next()
+			if err != nil {
+				// A mid-stream statement error (interrupt, timeout, runtime
+				// failure): deliver the rows already batched, then report the
+				// error in-band — the frame stream stays in sync and the
+				// connection survives.
+				if ferr := st.writeBatch(conn, n); ferr != nil {
+					return false, ferr
+				}
+				msg, code := err.Error(), errCodeOf(err)
+				if timeoutCode(err, p.deadline) {
+					msg, code = s.timeoutMessage(), wire.ErrCodeTimeout
+				}
+				if werr := s.writeErrorCode(conn, msg, code); werr != nil {
+					return false, werr
+				}
+				return true, nil
+			}
+			if row == nil {
+				if ferr := st.writeBatch(conn, n); ferr != nil {
+					return false, ferr
+				}
+				t := p.rows.Timings()
+				done := wire.Complete{
+					Tag:      p.rows.Tag(),
+					CacheHit: p.rows.CacheHit,
+					Parse:    int64(t.Parse),
+					Analyze:  int64(t.Analyze),
+					Rewrite:  int64(t.Rewrite),
+					Plan:     int64(t.Plan),
+					Execute:  int64(t.Execute),
+				}
+				st.frame = done.Encode(st.frame[:0])
+				if err := conn.WriteMessage(wire.MsgComplete, st.frame); err != nil {
+					return false, err
+				}
+				return true, nil
+			}
+			st.seg = wire.AppendRow(st.seg, row)
+			n++
+			sent++
+		}
+		if err := st.writeBatch(conn, n); err != nil {
+			// An oversize row is rejected before any of its bytes hit the
+			// wire, so the stream is still in sync: report it in-band and
+			// keep the connection.
+			if errors.Is(err, wire.ErrFrameTooLarge) {
+				if werr := s.writeError(conn, fmt.Sprintf("result row too large for the wire protocol: %v", err)); werr != nil {
+					return false, werr
+				}
+				return true, nil
+			}
+			return false, err
+		}
+		if limit > 0 && sent >= limit {
+			return false, nil
+		}
+		// Flush per batch and re-arm the write deadline, so delivery is
+		// bounded per batch, not per result.
+		if err := conn.Flush(); err != nil {
+			return false, err
+		}
+		s.armWriteDeadline(st.nc)
 	}
-	*scratch = done.Encode((*scratch)[:0])
-	return conn.WriteMessage(wire.MsgComplete, *scratch)
+}
+
+// beginBatch resets st.seg to a fixed-width row-count header (a padded but
+// valid uvarint, patched by writeBatch once the count is known), so the
+// encoded row bytes are written exactly once — no second buffer, no memcpy
+// of the whole batch just to prepend a count.
+func (st *connStreams) beginBatch() {
+	st.seg = append(st.seg[:0], 0x80, 0x80, 0x80, 0x00)
+}
+
+// writeBatch frames the n rows built up in st.seg; n == 0 writes nothing.
+// n is bounded by batchRows (≤ 2^21), so it always fits the four 7-bit
+// groups reserved by beginBatch.
+func (st *connStreams) writeBatch(conn *wire.Conn, n int) error {
+	if n == 0 {
+		return nil
+	}
+	st.seg[0] = 0x80 | byte(n&0x7f)
+	st.seg[1] = 0x80 | byte(n>>7&0x7f)
+	st.seg[2] = 0x80 | byte(n>>14&0x7f)
+	st.seg[3] = byte(n >> 21 & 0x7f)
+	return conn.WriteMessage(wire.MsgRowBatch, st.seg)
+}
+
+// rowDescOf builds the wire column description from an engine row stream.
+// The schema carries the column types and provenance flags; columns that
+// lack a schema entry (purely defensive) fall back to untyped.
+func rowDescOf(rows *engine.Rows) wire.RowDesc {
+	n := len(rows.Columns)
+	desc := wire.RowDesc{
+		Names:  rows.Columns,
+		Kinds:  make([]value.Kind, n),
+		IsProv: make([]bool, n),
+	}
+	for i := 0; i < n && i < len(rows.Schema); i++ {
+		desc.Kinds[i] = rows.Schema[i].Type
+		desc.IsProv[i] = rows.Schema[i].IsProv
+	}
+	return desc
 }
 
 // runBackup streams a consistent snapshot without blocking queries: the

@@ -19,22 +19,33 @@ import (
 // and a shutdown func.
 func startServer(t *testing.T, db *engine.DB, cfg Config) (addr string, shutdown func()) {
 	t.Helper()
+	addr, _, shutdown = startServerSrv(t, db, cfg)
+	return addr, shutdown
+}
+
+// startServerSrv is startServer, additionally exposing the Server for tests
+// that assert on its counters or drive Shutdown themselves.
+func startServerSrv(t *testing.T, db *engine.DB, cfg Config) (addr string, srv *Server, shutdown func()) {
+	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)
 	}
-	srv := New(db, cfg)
+	srv = New(db, cfg)
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
-	return l.Addr().String(), func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
-			t.Errorf("shutdown: %v", err)
-		}
-		if err := <-done; err != ErrServerClosed {
-			t.Errorf("serve returned %v, want ErrServerClosed", err)
-		}
+	var once sync.Once
+	return l.Addr().String(), srv, func() {
+		once.Do(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Errorf("shutdown: %v", err)
+			}
+			if err := <-done; err != ErrServerClosed {
+				t.Errorf("serve returned %v, want ErrServerClosed", err)
+			}
+		})
 	}
 }
 

@@ -303,6 +303,14 @@ type Literal struct{ Val value.Value }
 
 func (*Literal) expr() {}
 
+// Placeholder is a `?` bind parameter. The parser numbers placeholders in
+// textual order (0-based); values are supplied at execution time through the
+// engine's prepared-statement API, so a statement's plan can be built once
+// and executed with different arguments.
+type Placeholder struct{ Index int }
+
+func (*Placeholder) expr() {}
+
 // ColRef is a (possibly qualified) column reference.
 type ColRef struct {
 	Table string // empty when unqualified

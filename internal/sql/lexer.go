@@ -70,12 +70,15 @@ func (l *Lexer) skipSpaceAndComments() error {
 	for {
 		c := l.peek()
 		switch {
-		case c == 0:
+		case l.pos >= len(l.src):
 			return nil
 		case unicode.IsSpace(c):
 			l.advance()
 		case c == '-' && l.peekAt(1) == '-':
-			for l.peek() != 0 && l.peek() != '\n' {
+			// Skip to end of line by position, not the 0 rune: comment text —
+			// like quoted-literal text, and like block comments below — may
+			// contain any rune including NUL.
+			for l.pos < len(l.src) && l.peek() != '\n' {
 				l.advance()
 			}
 		case c == '/' && l.peekAt(1) == '*':
@@ -84,7 +87,7 @@ func (l *Lexer) skipSpaceAndComments() error {
 			l.advance()
 			depth := 1
 			for depth > 0 {
-				if l.peek() == 0 {
+				if l.pos >= len(l.src) {
 					return fmt.Errorf("line %d col %d: unterminated block comment", startLine, startCol)
 				}
 				if l.peek() == '/' && l.peekAt(1) == '*' {
@@ -126,7 +129,11 @@ func (l *Lexer) Next() (Token, error) {
 	}
 	c := l.peek()
 	switch {
-	case c == 0:
+	case l.pos >= len(l.src):
+		// True end of input only: a literal NUL rune in the source is NOT
+		// EOF — treating it as one would silently truncate the statement
+		// (found by FuzzPlaceholders) — so it falls through to the
+		// unexpected-character error below.
 		return mk(EOF, ""), nil
 	case isIdentStart(c):
 		var b strings.Builder
@@ -160,7 +167,7 @@ func (l *Lexer) Next() (Token, error) {
 		var b strings.Builder
 		for {
 			c := l.peek()
-			if c == 0 {
+			if l.pos >= len(l.src) {
 				return Token{}, fmt.Errorf("line %d col %d: unterminated string literal", line, col)
 			}
 			if c == '\'' {
@@ -180,7 +187,7 @@ func (l *Lexer) Next() (Token, error) {
 		var b strings.Builder
 		for {
 			c := l.peek()
-			if c == 0 {
+			if l.pos >= len(l.src) {
 				return Token{}, fmt.Errorf("line %d col %d: unterminated quoted identifier", line, col)
 			}
 			if c == '"' {
@@ -251,6 +258,8 @@ func (l *Lexer) Next() (Token, error) {
 			return mk(CONCAT, "||"), nil
 		}
 		return Token{}, fmt.Errorf("line %d col %d: unexpected character '|'", line, col)
+	case '?':
+		return mk(QMARK, "?"), nil
 	}
 	return Token{}, fmt.Errorf("line %d col %d: unexpected character %q", line, col, string(c))
 }

@@ -14,6 +14,9 @@ import (
 type Parser struct {
 	toks []Token
 	pos  int
+	// params counts `?` placeholders seen so far; each one is numbered in
+	// textual order, which is the order bind arguments are supplied in.
+	params int
 }
 
 // reservedAlias lists keywords that terminate a FROM item and therefore can
@@ -39,6 +42,35 @@ func Parse(input string) (Statement, error) {
 		return nil, fmt.Errorf("expected exactly one statement, got %d", len(stmts))
 	}
 	return stmts[0], nil
+}
+
+// ParseWithParams parses a single statement and additionally reports how many
+// `?` bind placeholders it contains — the prepared-statement front door: the
+// engine parses once, learns the parameter count, and analyzes later per
+// bound argument types.
+func ParseWithParams(input string) (Statement, int, error) {
+	toks, err := Tokens(input)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := &Parser{toks: toks}
+	for p.peek().Type == SEMI {
+		p.next()
+	}
+	if p.peek().Type == EOF {
+		return nil, 0, fmt.Errorf("expected exactly one statement, got 0")
+	}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, 0, err
+	}
+	for p.peek().Type == SEMI {
+		p.next()
+	}
+	if p.peek().Type != EOF {
+		return nil, 0, p.errf("unexpected %s after statement", p.describe())
+	}
+	return st, p.params, nil
 }
 
 // ParseScript parses a semicolon-separated sequence of statements.
@@ -1276,6 +1308,11 @@ func (p *Parser) parsePrimary() (Expr, error) {
 	case STRING:
 		p.next()
 		return &Literal{Val: value.NewString(t.Text)}, nil
+	case QMARK:
+		p.next()
+		ph := &Placeholder{Index: p.params}
+		p.params++
+		return ph, nil
 	case LPAREN:
 		p.next()
 		if p.isKeyword("select") || p.isKeyword("values") {

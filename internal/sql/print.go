@@ -325,6 +325,8 @@ func formatExpr(b *strings.Builder, e Expr) {
 	switch x := e.(type) {
 	case *Literal:
 		b.WriteString(x.Val.SQLLiteral())
+	case *Placeholder:
+		b.WriteByte('?')
 	case *ColRef:
 		if x.Table != "" {
 			b.WriteString(quoteIdent(x.Table))

@@ -31,6 +31,7 @@ const (
 	GT
 	GTE
 	CONCAT // ||
+	QMARK  // ? (bind-parameter placeholder)
 )
 
 func (t TokenType) String() string {
@@ -79,6 +80,8 @@ func (t TokenType) String() string {
 		return ">="
 	case CONCAT:
 		return "||"
+	case QMARK:
+		return "?"
 	}
 	return fmt.Sprintf("token(%d)", int(t))
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
@@ -21,6 +22,9 @@ type Client struct {
 	// stream is the open row stream, if any; it must be exhausted or closed
 	// before the next request.
 	stream *Rows
+	// cursor is the open server portal, if any; like stream, it must be
+	// exhausted or closed before the next request.
+	cursor *Cursor
 	broken error
 }
 
@@ -174,6 +178,9 @@ func (c *Client) ready() error {
 	if c.stream != nil {
 		return fmt.Errorf("wire: previous result set not closed")
 	}
+	if c.cursor != nil {
+		return fmt.Errorf("wire: previous cursor not closed")
+	}
 	return nil
 }
 
@@ -290,44 +297,55 @@ type Rows struct {
 	c        *Client
 	Desc     RowDesc
 	Complete Complete
-	done     bool
-	err      error
+	// batch holds the rows of the last RowBatch frame not yet handed out.
+	batch []value.Row
+	bpos  int
+	done  bool
+	err   error
 }
 
 // Next returns the next row, or (nil, nil) at end of stream.
 func (r *Rows) Next() (value.Row, error) {
-	if r.done || r.err != nil {
-		return nil, r.err
-	}
-	typ, body, err := r.c.conn.ReadMessage()
-	if err != nil {
-		r.finish(r.c.fail(err))
-		return nil, r.err
-	}
-	switch typ {
-	case MsgRow:
-		rd := NewReader(body)
-		row := rd.Row()
-		if rd.Err() != nil {
-			r.finish(r.c.fail(rd.Err()))
+	for {
+		if r.bpos < len(r.batch) {
+			row := r.batch[r.bpos]
+			r.bpos++
+			return row, nil
+		}
+		if r.done || r.err != nil {
 			return nil, r.err
 		}
-		return row, nil
-	case MsgComplete:
-		done, err := DecodeComplete(body)
+		typ, body, err := r.c.conn.ReadMessage()
 		if err != nil {
 			r.finish(r.c.fail(err))
 			return nil, r.err
 		}
-		r.Complete = done
-		r.finish(nil)
-		return nil, nil
-	case MsgError:
-		r.finish(DecodeServerError(body))
-		return nil, r.err
+		switch typ {
+		case MsgRowBatch:
+			rows, err := DecodeRowBatch(body)
+			if err != nil {
+				r.finish(r.c.fail(err))
+				return nil, r.err
+			}
+			r.batch, r.bpos = rows, 0
+			continue // an empty batch just loops to the next frame
+		case MsgComplete:
+			done, err := DecodeComplete(body)
+			if err != nil {
+				r.finish(r.c.fail(err))
+				return nil, r.err
+			}
+			r.Complete = done
+			r.finish(nil)
+			return nil, nil
+		case MsgError:
+			r.finish(DecodeServerError(body))
+			return nil, r.err
+		default:
+			r.finish(r.c.fail(fmt.Errorf("wire: unexpected frame %q in row stream", typ)))
+			return nil, r.err
+		}
 	}
-	r.finish(r.c.fail(fmt.Errorf("wire: unexpected frame %q in row stream", typ)))
-	return nil, r.err
 }
 
 func (r *Rows) finish(err error) {
@@ -346,4 +364,261 @@ func (r *Rows) Close() error {
 		}
 	}
 	return r.err
+}
+
+// --- prepared statements and cursors (protocol v3) -----------------------------
+
+// Prepare registers sqlText as a server-side prepared statement under name,
+// returning the number of `?` parameters it binds. Statements live for the
+// connection's lifetime (or until CloseStmt) and execute with true typed
+// binds — argument values never travel as SQL text.
+func (c *Client) Prepare(name, sqlText string) (int, error) {
+	if err := c.ready(); err != nil {
+		return 0, err
+	}
+	if err := c.request(MsgParse, Parse{Name: name, SQL: sqlText}.Encode(nil)); err != nil {
+		return 0, err
+	}
+	typ, body, err := c.conn.ReadMessage()
+	if err != nil {
+		return 0, c.fail(err)
+	}
+	switch typ {
+	case MsgParseOK:
+		r := NewReader(body)
+		n := r.Uvarint()
+		if r.Err() != nil {
+			return 0, c.fail(r.Err())
+		}
+		return int(n), nil
+	case MsgError:
+		return 0, DecodeServerError(body)
+	}
+	return 0, c.fail(fmt.Errorf("wire: unexpected response %q to parse", typ))
+}
+
+// CloseStmt deallocates a prepared statement. Unknown names close cleanly
+// (deallocation is idempotent).
+func (c *Client) CloseStmt(name string) error {
+	if err := c.ready(); err != nil {
+		return err
+	}
+	if err := c.request(MsgCloseStmt, AppendString(nil, name)); err != nil {
+		return err
+	}
+	return c.awaitCloseOK()
+}
+
+// request writes one frame and flushes it.
+func (c *Client) request(typ byte, payload []byte) error {
+	if err := c.conn.WriteMessage(typ, payload); err != nil {
+		return c.fail(err)
+	}
+	if err := c.conn.Flush(); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}
+
+func (c *Client) awaitCloseOK() error {
+	typ, body, err := c.conn.ReadMessage()
+	if err != nil {
+		return c.fail(err)
+	}
+	switch typ {
+	case MsgCloseOK:
+		return nil
+	case MsgError:
+		return DecodeServerError(body)
+	}
+	return c.fail(fmt.Errorf("wire: unexpected response %q to close", typ))
+}
+
+// Execute binds args to the named prepared statement (or, with name empty,
+// to the one-shot statement sqlText) and opens a cursor over its result.
+// fetchSize is the batch the server returns per round trip — the
+// backpressure knob: the executor produces at most that many rows ahead of
+// the client, whatever the result's total size. fetchSize <= 0 streams the
+// whole result without suspending.
+func (c *Client) Execute(name, sqlText string, args []value.Value, fetchSize int) (*Cursor, error) {
+	if err := c.ready(); err != nil {
+		return nil, err
+	}
+	req := Execute{Name: name, SQL: sqlText, Args: args}
+	if fetchSize > 0 {
+		req.FetchSize = uint64(fetchSize)
+	}
+	if err := c.request(MsgExecute, req.Encode(nil)); err != nil {
+		return nil, err
+	}
+	cur := &Cursor{c: c, fetchSize: req.FetchSize}
+	if err := cur.readBatchResponse(); err != nil {
+		return nil, err
+	}
+	if cur.err != nil && len(cur.pending) == 0 {
+		// The statement failed before producing anything (parse error,
+		// unknown relation, immediate interrupt): surface it as the call's
+		// error, matching Query. Mid-stream failures after rows were
+		// delivered stay on the cursor so the caller can read the prefix.
+		return nil, cur.err
+	}
+	if !cur.done {
+		c.cursor = cur
+	}
+	return cur, nil
+}
+
+// drainFetchSize bounds ExecuteDrain's client-side buffering: rows are
+// fetched (and discarded) a batch at a time, so even an Exec pointed at a
+// huge SELECT holds at most one batch.
+const drainFetchSize = 512
+
+// ExecuteDrain executes a named prepared statement (or, with name empty,
+// the one-shot sqlText) with args bound and drains its result, returning
+// the completion — the bind-path analog of Exec, used by the driver's
+// ExecContext.
+func (c *Client) ExecuteDrain(name, sqlText string, args []value.Value) (Complete, error) {
+	cur, err := c.Execute(name, sqlText, args, drainFetchSize)
+	if err != nil {
+		return Complete{}, err
+	}
+	for {
+		row, err := cur.Next()
+		if err != nil {
+			cur.Close()
+			return Complete{}, err
+		}
+		if row == nil {
+			break
+		}
+	}
+	if err := cur.Close(); err != nil {
+		return Complete{}, err
+	}
+	return cur.Complete, nil
+}
+
+// Cursor is a server-side portal: a result set fetched in client-driven
+// batches. Desc is valid after Execute; Complete once the cursor finishes.
+type Cursor struct {
+	c         *Client
+	Desc      RowDesc
+	Complete  Complete
+	fetchSize uint64
+	pending   []value.Row
+	pos       int
+	suspended bool
+	done      bool
+	err       error
+}
+
+// readBatchResponse consumes one Execute/Fetch response: an optional leading
+// RowDesc, RowBatch frames, then Suspended, Complete or Error.
+func (cur *Cursor) readBatchResponse() error {
+	cur.pending, cur.pos = cur.pending[:0], 0
+	for {
+		typ, body, err := cur.c.conn.ReadMessage()
+		if err != nil {
+			cur.finish(cur.c.fail(err))
+			return cur.err
+		}
+		switch typ {
+		case MsgRowDesc:
+			desc, err := DecodeRowDesc(body)
+			if err != nil {
+				cur.finish(cur.c.fail(err))
+				return cur.err
+			}
+			cur.Desc = desc
+		case MsgRowBatch:
+			rows, err := DecodeRowBatch(body)
+			if err != nil {
+				cur.finish(cur.c.fail(err))
+				return cur.err
+			}
+			cur.pending = append(cur.pending, rows...)
+		case MsgSuspended:
+			cur.suspended = true
+			return nil
+		case MsgComplete:
+			done, err := DecodeComplete(body)
+			if err != nil {
+				cur.finish(cur.c.fail(err))
+				return cur.err
+			}
+			cur.Complete = done
+			cur.finish(nil)
+			return nil
+		case MsgError:
+			// A mid-stream statement error: the server closed the portal; rows
+			// already delivered in this response stay valid, then Next reports
+			// the error. The connection itself is still in sync.
+			cur.finish(DecodeServerError(body))
+			return nil
+		default:
+			cur.finish(cur.c.fail(fmt.Errorf("wire: unexpected frame %q in cursor stream", typ)))
+			return cur.err
+		}
+	}
+}
+
+func (cur *Cursor) finish(err error) {
+	cur.done = true
+	cur.suspended = false
+	if cur.err == nil {
+		cur.err = err
+	}
+	if cur.c.cursor == cur {
+		cur.c.cursor = nil
+	}
+}
+
+// Next returns the next row, issuing Fetch round trips as batches drain;
+// (nil, nil) means end of result.
+func (cur *Cursor) Next() (value.Row, error) {
+	for {
+		if cur.pos < len(cur.pending) {
+			row := cur.pending[cur.pos]
+			cur.pos++
+			return row, nil
+		}
+		if cur.err != nil {
+			return nil, cur.err
+		}
+		if cur.done {
+			return nil, nil
+		}
+		if !cur.suspended {
+			return nil, nil
+		}
+		cur.suspended = false
+		if err := cur.c.request(MsgFetch, binary.AppendUvarint(nil, cur.fetchSize)); err != nil {
+			cur.finish(err)
+			return nil, err
+		}
+		if err := cur.readBatchResponse(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Close releases the cursor: delivered-but-unread rows are dropped, and an
+// open server portal is closed with one round trip. After Close the
+// connection is ready for the next request.
+func (cur *Cursor) Close() error {
+	cur.pending, cur.pos = nil, 0
+	suspended := !cur.done && cur.suspended
+	cur.finish(nil)
+	if suspended {
+		if err := cur.c.request(MsgClosePortal, nil); err != nil {
+			cur.err = err
+			return err
+		}
+		if err := cur.c.awaitCloseOK(); err != nil {
+			cur.err = err
+			return err
+		}
+		return nil
+	}
+	return cur.err
 }

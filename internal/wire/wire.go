@@ -44,7 +44,10 @@ import (
 // ProtocolVersion is bumped on any incompatible framing or message change.
 // Version 2 added replication (Subscribe and the server→client snapshot /
 // change-batch / heartbeat stream) and the error-code suffix on Error frames.
-const ProtocolVersion = 2
+// Version 3 added cursors and server-side prepared statements
+// (Parse/Execute/Fetch/ClosePortal, batched row frames, typed parameters)
+// and switched row streaming from one frame per row to RowBatch frames.
+const ProtocolVersion = 3
 
 // MaxFrameSize bounds a single frame (64 MiB): a defense against corrupt or
 // malicious length prefixes allocating unbounded memory.
@@ -64,7 +67,7 @@ const (
 	MsgTerminate   byte = 'X' // client: goodbye
 	MsgHelloOK     byte = 'h' // server: handshake accepted
 	MsgRowDesc     byte = 'd' // server: result-set column descriptions
-	MsgRow         byte = 'r' // server: one data row
+	MsgRow         byte = 'r' // reserved: v2's one-row-per-frame type; v3 streams RowBatch frames
 	MsgComplete    byte = 'c' // server: statement finished (tag, timings)
 	MsgError       byte = 'e' // server: statement or protocol error
 	MsgBackupChunk byte = 'b' // server: snapshot bytes
@@ -81,6 +84,25 @@ const (
 	MsgSubLive     byte = 'l' // server: snapshot done / resume accepted; payload = stream start LSN
 	MsgChanges     byte = 'g' // server: a batch of change records (repl.DecodeBatch)
 	MsgHeartbeat   byte = 't' // server: liveness + the primary's current last LSN
+
+	// Cursors and server-side prepared statements (protocol v3). Parse
+	// registers a named statement on the connection's session; Execute binds
+	// typed arguments to a named (or inline one-shot) statement and opens
+	// the connection's portal, streaming the first batch of rows; Fetch
+	// continues the portal under client-driven backpressure — the executor
+	// produces nothing between fetches — and ClosePortal abandons it. Each
+	// Execute/Fetch is answered by RowBatch frames followed by Suspended
+	// (more rows remain; portal stays open) or Complete (done), or by a
+	// typed Error mid-stream, which also closes the portal.
+	MsgParse       byte = 'P' // client: register a prepared statement (name + SQL)
+	MsgExecute     byte = 'E' // client: bind args + open the portal, fetch first batch
+	MsgFetch       byte = 'F' // client: next batch from the open portal
+	MsgClosePortal byte = 'C' // client: abandon the open portal
+	MsgCloseStmt   byte = 'D' // client: deallocate a prepared statement
+	MsgParseOK     byte = 'p' // server: statement registered; payload = parameter count
+	MsgRowBatch    byte = 'w' // server: a batch of data rows in one frame
+	MsgSuspended   byte = 's' // server: batch done, portal open — Fetch for more
+	MsgCloseOK     byte = 'o' // server: portal/statement closed
 )
 
 // Error codes carried by Error frames, so clients can surface typed errors
@@ -93,6 +115,10 @@ const (
 	// ErrCodeLogTrimmed reports a Subscribe position older than the
 	// primary's retained change log; the follower must re-bootstrap.
 	ErrCodeLogTrimmed uint64 = 2
+	// ErrCodeTimeout reports a query canceled by the server's per-query
+	// timeout — including a cursor whose client fetched past the deadline,
+	// so timeouts stay typed across Fetch boundaries.
+	ErrCodeTimeout uint64 = 3
 )
 
 // Hello is the client's opening message.
@@ -508,4 +534,102 @@ func DecodeComplete(payload []byte) (Complete, error) {
 	m.Parse, m.Analyze, m.Rewrite, m.Plan, m.Execute =
 		r.Varint(), r.Varint(), r.Varint(), r.Varint(), r.Varint()
 	return m, r.Err()
+}
+
+// Parse registers a prepared statement under Name on the server session.
+type Parse struct {
+	Name string
+	SQL  string
+}
+
+// Encode appends the Parse payload.
+func (m Parse) Encode(dst []byte) []byte {
+	dst = AppendString(dst, m.Name)
+	return AppendString(dst, m.SQL)
+}
+
+// DecodeParse parses a Parse payload.
+func DecodeParse(payload []byte) (Parse, error) {
+	r := NewReader(payload)
+	m := Parse{Name: r.String(), SQL: r.String()}
+	return m, r.Err()
+}
+
+// Execute binds Args to a statement and opens the connection's portal. With
+// Name set, the statement was registered by an earlier Parse; with Name
+// empty, SQL carries a one-shot statement (parse + bind + execute in one
+// round trip — what ad-hoc parameterized queries use). FetchSize caps the
+// rows returned before the portal suspends; 0 streams to completion.
+type Execute struct {
+	Name      string
+	SQL       string
+	Args      []value.Value
+	FetchSize uint64
+}
+
+// Encode appends the Execute payload.
+func (m Execute) Encode(dst []byte) []byte {
+	dst = AppendString(dst, m.Name)
+	dst = AppendString(dst, m.SQL)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Args)))
+	for _, a := range m.Args {
+		dst = AppendValue(dst, a)
+	}
+	return binary.AppendUvarint(dst, m.FetchSize)
+}
+
+// DecodeExecute parses an Execute payload.
+func DecodeExecute(payload []byte) (Execute, error) {
+	r := NewReader(payload)
+	m := Execute{Name: r.String(), SQL: r.String()}
+	n := r.Uvarint()
+	// Each value costs at least one payload byte; reject impossible counts
+	// before allocating.
+	if r.Err() == nil && n > uint64(r.Remaining()) {
+		r.Fail("argument count")
+	}
+	if r.Err() != nil {
+		return Execute{}, r.Err()
+	}
+	if n > 0 {
+		m.Args = make([]value.Value, n)
+		for i := range m.Args {
+			m.Args[i] = r.Value()
+		}
+	}
+	m.FetchSize = r.Uvarint()
+	return m, r.Err()
+}
+
+// AppendRowBatch encodes a RowBatch payload: a row count followed by the
+// rows. The server builds batches incrementally with AppendRow instead; this
+// helper exists for tests and simple clients.
+func AppendRowBatch(dst []byte, rows []value.Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(rows)))
+	for _, row := range rows {
+		dst = AppendRow(dst, row)
+	}
+	return dst
+}
+
+// DecodeRowBatch parses a RowBatch payload. Row memory is freshly allocated
+// (strings copy out of the frame buffer), so the rows outlive the next read.
+func DecodeRowBatch(payload []byte) ([]value.Row, error) {
+	r := NewReader(payload)
+	n := r.Uvarint()
+	// Each row costs at least one payload byte (its arity prefix).
+	if r.Err() == nil && n > uint64(r.Remaining()) {
+		r.Fail("row batch count")
+	}
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	rows := make([]value.Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rows = append(rows, r.Row())
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+	}
+	return rows, nil
 }
