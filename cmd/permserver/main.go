@@ -54,6 +54,8 @@ func main() {
 		replRetainMB = flag.Int("repl-retain-mb", repl.DefaultRetentionBytes>>20, "approximate change-log memory budget in MiB (0 = unlimited)")
 		heartbeat    = flag.Duration("heartbeat", time.Second, "replication heartbeat interval sent to followers")
 		cursorBatch  = flag.Int("cursor-batch", 0, "rows per streamed result batch frame (0 = default 256)")
+		workMem      = flag.Int64("work-mem", 0, "per-session memory budget in bytes for blocking operators; past it sorts/aggregates/set ops spill to disk (0 = engine default, -1 = unlimited)")
+		tempDir      = flag.String("temp-dir", "", "directory for spill temp files (default: the OS temp directory)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "permserver: ", log.LstdFlags)
@@ -88,6 +90,8 @@ func main() {
 		QueryTimeout:      *queryTimeout,
 		HeartbeatInterval: *heartbeat,
 		CursorBatchRows:   *cursorBatch,
+		WorkMem:           *workMem,
+		TempDir:           *tempDir,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf

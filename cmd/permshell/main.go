@@ -17,7 +17,16 @@
 //	\timing on|off    show per-stage timings (default off)
 //	\set name value   session setting (shorthand for SET)
 //	\status           server role and replication status
+//	\mem              session memory budget and spill counters
 //	\q                quit
+//
+// Blocking operators (ORDER BY, GROUP BY, INTERSECT/EXCEPT, DISTINCT) run
+// under the session's work_mem budget and spill to disk past it, so a
+// provenance result far larger than RAM still sorts and aggregates:
+//
+//	perm=# SET work_mem = 1048576;    -- 1 MiB budget (bytes; 0 = unlimited)
+//	perm=# SELECT PROVENANCE * FROM posts ORDER BY content DESC;
+//	perm=# SHOW memory_status;        -- or \mem: budget, peak, spill files/bytes
 package main
 
 import (
@@ -209,8 +218,9 @@ func (s *shell) meta(cmd string) bool {
   \trees on|off    show algebra trees per query
   \timing on|off   show stage timings per query
   \fetch N         cursor batch size for remote queries (0 = no suspension)
-  \set name value  change a session setting
+  \set name value  change a session setting (e.g. \set work_mem 1048576)
   \status          server role and replication status
+  \mem             session memory budget, peak, spill counters
   \q               quit`)
 	case "\\d":
 		if s.client != nil {
@@ -308,6 +318,10 @@ func (s *shell) meta(cmd string) bool {
 				s.client.Server().Server, s.client.Server().Version)
 		}
 		s.run("SHOW replication_status")
+	case "\\mem":
+		// The session's work_mem budget, live/peak tracked bytes and spill
+		// counters — plain SQL, so it works embedded and over -connect.
+		s.run("SHOW memory_status")
 	default:
 		fmt.Fprintf(s.out, "unknown meta command %s (try \\?)\n", fields[0])
 	}

@@ -9,6 +9,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -93,6 +94,12 @@ func (db *DB) Store() *storage.Store { return db.store.Load() }
 // Catalog exposes the schema registry.
 func (db *DB) Catalog() *catalog.Catalog { return db.Store().Catalog() }
 
+// DefaultWorkMem is the default per-session memory budget for blocking
+// operators (SET work_mem): generous enough that ordinary queries never
+// spill, small enough that a runaway provenance sort cannot take the
+// process down.
+const DefaultWorkMem = 64 << 20
+
 // NewSession opens a session with default settings.
 func (db *DB) NewSession() *Session {
 	s := &Session{
@@ -106,8 +113,10 @@ func (db *DB) NewSession() *Session {
 			"optimizer":                    "on",
 			"provenance_schema_name":       "public",
 			"plan_cache":                   "on",
+			"work_mem":                     strconv.FormatInt(DefaultWorkMem, 10),
 		},
 		cache: newPlanCache(),
+		mem:   executor.NewMemTracker(DefaultWorkMem, ""),
 	}
 	s.fingerprint = s.computeFingerprint()
 	db.sessions.Add(1)
@@ -185,6 +194,52 @@ type Session struct {
 	interrupt atomic.Value // of <-chan struct{}
 	deadline  atomic.Int64
 	closed    atomic.Bool
+	// mem is the session's memory governor: the work_mem budget, live/peak
+	// tracked bytes, and the spill-file pool blocking operators write temp
+	// files through. SHOW memory_status reads it; Close removes any spill
+	// files still on disk.
+	mem *executor.MemTracker
+}
+
+// SetWorkMem sets the session's blocking-operator memory budget in bytes
+// (<= 0 = unlimited) — the programmatic form of SET work_mem, used by the
+// network server to apply its -work-mem flag to every connection's session.
+func (s *Session) SetWorkMem(n int64) {
+	s.settingsMu.Lock()
+	s.settings["work_mem"] = strconv.FormatInt(n, 10)
+	s.fingerprint = s.computeFingerprint()
+	s.settingsMu.Unlock()
+	s.mem.SetBudget(n)
+}
+
+// SetTempDir redirects the session's spill files ("" = the OS temp
+// directory). The network server applies its -temp-dir flag here.
+func (s *Session) SetTempDir(dir string) { s.mem.SetDir(dir) }
+
+// MemStatus is the observable memory state surfaced by SHOW memory_status.
+type MemStatus struct {
+	// WorkMem is the byte budget (SET work_mem); <= 0 means unlimited.
+	WorkMem int64
+	// Tracked and Peak are the current and high-water bytes blocking
+	// operators hold against the budget.
+	Tracked, Peak int64
+	// SpillFiles and SpillBytes count spill files ever created and bytes
+	// ever written by this session (cumulative).
+	SpillFiles, SpillBytes int64
+	// TempDir is where spill files are created ("" = the OS temp directory).
+	TempDir string
+}
+
+// MemStatus reports the session's memory and spill state.
+func (s *Session) MemStatus() MemStatus {
+	return MemStatus{
+		WorkMem:    s.mem.Budget(),
+		Tracked:    s.mem.Tracked(),
+		Peak:       s.mem.Peak(),
+		SpillFiles: s.mem.Pool().Files(),
+		SpillBytes: s.mem.Pool().Bytes(),
+		TempDir:    s.mem.Dir(),
+	}
 }
 
 // SetInterrupt installs a cancellation channel for subsequent statements:
@@ -216,6 +271,7 @@ func (s *Session) execContext() *executor.Context {
 // execContextOn is execContext against a pinned store (see analyzeOn).
 func (s *Session) execContextOn(store *storage.Store) *executor.Context {
 	ctx := executor.NewContext(store)
+	ctx.Mem = s.mem
 	if ch, _ := s.interrupt.Load().(<-chan struct{}); ch != nil {
 		ctx.Interrupt = ch
 	}
@@ -233,6 +289,10 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.cache.reset()
+	// Remove any spill files still on disk: a result stream abandoned
+	// without Close (disconnects, shutdown kills) must not leak temp files
+	// past its session.
+	s.mem.Cleanup()
 	s.db.sessions.Add(-1)
 	return nil
 }
@@ -783,6 +843,7 @@ func (s *Session) runSet(st *sql.SetStmt) (*Result, error) {
 		"optimizer":                    {"on", "off"},
 		"plan_cache":                   {"on", "off"},
 		"provenance_schema_name":       nil, // free-form
+		"work_mem":                     nil, // validated below (byte count)
 	}
 	allowed, ok := valid[name]
 	if !ok {
@@ -799,6 +860,14 @@ func (s *Session) runSet(st *sql.SetStmt) (*Result, error) {
 		if !found {
 			return nil, fmt.Errorf("invalid value %q for %s (valid: %s)", st.Value, name, strings.Join(allowed, ", "))
 		}
+	}
+	if name == "work_mem" {
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("invalid value %q for work_mem (bytes, >= 0; 0 = unlimited)", st.Value)
+		}
+		s.mem.SetBudget(n)
+		val = strconv.FormatInt(n, 10)
 	}
 	s.settingsMu.Lock()
 	s.settings[name] = val
@@ -828,6 +897,33 @@ func (s *Session) runShow(st *sql.ShowStmt) (*Result, error) {
 				value.NewInt(int64(rs.PrimaryLSN)),
 				value.NewInt(int64(rs.Lag())),
 				value.NewString(rs.LastError),
+			}},
+			Tag: "SHOW",
+		}, nil
+	}
+	if name == "memory_status" {
+		ms := s.MemStatus()
+		tempDir := ms.TempDir
+		if tempDir == "" {
+			tempDir = "(os default)"
+		}
+		return &Result{
+			Columns: []string{"work_mem", "tracked", "peak", "spill_files", "spill_bytes", "temp_dir"},
+			Schema: algebra.Schema{
+				{Name: "work_mem", Type: value.KindInt},
+				{Name: "tracked", Type: value.KindInt},
+				{Name: "peak", Type: value.KindInt},
+				{Name: "spill_files", Type: value.KindInt},
+				{Name: "spill_bytes", Type: value.KindInt},
+				{Name: "temp_dir", Type: value.KindString},
+			},
+			Rows: []value.Row{{
+				value.NewInt(ms.WorkMem),
+				value.NewInt(ms.Tracked),
+				value.NewInt(ms.Peak),
+				value.NewInt(ms.SpillFiles),
+				value.NewInt(ms.SpillBytes),
+				value.NewString(tempDir),
 			}},
 			Tag: "SHOW",
 		}, nil

@@ -2,24 +2,40 @@ package executor
 
 import (
 	"fmt"
-	"sort"
 
 	"perm/internal/algebra"
+	"perm/internal/spill"
 	"perm/internal/value"
 )
 
 // aggIter implements hash aggregation with DISTINCT support. With no GROUP BY
 // expressions it emits exactly one row (the SQL scalar-aggregate case), even
 // over empty input.
+//
+// Memory behavior (hybrid grace hash aggregation): the fold consumes its
+// input streaming — the input is never materialized — and accounts the group
+// table (keys, states, DISTINCT seen-sets) against the session budget. Once
+// over budget, resident groups keep absorbing their rows in memory, while
+// rows of NEW groups route to hash partitions on disk; partitions resolve
+// recursively with the same rule. Every group's output row is tagged with
+// the group's first input sequence, and the final merge replays groups in
+// ascending first-appearance order — byte-identical to the in-memory path.
+// (A group's rows split cleanly: a group is either resident from its first
+// row, absorbing everything, or never resident, spilling everything.)
 type aggIter struct {
 	op    *algebra.Agg
 	input iterator
+	ctx   *Context
 	out   []value.Row
 	pos   int
 	// compiled group-by and aggregate-argument evaluators, built on first
 	// Open and kept across re-Opens (lateral/correlated re-execution).
 	groupBy  []compiledExpr
 	argExprs []compiledExpr
+	// spill state
+	reg    fileReg
+	merger *seqMerger
+	fold   *aggFold // current fold, released via Close on error unwinds
 }
 
 // aggState accumulates one aggregate within one group.
@@ -31,14 +47,25 @@ type aggState struct {
 	distinct map[string]struct{} // non-nil iff DISTINCT
 }
 
+// aggGroup is one group: its key values, its aggregate states, and the input
+// sequence of its first row (the output-order tag).
+type aggGroup struct {
+	keys     value.Row
+	states   []aggState
+	firstSeq uint64
+}
+
+// aggGroupFixedBytes approximates the per-group footprint beyond key bytes
+// and DISTINCT entries.
+const aggGroupFixedBytes = 96
+
 func (a *aggIter) Open(ctx *Context) error {
+	a.release()
+	a.ctx = ctx
 	if err := a.input.Open(ctx); err != nil {
 		return err
 	}
-	rows, err := drain(a.input, ctx)
-	if err != nil {
-		return err
-	}
+	defer a.input.Close()
 
 	// Compile group-by and aggregate-argument expressions once for the whole
 	// input, instead of tree-walking them per row.
@@ -51,109 +78,290 @@ func (a *aggIter) Open(ctx *Context) error {
 			}
 		}
 	}
-	groupBy, argExprs := a.groupBy, a.argExprs
 
-	type group struct {
-		keys   value.Row
-		states []aggState
-	}
-	groups := make(map[string]*group)
-	var order []*group
-
-	newGroup := func(keys value.Row) *group {
-		g := &group{keys: keys, states: make([]aggState, len(a.op.Aggs))}
-		for i, ae := range a.op.Aggs {
-			st := &g.states[i]
-			st.sum, st.min, st.max = value.Null, value.Null, value.Null
-			if ae.Distinct {
-				st.distinct = make(map[string]struct{})
-			}
-		}
-		return g
-	}
-
-	// keyVals and keyScratch are reused across rows: the group key is built in
-	// the scratch buffer, looked up allocation-free, and only cloned into a
-	// fresh Row when the group is new. distinctScratch plays the same role for
-	// DISTINCT-aggregate argument keys: the seen-set lookup goes through
-	// string(scratch) (no allocation), and only first-seen values pay for a
-	// map-owned key string.
-	keyVals := make(value.Row, len(groupBy))
-	var keyScratch, distinctScratch []byte
-	for _, row := range rows {
+	fold := a.newFold(0)
+	a.fold = fold
+	total := 0
+	for {
 		// The fold emits no rows until every input is consumed, so it polls
 		// for cancellation itself (like the join probe loops).
 		if err := ctx.tick(); err != nil {
 			return err
 		}
-		keyScratch = keyScratch[:0]
-		for i, ge := range groupBy {
-			v, err := ge(row, ctx)
-			if err != nil {
-				return err
-			}
-			keyVals[i] = v
-			keyScratch = value.AppendFramedKey(keyScratch, v)
+		row, err := a.input.Next()
+		if err != nil {
+			return err
 		}
-		g, ok := groups[string(keyScratch)]
-		if !ok {
-			g = newGroup(keyVals.Clone())
-			groups[string(keyScratch)] = g
-			order = append(order, g)
+		if row == nil {
+			break
 		}
-		for i, ae := range a.op.Aggs {
-			var arg value.Value
-			if argExprs[i] != nil {
-				v, err := argExprs[i](row, ctx)
-				if err != nil {
-					return err
-				}
-				arg = v
-			}
-			if err := g.states[i].accumulate(ae, arg, &distinctScratch); err != nil {
-				return err
-			}
+		total++
+		if ctx.RowBudget > 0 && total > ctx.RowBudget {
+			return fmt.Errorf("executor: intermediate result exceeds row budget of %d rows", ctx.RowBudget)
+		}
+		if err := fold.add(uint64(total-1), row); err != nil {
+			return err
 		}
 	}
 
-	// Scalar aggregation over empty input still produces one (empty) group.
-	if len(a.op.GroupBy) == 0 && len(groups) == 0 {
-		order = append(order, newGroup(value.Row{}))
-	}
-
-	a.out = make([]value.Row, 0, len(order))
-	for _, g := range order {
-		row := make(value.Row, 0, len(g.keys)+len(g.states))
-		row = append(row, g.keys...)
-		for i, ae := range a.op.Aggs {
-			v, err := g.states[i].result(ae)
+	if fold.parts == nil {
+		// Everything fit: emit the groups in first-appearance order, exactly
+		// the historical in-memory path.
+		out, err := a.emitGroups(fold)
+		if err != nil {
+			return err
+		}
+		// Scalar aggregation over empty input still produces one (empty) group.
+		if len(a.op.GroupBy) == 0 && len(out) == 0 {
+			g := fold.newGroup(value.Row{}, 0)
+			row, err := a.groupRow(g)
 			if err != nil {
 				return err
 			}
-			row = append(row, v)
+			out = append(out, row)
 		}
-		a.out = append(a.out, row)
+		a.out = out
+		a.pos = 0
+		fold.acct.releaseAll()
+		a.fold = nil
+		return nil
 	}
-	a.pos = 0
+
+	// Spilled: the resident groups become the first output file, then every
+	// partition resolves recursively into more, and the merge replays all of
+	// them in ascending first-appearance order.
+	var outputs []*spill.File
+	if err := a.writeGroups(fold, &outputs); err != nil {
+		return err
+	}
+	parts := fold.parts
+	fold.acct.releaseAll()
+	a.fold = nil
+	for _, f := range parts.files {
+		if f == nil {
+			continue
+		}
+		if err := a.resolvePartition(f, 1, &outputs); err != nil {
+			return err
+		}
+	}
+	m, err := newSeqMerger(ctx, &a.reg, outputs)
+	if err != nil {
+		return err
+	}
+	a.merger = m
+	return nil
+}
+
+// resolvePartition folds one spilled partition, cascading to sub-partitions
+// one level deeper when it is itself over budget.
+func (a *aggIter) resolvePartition(f *spill.File, level int, outputs *[]*spill.File) error {
+	if err := f.StartRead(); err != nil {
+		return err
+	}
+	fold := a.newFold(level)
+	a.fold = fold
+	for {
+		if err := a.ctx.tick(); err != nil {
+			return err
+		}
+		rec, err := f.Next()
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			break
+		}
+		seq, row, err := decodeSeqRow(rec)
+		if err != nil {
+			return err
+		}
+		if err := fold.add(seq, row); err != nil {
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := a.writeGroups(fold, outputs); err != nil {
+		return err
+	}
+	parts := fold.parts
+	fold.acct.releaseAll()
+	a.fold = nil
+	if parts == nil {
+		return nil
+	}
+	for _, sf := range parts.files {
+		if sf == nil {
+			continue
+		}
+		if err := a.resolvePartition(sf, level+1, outputs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitGroups finalizes a fold's groups into rows, in insertion order
+// (ascending first-appearance).
+func (a *aggIter) emitGroups(fold *aggFold) ([]value.Row, error) {
+	out := make([]value.Row, 0, len(fold.order))
+	for _, g := range fold.order {
+		row, err := a.groupRow(g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// writeGroups finalizes a fold's groups into a fresh sequence-tagged output
+// file (skipped when the fold holds none).
+func (a *aggIter) writeGroups(fold *aggFold, outputs *[]*spill.File) error {
+	if len(fold.order) == 0 {
+		return nil
+	}
+	out, err := a.ctx.Mem.Pool().Create()
+	if err != nil {
+		return err
+	}
+	a.reg.add(out)
+	*outputs = append(*outputs, out)
+	var rec []byte
+	for _, g := range fold.order {
+		row, err := a.groupRow(g)
+		if err != nil {
+			return err
+		}
+		rec = appendSeqRow(rec[:0], g.firstSeq, row)
+		if err := out.Append(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupRow builds one output row: group keys then finalized aggregates.
+func (a *aggIter) groupRow(g *aggGroup) (value.Row, error) {
+	row := make(value.Row, 0, len(g.keys)+len(g.states))
+	row = append(row, g.keys...)
+	for i, ae := range a.op.Aggs {
+		v, err := g.states[i].result(ae)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+	}
+	return row, nil
+}
+
+// aggFold is one in-memory aggregation pass: a group table plus (once over
+// budget) the partition set rows of non-resident groups route to.
+type aggFold struct {
+	a      *aggIter
+	level  int
+	acct   memAcct
+	groups map[string]*aggGroup
+	order  []*aggGroup
+	parts  *partitionSet
+	// scratch buffers, reused across rows
+	keyVals         value.Row
+	keyScratch      []byte
+	distinctScratch []byte
+	rec             []byte
+}
+
+func (a *aggIter) newFold(level int) *aggFold {
+	return &aggFold{
+		a:       a,
+		level:   level,
+		acct:    memAcct{mem: a.ctx.Mem},
+		groups:  make(map[string]*aggGroup),
+		keyVals: make(value.Row, len(a.groupBy)),
+	}
+}
+
+func (f *aggFold) newGroup(keys value.Row, firstSeq uint64) *aggGroup {
+	g := &aggGroup{keys: keys, states: make([]aggState, len(f.a.op.Aggs)), firstSeq: firstSeq}
+	for i, ae := range f.a.op.Aggs {
+		st := &g.states[i]
+		st.sum, st.min, st.max = value.Null, value.Null, value.Null
+		if ae.Distinct {
+			st.distinct = make(map[string]struct{})
+		}
+	}
+	return g
+}
+
+// add folds one (sequence, row) pair: accumulate into a resident group,
+// create the group if there is room, or route the row to a partition.
+func (f *aggFold) add(seq uint64, row value.Row) error {
+	// The group key is built in the scratch buffer and looked up
+	// allocation-free; only new groups pay for a map-owned key string.
+	f.keyScratch = f.keyScratch[:0]
+	for i, ge := range f.a.groupBy {
+		v, err := ge(row, f.a.ctx)
+		if err != nil {
+			return err
+		}
+		f.keyVals[i] = v
+		f.keyScratch = value.AppendFramedKey(f.keyScratch, v)
+	}
+	g, ok := f.groups[string(f.keyScratch)]
+	if !ok {
+		if f.parts != nil || (f.acct.spillable() && f.acct.over() && len(f.order) >= minFoldGroups && f.level < maxSpillLevel) {
+			if f.parts == nil {
+				f.parts = newPartitionSet(f.a.ctx.Mem.Pool(), &f.a.reg, f.level)
+			}
+			f.rec = appendSeqRow(f.rec[:0], seq, row)
+			return f.parts.route(f.keyScratch, f.rec)
+		}
+		g = f.newGroup(f.keyVals.Clone(), seq)
+		f.groups[string(f.keyScratch)] = g
+		f.order = append(f.order, g)
+		f.acct.grow(int64(len(f.keyScratch)) + rowBytes(g.keys) + aggGroupFixedBytes + int64(len(g.states))*48)
+	}
+	for i, ae := range f.a.op.Aggs {
+		var arg value.Value
+		if f.a.argExprs[i] != nil {
+			v, err := f.a.argExprs[i](row, f.a.ctx)
+			if err != nil {
+				return err
+			}
+			arg = v
+		}
+		grew, err := g.states[i].accumulate(ae, arg, &f.distinctScratch)
+		if err != nil {
+			return err
+		}
+		if grew > 0 {
+			f.acct.grow(grew)
+		}
+	}
 	return nil
 }
 
 // accumulate folds one input value into the state. scratch is a shared
-// reusable buffer for DISTINCT seen-set keys.
-func (s *aggState) accumulate(ae algebra.AggExpr, arg value.Value, scratch *[]byte) error {
+// reusable buffer for DISTINCT seen-set keys; the returned byte count is the
+// DISTINCT set growth to account.
+func (s *aggState) accumulate(ae algebra.AggExpr, arg value.Value, scratch *[]byte) (int64, error) {
 	if ae.Func == algebra.AggCount && ae.Arg == nil {
 		s.count++ // COUNT(*): every row counts
-		return nil
+		return 0, nil
 	}
 	if arg.IsNull() {
-		return nil // aggregates skip NULLs
+		return 0, nil // aggregates skip NULLs
 	}
+	var grew int64
 	if s.distinct != nil {
 		*scratch = arg.AppendKey((*scratch)[:0])
 		if _, seen := s.distinct[string(*scratch)]; seen {
-			return nil
+			return 0, nil
 		}
 		s.distinct[string(*scratch)] = struct{}{}
+		grew = int64(len(*scratch)) + mapEntryBytes
 	}
 	s.count++
 	switch ae.Func {
@@ -164,7 +372,7 @@ func (s *aggState) accumulate(ae algebra.AggExpr, arg value.Value, scratch *[]by
 		} else {
 			v, err := value.Add(s.sum, arg)
 			if err != nil {
-				return err
+				return grew, err
 			}
 			s.sum = v
 		}
@@ -172,7 +380,7 @@ func (s *aggState) accumulate(ae algebra.AggExpr, arg value.Value, scratch *[]by
 		if s.min.IsNull() {
 			s.min = arg
 		} else if c, err := value.Compare(arg, s.min); err != nil {
-			return err
+			return grew, err
 		} else if c < 0 {
 			s.min = arg
 		}
@@ -180,14 +388,14 @@ func (s *aggState) accumulate(ae algebra.AggExpr, arg value.Value, scratch *[]by
 		if s.max.IsNull() {
 			s.max = arg
 		} else if c, err := value.Compare(arg, s.max); err != nil {
-			return err
+			return grew, err
 		} else if c > 0 {
 			s.max = arg
 		}
 	default:
-		return fmt.Errorf("executor: unknown aggregate %q", ae.Func)
+		return grew, fmt.Errorf("executor: unknown aggregate %q", ae.Func)
 	}
-	return nil
+	return grew, nil
 }
 
 // result finalizes the aggregate value.
@@ -211,6 +419,9 @@ func (s *aggState) result(ae algebra.AggExpr) (value.Value, error) {
 }
 
 func (a *aggIter) Next() (value.Row, error) {
+	if a.merger != nil {
+		return a.merger.Next()
+	}
 	if a.pos >= len(a.out) {
 		return nil, nil
 	}
@@ -219,15 +430,20 @@ func (a *aggIter) Next() (value.Row, error) {
 	return row, nil
 }
 
-func (a *aggIter) Close() error {
+// release drops all aggregation state: output, accounting, spill files.
+func (a *aggIter) release() {
 	a.out = nil
-	return nil
+	a.pos = 0
+	a.merger.Close()
+	a.merger = nil
+	a.reg.closeAll()
+	if a.fold != nil {
+		a.fold.acct.releaseAll()
+		a.fold = nil
+	}
 }
 
-// sortRowsInPlace orders rows deterministically (used by set operations for
-// stable bag arithmetic output).
-func sortRowsInPlace(rows []value.Row) {
-	sort.SliceStable(rows, func(i, j int) bool {
-		return value.CompareRows(rows[i], rows[j]) < 0
-	})
+func (a *aggIter) Close() error {
+	a.release()
+	return nil
 }

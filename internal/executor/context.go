@@ -37,6 +37,11 @@ type Context struct {
 	// operator may buffer (protection against runaway provenance joins in
 	// interactive use). Zero means unlimited.
 	RowBudget int
+	// Mem, when non-nil, is the session's memory governor: blocking
+	// operators (sort, aggregation, set operations, DISTINCT) account the
+	// bytes they retain against its budget and spill to its temp-file pool
+	// once they cross it. Nil means unlimited memory and no spilling.
+	Mem *MemTracker
 	// Interrupt, when non-nil, cancels the query once it is closed: the
 	// materialization loops poll it periodically and unwind with
 	// ErrInterrupted. The network server arms it with the connection's kill

@@ -1,0 +1,274 @@
+package executor
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+
+	"perm/internal/spill"
+	"perm/internal/value"
+)
+
+// This file holds the spill machinery shared by the blocking operators:
+// hash partitioning (grace-style, with per-level rehashing), sequence-tagged
+// output files, and the k-way merge that reassembles spilled output in the
+// exact order the in-memory path would have produced. Every operator's
+// contract is: with or without spilling, byte-identical results in the same
+// order — the differential suite runs the same queries under a huge and a
+// tiny work_mem and asserts exactly that.
+
+const (
+	// spillPartitions is the grace fan-out per level.
+	spillPartitions = 8
+	// maxSpillLevel caps recursive re-partitioning; past it an operator
+	// finishes in memory regardless of budget (correctness over bound — a
+	// pathological key distribution must not recurse forever).
+	maxSpillLevel = 8
+	// minSortRunRows floors an external-sort run, so a tiny budget cannot
+	// degenerate into one run per row (and a file per row).
+	minSortRunRows = 256
+	// mergeFanIn caps how many spill files a merge holds open at once;
+	// larger sets merge in passes.
+	mergeFanIn = 64
+	// minFoldGroups floors the resident group/key set of a hash fold: each
+	// fold makes at least this much progress before routing to partitions,
+	// which bounds recursion depth and file count under absurd budgets.
+	minFoldGroups = 64
+	// minBufferRows floors the rows a buffering operator admits before it
+	// considers partitioning.
+	minBufferRows = 256
+)
+
+// spillHash hashes a canonical key with a level-dependent seed, so recursive
+// re-partitioning redistributes what a parent level hashed together.
+func spillHash(key []byte, level int) uint64 {
+	h := uint64(1469598103934665603) ^ (uint64(level)+1)*1099511628211
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// fileReg tracks every spill file an operator currently owns, so Close can
+// unconditionally release them however the query ends (file Close is
+// idempotent; consumed files close twice harmlessly).
+type fileReg struct {
+	files []*spill.File
+}
+
+func (r *fileReg) add(f *spill.File) { r.files = append(r.files, f) }
+
+func (r *fileReg) closeAll() {
+	for _, f := range r.files {
+		f.Close()
+	}
+	r.files = nil
+}
+
+// partitionSet is one level of grace partitioning: records route to one of
+// spillPartitions files by key hash, files created lazily.
+type partitionSet struct {
+	pool  *spill.Pool
+	reg   *fileReg
+	level int
+	files [spillPartitions]*spill.File
+}
+
+func newPartitionSet(pool *spill.Pool, reg *fileReg, level int) *partitionSet {
+	return &partitionSet{pool: pool, reg: reg, level: level}
+}
+
+// route appends rec to the partition key hashes into.
+func (ps *partitionSet) route(key []byte, rec []byte) error {
+	idx := spillHash(key, ps.level) % spillPartitions
+	f := ps.files[idx]
+	if f == nil {
+		var err error
+		if f, err = ps.pool.Create(); err != nil {
+			return err
+		}
+		ps.reg.add(f)
+		ps.files[idx] = f
+	}
+	return f.Append(rec)
+}
+
+// --- sequence-tagged output files ------------------------------------------------
+
+// appendSeqRow encodes an output record: the row's original input sequence
+// number, then the exact row.
+func appendSeqRow(dst []byte, seq uint64, row value.Row) []byte {
+	dst = binary.AppendUvarint(dst, seq)
+	return spill.AppendRow(dst, row)
+}
+
+// decodeSeqRow reverses appendSeqRow.
+func decodeSeqRow(rec []byte) (uint64, value.Row, error) {
+	seq, n := binary.Uvarint(rec)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("executor: corrupt spill record (sequence)")
+	}
+	row, _, err := spill.DecodeRow(rec[n:])
+	return seq, row, err
+}
+
+// seqCursor is one output file primed with its next record.
+type seqCursor struct {
+	f   *spill.File
+	seq uint64
+	row value.Row
+}
+
+// advance loads the cursor's next record; done=true at end of file (the file
+// is closed and removed).
+func (c *seqCursor) advance() (done bool, err error) {
+	rec, err := c.f.Next()
+	if err != nil {
+		return false, err
+	}
+	if rec == nil {
+		return true, c.f.Close()
+	}
+	c.seq, c.row, err = decodeSeqRow(rec)
+	return false, err
+}
+
+// seqHeap orders cursors by sequence number. Sequence numbers are unique
+// (each input row has one), so the order is total.
+type seqHeap []*seqCursor
+
+func (h seqHeap) Len() int           { return len(h) }
+func (h seqHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
+func (h seqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x any)        { *h = append(*h, x.(*seqCursor)) }
+func (h *seqHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h seqHeap) MinSeq() uint64     { return h[0].seq }
+func (h seqHeap) MinRow() value.Row  { return h[0].row }
+
+// mergeStream is the common shape of the two k-way mergers during a
+// fan-in-reduction pass: expose the current minimum as a re-encoded record,
+// then step past it.
+type mergeStream interface {
+	remaining() int
+	minRecord(dst []byte) []byte
+	step() error
+}
+
+// reduceToFanIn merges the leading mergeFanIn files into one replacement
+// file (which keeps their position, preserving positional tie-breaks) until
+// at most mergeFanIn files remain. tick is the cancellation poll — a large
+// reduction pass must stay interruptible.
+func reduceToFanIn(pool *spill.Pool, reg *fileReg, files []*spill.File,
+	open func([]*spill.File) (mergeStream, error), tick func() error) ([]*spill.File, error) {
+	for len(files) > mergeFanIn {
+		out, err := pool.Create()
+		if err != nil {
+			return nil, err
+		}
+		reg.add(out)
+		m, err := open(files[:mergeFanIn])
+		if err != nil {
+			return nil, err
+		}
+		var rec []byte
+		for m.remaining() > 0 {
+			if err := tick(); err != nil {
+				return nil, err
+			}
+			rec = m.minRecord(rec[:0])
+			if err := out.Append(rec); err != nil {
+				return nil, err
+			}
+			if err := m.step(); err != nil {
+				return nil, err
+			}
+		}
+		files = append([]*spill.File{out}, files[mergeFanIn:]...)
+	}
+	return files, nil
+}
+
+// seqMerger streams the union of sequence-tagged output files in ascending
+// sequence order — i.e. in the exact order the in-memory operator would have
+// emitted. It holds one record per file; file sets past mergeFanIn are first
+// reduced in passes.
+type seqMerger struct {
+	h seqHeap
+}
+
+func (m *seqMerger) remaining() int { return m.h.Len() }
+
+func (m *seqMerger) minRecord(dst []byte) []byte {
+	return appendSeqRow(dst, m.h.MinSeq(), m.h.MinRow())
+}
+
+// newSeqMerger builds a merger over files (each already fully written). Large
+// file sets are reduced to mergeFanIn with intermediate merge passes so the
+// merger never holds more than mergeFanIn files open.
+func newSeqMerger(ctx *Context, reg *fileReg, files []*spill.File) (*seqMerger, error) {
+	files, err := reduceToFanIn(ctx.Mem.Pool(), reg, files,
+		func(fs []*spill.File) (mergeStream, error) { return openSeqHeap(fs) }, ctx.tick)
+	if err != nil {
+		return nil, err
+	}
+	return openSeqHeap(files)
+}
+
+// openSeqHeap rewinds files for reading and primes the heap.
+func openSeqHeap(files []*spill.File) (*seqMerger, error) {
+	m := &seqMerger{h: make(seqHeap, 0, len(files))}
+	for _, f := range files {
+		if err := f.StartRead(); err != nil {
+			return nil, err
+		}
+		c := &seqCursor{f: f}
+		done, err := c.advance()
+		if err != nil {
+			return nil, err
+		}
+		if !done {
+			m.h = append(m.h, c)
+		}
+	}
+	heap.Init(&m.h)
+	return m, nil
+}
+
+// step advances past the current minimum.
+func (m *seqMerger) step() error {
+	c := m.h[0]
+	done, err := c.advance()
+	if err != nil {
+		return err
+	}
+	if done {
+		heap.Pop(&m.h)
+	} else {
+		heap.Fix(&m.h, 0)
+	}
+	return nil
+}
+
+// Next returns the next row in ascending sequence order, (nil, nil) at end.
+func (m *seqMerger) Next() (value.Row, error) {
+	if m == nil || m.h.Len() == 0 {
+		return nil, nil
+	}
+	row := m.h.MinRow()
+	if err := m.step(); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// Close releases the files still held.
+func (m *seqMerger) Close() {
+	if m == nil {
+		return
+	}
+	for _, c := range m.h {
+		c.f.Close()
+	}
+	m.h = nil
+}

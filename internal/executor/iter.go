@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"perm/internal/algebra"
+	"perm/internal/spill"
 	"perm/internal/value"
 )
 
@@ -159,24 +160,34 @@ func (f *filterIter) Close() error { return f.input.Close() }
 
 // --- Sort ----------------------------------------------------------------------
 
+// sortIter is ORDER BY. Under budget it is the classic buffer-and-
+// SliceStable; past the session's work_mem it becomes an external merge sort
+// (sorted runs spilled through the context's spill pool, k-way merged on
+// Next) with identical output, stability included — see extsort.go.
 type sortIter struct {
 	op       *algebra.Sort
 	input    iterator
 	rows     []value.Row
 	pos      int
 	keyExprs []compiledExpr
+	acct     memAcct
+	reg      fileReg
+	merger   *runMerger
+}
+
+type sortKeyed struct {
+	row  value.Row
+	keys value.Row
+	seq  int
 }
 
 func (s *sortIter) Open(ctx *Context) error {
+	s.release() // re-Open (lateral re-execution) must not leak prior state
+	s.acct.mem = ctx.Mem
 	if err := s.input.Open(ctx); err != nil {
 		return err
 	}
 	defer s.input.Close()
-	type keyed struct {
-		row  value.Row
-		keys value.Row
-		seq  int
-	}
 	if s.keyExprs == nil {
 		s.keyExprs = make([]compiledExpr, len(s.op.Keys))
 		for i, k := range s.op.Keys {
@@ -184,14 +195,56 @@ func (s *sortIter) Open(ctx *Context) error {
 		}
 	}
 	keyExprs := s.keyExprs
-	var all []keyed
+
+	sortBatch := func(all []sortKeyed) {
+		sort.SliceStable(all, func(i, j int) bool {
+			if c := sortKeyCompare(s.op.Keys, all[i].keys, all[j].keys); c != 0 {
+				return c < 0
+			}
+			return all[i].seq < all[j].seq
+		})
+	}
+
+	var all []sortKeyed
+	var runs []*spill.File
+	var batchBytes int64
+	var rec []byte
+	// flushRun sorts the buffered batch and writes it out as one run.
+	flushRun := func() error {
+		sortBatch(all)
+		f, err := ctx.Mem.Pool().Create()
+		if err != nil {
+			return err
+		}
+		s.reg.add(f)
+		runs = append(runs, f)
+		for _, k := range all {
+			rec = runRecord(rec[:0], k.keys, k.row)
+			if err := f.Append(rec); err != nil {
+				return err
+			}
+		}
+		all = all[:0]
+		s.acct.release(batchBytes)
+		batchBytes = 0
+		return nil
+	}
+
+	total := 0
 	for {
+		if err := ctx.tick(); err != nil {
+			return err
+		}
 		row, err := s.input.Next()
 		if err != nil {
 			return err
 		}
 		if row == nil {
 			break
+		}
+		total++
+		if ctx.RowBudget > 0 && total > ctx.RowBudget {
+			return fmt.Errorf("executor: sort input exceeds row budget of %d rows", ctx.RowBudget)
 		}
 		keys := make(value.Row, len(keyExprs))
 		for i, ke := range keyExprs {
@@ -201,33 +254,45 @@ func (s *sortIter) Open(ctx *Context) error {
 			}
 			keys[i] = v
 		}
-		all = append(all, keyed{row: row, keys: keys, seq: len(all)})
-		if ctx.RowBudget > 0 && len(all) > ctx.RowBudget {
-			return fmt.Errorf("executor: sort input exceeds row budget of %d rows", ctx.RowBudget)
+		all = append(all, sortKeyed{row: row, keys: keys, seq: len(all)})
+		n := rowBytes(row) + rowBytes(keys)
+		s.acct.grow(n)
+		batchBytes += n
+		if s.acct.spillable() && s.acct.over() && len(all) >= minSortRunRows {
+			if err := flushRun(); err != nil {
+				return err
+			}
 		}
 	}
-	sort.SliceStable(all, func(i, j int) bool {
-		for k := range s.op.Keys {
-			c := value.CompareTotal(all[i].keys[k], all[j].keys[k])
-			if c == 0 {
-				continue
-			}
-			if s.op.Keys[k].Desc {
-				return c > 0
-			}
-			return c < 0
+
+	if len(runs) == 0 {
+		// Everything fit: the classic in-memory path, output aliasing the
+		// buffered rows.
+		sortBatch(all)
+		s.rows = make([]value.Row, len(all))
+		for i, k := range all {
+			s.rows[i] = k.row
 		}
-		return all[i].seq < all[j].seq
-	})
-	s.rows = make([]value.Row, len(all))
-	for i, k := range all {
-		s.rows[i] = k.row
+		s.pos = 0
+		return nil
 	}
-	s.pos = 0
+	if len(all) > 0 {
+		if err := flushRun(); err != nil {
+			return err
+		}
+	}
+	m, err := newRunMerger(ctx, &s.reg, s.op.Keys, runs)
+	if err != nil {
+		return err
+	}
+	s.merger = m
 	return nil
 }
 
 func (s *sortIter) Next() (value.Row, error) {
+	if s.merger != nil {
+		return s.merger.Next()
+	}
 	if s.pos >= len(s.rows) {
 		return nil, nil
 	}
@@ -236,8 +301,18 @@ func (s *sortIter) Next() (value.Row, error) {
 	return row, nil
 }
 
-func (s *sortIter) Close() error {
+// release drops all sort state: buffered rows, accounting, spill files.
+func (s *sortIter) release() {
 	s.rows = nil
+	s.pos = 0
+	s.merger.Close()
+	s.merger = nil
+	s.reg.closeAll()
+	s.acct.releaseAll()
+}
+
+func (s *sortIter) Close() error {
+	s.release()
 	return nil
 }
 
@@ -278,37 +353,69 @@ func (l *limitIter) Close() error { return l.input.Close() }
 
 // --- Distinct ------------------------------------------------------------------
 
+// distinctIter streams first occurrences while its seen-set fits work_mem;
+// past the budget it freezes the seen keys to disk and grace-partitions the
+// remainder (see dedupState), producing the same rows in the same order.
 type distinctIter struct {
-	input   iterator
-	seen    map[string]struct{}
-	scratch []byte
+	input  iterator
+	dedup  *dedupState
+	reg    fileReg
+	merger *seqMerger
+	done   bool
 }
 
 func (d *distinctIter) Open(ctx *Context) error {
-	d.seen = make(map[string]struct{})
+	d.release()
+	d.dedup = newDedupState(ctx, &d.reg)
 	return d.input.Open(ctx)
 }
 
 func (d *distinctIter) Next() (value.Row, error) {
 	for {
+		if d.merger != nil {
+			return d.merger.Next()
+		}
+		if d.done {
+			return nil, nil
+		}
 		row, err := d.input.Next()
-		if err != nil || row == nil {
+		if err != nil {
 			return nil, err
 		}
-		// Build the row key in a reusable scratch buffer; the map lookup with
-		// an inline string conversion does not allocate, so duplicates cost no
-		// heap traffic. Only genuinely new rows pay for the stored key string.
-		d.scratch = row.AppendKey(d.scratch[:0])
-		if _, dup := d.seen[string(d.scratch)]; dup {
+		if row == nil {
+			d.done = true
+			m, err := d.dedup.finish()
+			if err != nil {
+				return nil, err
+			}
+			if m == nil {
+				return nil, nil
+			}
+			d.merger = m
 			continue
 		}
-		d.seen[string(d.scratch)] = struct{}{}
-		return row, nil
+		emit, err := d.dedup.offer(row)
+		if err != nil {
+			return nil, err
+		}
+		if emit {
+			return row, nil
+		}
 	}
 }
 
+// release drops all dedup state, accounting, and spill files.
+func (d *distinctIter) release() {
+	d.merger.Close()
+	d.merger = nil
+	d.reg.closeAll()
+	d.dedup.release()
+	d.dedup = nil
+	d.done = false
+}
+
 func (d *distinctIter) Close() error {
-	d.seen = nil
+	d.release()
 	return d.input.Close()
 }
 

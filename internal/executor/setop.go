@@ -4,12 +4,18 @@ import (
 	"fmt"
 
 	"perm/internal/algebra"
+	"perm/internal/spill"
 	"perm/internal/value"
 )
 
 // setOpIter implements UNION/INTERSECT/EXCEPT in both bag (ALL) and set
-// (DISTINCT) semantics. UNION ALL streams; the others materialize the right
-// (and for bag arithmetic the left) side into count maps.
+// (DISTINCT) semantics. UNION ALL streams; UNION DISTINCT streams through
+// the spillable dedup filter (see dedup.go); INTERSECT/EXCEPT buffer both
+// sides under the session budget and grace-partition past it: both sides
+// hash-partition by row key into paired files, each pair resolves with the
+// in-memory count-map algorithm (recursing a level deeper when a pair is
+// itself over budget), and the sequence-tagged outputs merge back into left
+// input order — byte-identical to the in-memory path.
 type setOpIter struct {
 	op    *algebra.SetOp
 	left  iterator
@@ -17,9 +23,10 @@ type setOpIter struct {
 	ctx   *Context
 
 	// streaming state for UNION ALL / UNION DISTINCT
-	onRight bool
-	seen    map[string]struct{}
-	// materialized output for INTERSECT/EXCEPT
+	onRight    bool
+	dedup      *dedupState // non-nil for UNION DISTINCT
+	streamDone bool
+	// materialized output for in-memory INTERSECT/EXCEPT
 	out []value.Row
 	pos int
 	// mode
@@ -27,19 +34,21 @@ type setOpIter struct {
 	// scratch is the reusable row-key buffer; map lookups via string(scratch)
 	// do not allocate.
 	scratch []byte
+	// spill state
+	acct   memAcct
+	reg    fileReg
+	merger *seqMerger
 }
 
 func (s *setOpIter) Open(ctx *Context) error {
+	s.release()
 	s.ctx = ctx
-	s.pos = 0
-	s.onRight = false
-	s.out = nil // Open must fully reset: lateral re-execution re-opens iterators
-	s.seen = nil
+	s.acct.mem = ctx.Mem
 	switch s.op.Kind {
 	case algebra.UnionAll, algebra.UnionDistinct:
 		s.streaming = true
 		if s.op.Kind == algebra.UnionDistinct {
-			s.seen = make(map[string]struct{})
+			s.dedup = newDedupState(ctx, &s.reg)
 		}
 		if err := s.left.Open(ctx); err != nil {
 			return err
@@ -50,76 +59,373 @@ func (s *setOpIter) Open(ctx *Context) error {
 	if err := s.left.Open(ctx); err != nil {
 		return err
 	}
-	lrows, err := drain(s.left, ctx)
-	if err != nil {
+	defer s.left.Close()
+
+	// Collect both sides, switching to paired hash partitions the moment the
+	// buffered total crosses the budget. Left rows carry their input
+	// sequence; right rows are bag entries and need none.
+	var lbuf, rbuf []value.Row
+	var lparts, rparts *partitionSet
+	var lseq uint64 // left input sequence, the output-order tag
+	var rec []byte
+	routeLeft := func(seq uint64, row value.Row) error {
+		s.scratch = row.AppendKey(s.scratch[:0])
+		rec = appendSeqRow(rec[:0], seq, row)
+		return lparts.route(s.scratch, rec)
+	}
+	routeRight := func(row value.Row) error {
+		s.scratch = row.AppendKey(s.scratch[:0])
+		rec = spill.AppendRow(rec[:0], row)
+		return rparts.route(s.scratch, rec)
+	}
+	spillOut := func() error {
+		lparts = newPartitionSet(ctx.Mem.Pool(), &s.reg, 0)
+		rparts = newPartitionSet(ctx.Mem.Pool(), &s.reg, 0)
+		for i, row := range lbuf {
+			if err := routeLeft(uint64(i), row); err != nil {
+				return err
+			}
+		}
+		for _, row := range rbuf {
+			if err := routeRight(row); err != nil {
+				return err
+			}
+		}
+		lbuf, rbuf = nil, nil
+		s.acct.releaseAll()
+		return nil
+	}
+	collect := func(in iterator, isLeft bool) error {
+		total := 0
+		for {
+			if err := ctx.tick(); err != nil {
+				return err
+			}
+			row, err := in.Next()
+			if err != nil {
+				return err
+			}
+			if row == nil {
+				return nil
+			}
+			total++
+			if ctx.RowBudget > 0 && total > ctx.RowBudget {
+				return fmt.Errorf("executor: intermediate result exceeds row budget of %d rows", ctx.RowBudget)
+			}
+			if lparts != nil {
+				if isLeft {
+					err = routeLeft(lseq, row)
+					lseq++
+				} else {
+					err = routeRight(row)
+				}
+				if err != nil {
+					return err
+				}
+				continue
+			}
+			if isLeft {
+				lbuf = append(lbuf, row)
+				lseq++
+			} else {
+				rbuf = append(rbuf, row)
+			}
+			s.acct.grow(rowBytes(row))
+			if s.acct.spillable() && s.acct.over() && len(lbuf)+len(rbuf) >= minBufferRows {
+				if err := spillOut(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if err := collect(s.left, true); err != nil {
 		return err
 	}
 	if err := s.right.Open(ctx); err != nil {
 		return err
 	}
-	rrows, err := drain(s.right, ctx)
-	if err != nil {
+	defer s.right.Close()
+	if err := collect(s.right, false); err != nil {
 		return err
 	}
 
-	rcount := make(map[string]int, len(rrows))
-	for _, r := range rrows {
-		s.scratch = r.AppendKey(s.scratch[:0])
-		rcount[string(s.scratch)]++
+	if lparts == nil {
+		// In-memory path: count the right side, then emit left rows in order.
+		algo, err := newSetAlgo(s.op.Kind, len(rbuf))
+		if err != nil {
+			return err
+		}
+		for _, r := range rbuf {
+			s.scratch = r.AppendKey(s.scratch[:0])
+			algo.countRight(s.scratch)
+		}
+		for _, l := range lbuf {
+			s.scratch = l.AppendKey(s.scratch[:0])
+			if emit, _ := algo.offerLeft(s.scratch); emit {
+				s.out = append(s.out, l)
+			}
+		}
+		s.acct.releaseAll()
+		return nil
 	}
 
-	switch s.op.Kind {
+	var outputs []*spill.File
+	for i := 0; i < spillPartitions; i++ {
+		if err := s.resolvePair(lparts.files[i], rparts.files[i], 1, &outputs); err != nil {
+			return err
+		}
+	}
+	m, err := newSeqMerger(ctx, &s.reg, outputs)
+	if err != nil {
+		return err
+	}
+	s.merger = m
+	return nil
+}
+
+// resolvePair resolves one (left, right) partition pair with the count-map
+// algorithm, under the budget: the right side builds the count map, then the
+// left side streams through it emitting sequence-tagged survivors. If either
+// phase outgrows the budget — the count map while counting, or the DISTINCT
+// variants' emitted-set while streaming — the attempt restarts one level
+// deeper: both files are still intact (and any partial output is discarded),
+// so re-partitioning loses and duplicates nothing.
+func (s *setOpIter) resolvePair(lf, rf *spill.File, level int, outputs *[]*spill.File) error {
+	if lf == nil {
+		// No left rows can survive without a left side; the right file (if
+		// any) only ever subtracts.
+		if rf != nil {
+			return rf.Close()
+		}
+		return nil
+	}
+	acct := memAcct{mem: s.ctx.Mem}
+	defer acct.releaseAll()
+
+	// restartDeeper abandons this attempt (discarding the partial output
+	// file, if any) and re-partitions both files into sub-pairs.
+	restartDeeper := func(partialOut *spill.File) error {
+		if partialOut != nil {
+			partialOut.Close()
+			*outputs = (*outputs)[:len(*outputs)-1]
+		}
+		acct.releaseAll()
+		subL := newPartitionSet(s.ctx.Mem.Pool(), &s.reg, level)
+		subR := newPartitionSet(s.ctx.Mem.Pool(), &s.reg, level)
+		if err := s.repartition(rf, subR, false); err != nil {
+			return err
+		}
+		if err := s.repartition(lf, subL, true); err != nil {
+			return err
+		}
+		for i := 0; i < spillPartitions; i++ {
+			if err := s.resolvePair(subL.files[i], subR.files[i], level+1, outputs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	rrows := int64(0)
+	if rf != nil {
+		rrows = rf.Records()
+	}
+	algo, err := newSetAlgo(s.op.Kind, int(rrows))
+	if err != nil {
+		return err
+	}
+	if rf != nil {
+		if err := rf.StartRead(); err != nil {
+			return err
+		}
+		for {
+			if err := s.ctx.tick(); err != nil {
+				return err
+			}
+			rec, err := rf.Next()
+			if err != nil {
+				return err
+			}
+			if rec == nil {
+				break
+			}
+			row, _, err := spill.DecodeRow(rec)
+			if err != nil {
+				return err
+			}
+			s.scratch = row.AppendKey(s.scratch[:0])
+			if algo.countRight(s.scratch) {
+				acct.grow(int64(len(s.scratch)) + mapEntryBytes)
+			}
+			if acct.spillable() && acct.over() && len(algo.rcount) >= minFoldGroups && level < maxSpillLevel {
+				return restartDeeper(nil)
+			}
+		}
+	}
+	if err := lf.StartRead(); err != nil {
+		return err
+	}
+	var out *spill.File
+	var outRec []byte
+	for {
+		if err := s.ctx.tick(); err != nil {
+			return err
+		}
+		rec, err := lf.Next()
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			break
+		}
+		seq, row, err := decodeSeqRow(rec)
+		if err != nil {
+			return err
+		}
+		s.scratch = row.AppendKey(s.scratch[:0])
+		emit, newEmitted := algo.offerLeft(s.scratch)
+		if newEmitted {
+			// The DISTINCT variants' emitted-set grows with distinct LEFT
+			// keys, which rcount (right keys) does not bound — EXCEPT
+			// DISTINCT over a distinct-heavy left side would otherwise grow
+			// without limit. Account it and restart deeper when over.
+			acct.grow(int64(len(s.scratch)) + mapEntryBytes)
+			if acct.spillable() && acct.over() && len(algo.emitted) >= minFoldGroups && level < maxSpillLevel {
+				return restartDeeper(out)
+			}
+		}
+		if !emit {
+			continue
+		}
+		if out == nil {
+			if out, err = s.ctx.Mem.Pool().Create(); err != nil {
+				return err
+			}
+			s.reg.add(out)
+			*outputs = append(*outputs, out)
+		}
+		outRec = appendSeqRow(outRec[:0], seq, row)
+		if err := out.Append(outRec); err != nil {
+			return err
+		}
+	}
+	if rf != nil {
+		if err := rf.Close(); err != nil {
+			return err
+		}
+	}
+	return lf.Close()
+}
+
+// repartition streams one file's records into a deeper partition set.
+func (s *setOpIter) repartition(f *spill.File, sub *partitionSet, seqTagged bool) error {
+	if f == nil {
+		return nil
+	}
+	if err := f.StartRead(); err != nil {
+		return err
+	}
+	for {
+		if err := s.ctx.tick(); err != nil {
+			return err
+		}
+		rec, err := f.Next()
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			return f.Close()
+		}
+		var row value.Row
+		if seqTagged {
+			if _, row, err = decodeSeqRow(rec); err != nil {
+				return err
+			}
+		} else if row, _, err = spill.DecodeRow(rec); err != nil {
+			return err
+		}
+		s.scratch = row.AppendKey(s.scratch[:0])
+		if err := sub.route(s.scratch, rec); err != nil {
+			return err
+		}
+	}
+}
+
+// setAlgo is the kind-specific count-map arithmetic of INTERSECT/EXCEPT,
+// shared by the in-memory and per-partition paths.
+type setAlgo struct {
+	kind    algebra.SetOpKind
+	rcount  map[string]int
+	emitted map[string]struct{} // DISTINCT variants only
+}
+
+func newSetAlgo(kind algebra.SetOpKind, rhint int) (*setAlgo, error) {
+	switch kind {
+	case algebra.IntersectAll, algebra.IntersectDistinct, algebra.ExceptAll, algebra.ExceptDistinct:
+	default:
+		return nil, fmt.Errorf("executor: unknown set operation %v", kind)
+	}
+	a := &setAlgo{kind: kind, rcount: make(map[string]int, rhint)}
+	if kind == algebra.IntersectDistinct || kind == algebra.ExceptDistinct {
+		a.emitted = make(map[string]struct{})
+	}
+	return a, nil
+}
+
+// countRight adds one right-side occurrence; it reports whether the key is
+// new (for memory accounting).
+func (a *setAlgo) countRight(key []byte) bool {
+	n, ok := a.rcount[string(key)]
+	a.rcount[string(key)] = n + 1
+	return !ok
+}
+
+// offerLeft decides one left row in input order. newEmitted reports that the
+// key was added to the DISTINCT variants' emitted-set (for memory
+// accounting; the ALL variants never grow on the left side).
+func (a *setAlgo) offerLeft(key []byte) (emit, newEmitted bool) {
+	switch a.kind {
 	case algebra.IntersectAll:
 		// Emit each left row while the right still has a matching occurrence.
-		for _, l := range lrows {
-			s.scratch = l.AppendKey(s.scratch[:0])
-			if rcount[string(s.scratch)] > 0 {
-				rcount[string(s.scratch)]--
-				s.out = append(s.out, l)
-			}
+		if a.rcount[string(key)] > 0 {
+			a.rcount[string(key)]--
+			return true, false
 		}
+		return false, false
 	case algebra.IntersectDistinct:
-		emitted := make(map[string]struct{})
-		for _, l := range lrows {
-			s.scratch = l.AppendKey(s.scratch[:0])
-			if _, done := emitted[string(s.scratch)]; done {
-				continue
-			}
-			if rcount[string(s.scratch)] > 0 {
-				emitted[string(s.scratch)] = struct{}{}
-				s.out = append(s.out, l)
-			}
+		if _, done := a.emitted[string(key)]; done {
+			return false, false
 		}
+		if a.rcount[string(key)] > 0 {
+			a.emitted[string(key)] = struct{}{}
+			return true, true
+		}
+		return false, false
 	case algebra.ExceptAll:
-		for _, l := range lrows {
-			s.scratch = l.AppendKey(s.scratch[:0])
-			if rcount[string(s.scratch)] > 0 {
-				rcount[string(s.scratch)]--
-				continue
-			}
-			s.out = append(s.out, l)
+		if a.rcount[string(key)] > 0 {
+			a.rcount[string(key)]--
+			return false, false
 		}
+		return true, false
 	case algebra.ExceptDistinct:
-		emitted := make(map[string]struct{})
-		for _, l := range lrows {
-			s.scratch = l.AppendKey(s.scratch[:0])
-			if _, done := emitted[string(s.scratch)]; done {
-				continue
-			}
-			emitted[string(s.scratch)] = struct{}{}
-			if rcount[string(s.scratch)] == 0 {
-				s.out = append(s.out, l)
-			}
+		if _, done := a.emitted[string(key)]; done {
+			return false, false
 		}
-	default:
-		return fmt.Errorf("executor: unknown set operation %v", s.op.Kind)
+		a.emitted[string(key)] = struct{}{}
+		return a.rcount[string(key)] == 0, true
 	}
-	return nil
+	return false, false
 }
 
 func (s *setOpIter) Next() (value.Row, error) {
 	if s.streaming {
 		for {
+			if s.merger != nil {
+				return s.merger.Next()
+			}
+			if s.streamDone {
+				return nil, nil
+			}
 			var src iterator
 			if s.onRight {
 				src = s.right
@@ -135,17 +441,34 @@ func (s *setOpIter) Next() (value.Row, error) {
 					s.onRight = true
 					continue
 				}
-				return nil, nil
+				s.streamDone = true
+				if s.dedup == nil {
+					return nil, nil
+				}
+				m, err := s.dedup.finish()
+				if err != nil {
+					return nil, err
+				}
+				if m == nil {
+					return nil, nil
+				}
+				s.merger = m
+				continue
 			}
-			if s.seen != nil {
-				s.scratch = row.AppendKey(s.scratch[:0])
-				if _, dup := s.seen[string(s.scratch)]; dup {
+			if s.dedup != nil {
+				emit, err := s.dedup.offer(row)
+				if err != nil {
+					return nil, err
+				}
+				if !emit {
 					continue
 				}
-				s.seen[string(s.scratch)] = struct{}{}
 			}
 			return row, nil
 		}
+	}
+	if s.merger != nil {
+		return s.merger.Next()
 	}
 	if s.pos >= len(s.out) {
 		return nil, nil
@@ -155,9 +478,22 @@ func (s *setOpIter) Next() (value.Row, error) {
 	return row, nil
 }
 
-func (s *setOpIter) Close() error {
+// release drops all set-operation state: buffers, accounting, spill files.
+func (s *setOpIter) release() {
 	s.out = nil
-	s.seen = nil
+	s.pos = 0
+	s.onRight = false
+	s.streamDone = false
+	s.merger.Close()
+	s.merger = nil
+	s.reg.closeAll()
+	s.dedup.release()
+	s.dedup = nil
+	s.acct.releaseAll()
+}
+
+func (s *setOpIter) Close() error {
+	s.release()
 	if s.streaming {
 		s.left.Close()
 		return s.right.Close()

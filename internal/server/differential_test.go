@@ -2,6 +2,9 @@ package server
 
 import (
 	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -358,4 +361,196 @@ func TestDifferentialDML(t *testing.T) {
 		`SELECT * FROM imports ORDER BY mId, text`,
 		`SELECT PROVENANCE * FROM messages ORDER BY mId`,
 	))
+}
+
+// --- property-based forced-spill differential ------------------------------------
+//
+// A seeded random-query generator covering every blocking operator — ORDER BY
+// with multiple asc/desc keys, GROUP BY with plain and DISTINCT aggregates
+// (and HAVING), INTERSECT/EXCEPT/UNION in ALL and DISTINCT flavors, DISTINCT
+// projection — each query optionally under a provenance rewrite. Every query
+// runs twice against the same database: once with the default (generous)
+// work_mem and once with a tiny budget that forces every blocking operator to
+// spill. Results must be byte-identical, including row order for queries with
+// no ORDER BY at all (the spill paths preserve the in-memory emission order).
+// The seed is logged so a failure reproduces with PERM_SPILL_SEED=<seed>.
+
+// spillPropertyWorkMem forces spilling while the per-operator progress
+// floors keep file counts sane.
+const spillPropertyWorkMem = 4096
+
+// spillGen generates random-but-valid SQL over two fixed-schema tables
+// r1(a int, b int, c text, d float) and r2 (same schema).
+type spillGen struct {
+	rng *rand.Rand
+}
+
+func (g *spillGen) pick(opts ...string) string { return opts[g.rng.Intn(len(opts))] }
+
+func (g *spillGen) table() string { return g.pick("r1", "r2") }
+
+// where returns a random predicate clause, or "".
+func (g *spillGen) where() string {
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf(" WHERE a < %d", 50+g.rng.Intn(350))
+	case 1:
+		return fmt.Sprintf(" WHERE b %% %d = %d", 2+g.rng.Intn(4), g.rng.Intn(2))
+	case 2:
+		return fmt.Sprintf(" WHERE c <> 'word%d'", g.rng.Intn(30))
+	}
+	return ""
+}
+
+// orderBy returns a multi-key ORDER BY over cols, each key asc or desc.
+func (g *spillGen) orderBy(cols ...string) string {
+	n := 1 + g.rng.Intn(len(cols))
+	g.rng.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = cols[i] + g.pick("", " ASC", " DESC")
+	}
+	return " ORDER BY " + strings.Join(keys, ", ")
+}
+
+// prov optionally turns the query into a provenance rewrite.
+func (g *spillGen) prov() string {
+	if g.rng.Intn(5) < 2 {
+		return "PROVENANCE "
+	}
+	return ""
+}
+
+func (g *spillGen) query() string {
+	switch g.rng.Intn(4) {
+	case 0: // multi-key ORDER BY
+		return fmt.Sprintf(`SELECT %sa, b, c, d FROM %s%s%s`,
+			g.prov(), g.table(), g.where(), g.orderBy("a", "b", "c", "d"))
+	case 1: // GROUP BY with plain and DISTINCT aggregates
+		agg := g.pick(`count(*), sum(b)`, `count(DISTINCT c), min(b), max(b)`,
+			`count(DISTINCT b), avg(d)`, `count(*), count(DISTINCT c), sum(b)`)
+		q := fmt.Sprintf(`SELECT %sa, %s FROM %s%s GROUP BY a`,
+			g.prov(), agg, g.table(), g.where())
+		if g.rng.Intn(2) == 0 {
+			q += ` HAVING count(*) >= ` + strconv.Itoa(1+g.rng.Intn(3))
+		}
+		if g.rng.Intn(2) == 0 {
+			q += g.orderBy("a")
+		}
+		return q
+	case 2: // set operations
+		op := g.pick("INTERSECT", "INTERSECT ALL", "EXCEPT", "EXCEPT ALL", "UNION", "UNION ALL")
+		q := fmt.Sprintf(`SELECT %sa, c FROM r1%s %s SELECT a, c FROM r2%s`,
+			g.prov(), g.where(), op, g.where())
+		if g.rng.Intn(2) == 0 {
+			q += g.orderBy("a", "c")
+		}
+		return q
+	default: // DISTINCT projection
+		q := fmt.Sprintf(`SELECT %sDISTINCT a, c FROM %s%s`, g.prov(), g.table(), g.where())
+		if g.rng.Intn(2) == 0 {
+			q += g.orderBy("a", "c")
+		}
+		return q
+	}
+}
+
+// seedSpillTables loads r1/r2 with enough rows (duplicate-heavy keys, NULLs,
+// every kind) that a 4 KiB work_mem forces every blocking operator to disk.
+func seedSpillTables(t *testing.T, db *engine.DB, rng *rand.Rand) {
+	t.Helper()
+	s := db.NewSession()
+	defer s.Close()
+	for _, tbl := range []string{"r1", "r2"} {
+		if _, err := s.Execute(fmt.Sprintf(`CREATE TABLE %s (a int, b int, c text, d float)`, tbl)); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for off := 0; off < 2000; off += 500 {
+			b.Reset()
+			fmt.Fprintf(&b, `INSERT INTO %s VALUES `, tbl)
+			for i := 0; i < 500; i++ {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				c := fmt.Sprintf("'word%d'", rng.Intn(30))
+				if rng.Intn(20) == 0 {
+					c = "NULL"
+				}
+				d := fmt.Sprintf("%d.5", rng.Intn(400))
+				if rng.Intn(20) == 0 {
+					d = "NULL"
+				}
+				fmt.Fprintf(&b, "(%d, %d, %s, %s)", rng.Intn(400), rng.Intn(1000), c, d)
+			}
+			if _, err := s.Execute(b.String()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestDifferentialSpillProperty(t *testing.T) {
+	seeds := []int64{1, 424242}
+	if env := os.Getenv("PERM_SPILL_SEED"); env != "" {
+		v, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad PERM_SPILL_SEED %q: %v", env, err)
+		}
+		seeds = []int64{v}
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSpillProperty(t, seed)
+		})
+	}
+}
+
+func runSpillProperty(t *testing.T, seed int64) {
+	t.Logf("spill property seed %d (reproduce with PERM_SPILL_SEED=%d)", seed, seed)
+	rng := rand.New(rand.NewSource(seed))
+	db := engine.NewDB()
+	seedSpillTables(t, db, rng)
+
+	wide := db.NewSession()
+	defer wide.Close()
+	tiny := db.NewSession()
+	defer tiny.Close()
+	if _, err := tiny.Execute(fmt.Sprintf(`SET work_mem = %d`, spillPropertyWorkMem)); err != nil {
+		t.Fatal(err)
+	}
+
+	gen := &spillGen{rng: rng}
+	const queries = 80
+	succeeded := 0
+	for i := 0; i < queries; i++ {
+		q := gen.query()
+		wres, werr := wide.Execute(q)
+		tres, terr := tiny.Execute(q)
+		if (werr == nil) != (terr == nil) {
+			t.Fatalf("seed %d query %d %q: wide err %v, tiny err %v", seed, i, q, werr, terr)
+		}
+		if werr != nil {
+			// Both paths must fail identically (e.g. an unsupported
+			// provenance rewrite) — a budget must never change semantics.
+			if werr.Error() != terr.Error() {
+				t.Fatalf("seed %d query %d %q: errors diverged:\nwide: %v\ntiny: %v", seed, i, q, werr, terr)
+			}
+			continue
+		}
+		succeeded++
+		if want, got := renderEngineResult(wres), renderEngineResult(tres); want != got {
+			t.Fatalf("seed %d query %d diverged under forced spill:\n%s\nwant:\n%.3000s\ngot:\n%.3000s", seed, i, q, want, got)
+		}
+	}
+	if succeeded < queries/2 {
+		t.Fatalf("seed %d: only %d/%d generated queries executed", seed, succeeded, queries)
+	}
+	ms := tiny.MemStatus()
+	if ms.SpillFiles == 0 || ms.SpillBytes == 0 {
+		t.Fatalf("seed %d: tiny work_mem session never spilled (%+v)", seed, ms)
+	}
+	if ws := wide.MemStatus(); ws.SpillFiles != 0 {
+		t.Fatalf("seed %d: default work_mem session spilled (%+v)", seed, ws)
+	}
 }

@@ -61,6 +61,17 @@ type Config struct {
 	// heartbeat (carrying the primary's last LSN) while the change log is
 	// idle; 0 means one second. Followers size their read timeouts to it.
 	HeartbeatInterval time.Duration
+	// WorkMem, when non-zero, is the per-session memory budget in bytes for
+	// blocking operators (sorts, aggregation, set operations, DISTINCT):
+	// each connection's session starts with SET work_mem = WorkMem and
+	// spills to disk past it. 0 keeps the engine default; negative means
+	// unlimited.
+	WorkMem int64
+	// TempDir, when set, is where sessions create their spill files
+	// (permserver -temp-dir); "" means the OS temp directory. Spill files
+	// are removed when their query ends, and a session teardown — client
+	// disconnect, timeout, shutdown — removes any it left behind.
+	TempDir string
 	// Logf, when set, receives connection lifecycle and error logs.
 	Logf func(format string, args ...any)
 }
@@ -478,6 +489,16 @@ func (s *Server) serveConn(nc net.Conn, kill <-chan struct{}) {
 
 	sess := s.db.NewSession()
 	defer sess.Close()
+	if s.cfg.WorkMem != 0 {
+		n := s.cfg.WorkMem
+		if n < 0 {
+			n = 0 // negative config = unlimited (work_mem 0)
+		}
+		sess.SetWorkMem(n)
+	}
+	if s.cfg.TempDir != "" {
+		sess.SetTempDir(s.cfg.TempDir)
+	}
 	// The connection's kill channel is the session's standing interrupt, so a
 	// forced shutdown unwinds an in-flight query promptly; per-query timeouts
 	// ride on the session deadline (see execute).
@@ -731,13 +752,23 @@ func (s *Server) openRows(sess *engine.Session, open func() (*engine.Rows, error
 	// timeout; a statement that failed for its own reasons keeps its error,
 	// and a shutdown kill keeps the interrupt error (the connection is dying
 	// anyway). DML executes eagerly inside open; SELECTs can also unwind
-	// here when a blocking operator (sort, aggregate) drains its input
-	// during Open.
+	// here when a blocking operator (sort, aggregate, set operation — now
+	// including their spilling paths) drains its input during Open. The
+	// relabeled error still unwraps to executor.ErrInterrupted, so the call
+	// sites' timeoutCode classification keeps it typed on the wire.
 	if errors.Is(err, executor.ErrInterrupted) && !time.Now().Before(deadline) {
-		return nil, deadline, errors.New(s.timeoutMessage())
+		return nil, deadline, &timeoutError{msg: s.timeoutMessage()}
 	}
 	return rows, deadline, err
 }
+
+// timeoutError is the relabeled per-query-timeout unwind: the operator-level
+// interrupt stays reachable through Unwrap so the error keeps its typed wire
+// code (ErrCodeTimeout) at every reporting site.
+type timeoutError struct{ msg string }
+
+func (e *timeoutError) Error() string { return e.msg }
+func (e *timeoutError) Unwrap() error { return executor.ErrInterrupted }
 
 // timeoutMessage is the one wording of the typed per-query-timeout error,
 // paired with wire.ErrCodeTimeout at every site that reports one.

@@ -1,0 +1,96 @@
+package perm_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"perm"
+
+	"perm/internal/engine"
+)
+
+// BenchmarkSpill measures the blocking operators' in-memory path against the
+// forced-spill path (work_mem far below the input) at two input scales, for
+// external sort and grace hash aggregation. The interesting readings are the
+// allocation profiles: the spill path trades heap residency for sequential
+// temp-file I/O, so B/op for the spilling run stays near the budget while
+// the in-memory run scales with the input. PERFORMANCE.md §7 tracks the
+// numbers.
+func BenchmarkSpill(b *testing.B) {
+	for _, rows := range []int{10_000, 100_000} {
+		db := mustSpillDB(b, rows)
+		queries := map[string]string{
+			"sort": `SELECT k, v, s FROM big ORDER BY v DESC, k`,
+			"agg":  `SELECT k, count(*), sum(v), count(DISTINCT s) FROM big GROUP BY k`,
+		}
+		modes := []struct {
+			name    string
+			workMem int64
+		}{
+			{"mem", 0},           // unlimited: the historical in-memory path
+			{"spill", 128 << 10}, // far below input size: every operator spills
+		}
+		for _, mode := range modes {
+			for _, opName := range []string{"sort", "agg"} {
+				q := queries[opName]
+				b.Run(fmt.Sprintf("%s/rows=%d/%s", opName, rows, mode.name), func(b *testing.B) {
+					sess := db.Engine().NewSession()
+					defer sess.Close()
+					sess.SetWorkMem(mode.workMem)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						res, err := sess.Execute(q)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if len(res.Rows) == 0 {
+							b.Fatal("empty result")
+						}
+					}
+					b.StopTimer()
+					ms := sess.MemStatus()
+					if mode.workMem > 0 && ms.SpillFiles == 0 {
+						b.Fatalf("forced-spill run never spilled: %+v", ms)
+					}
+					b.ReportMetric(float64(ms.Peak), "peak-bytes")
+				})
+			}
+		}
+	}
+}
+
+// mustSpillDB seeds the benchmark table: duplicate-heavy keys, distinct
+// payloads, enough bytes that a 128 KiB budget forces disk.
+func mustSpillDB(b *testing.B, rows int) *perm.DB {
+	b.Helper()
+	db := perm.Open()
+	sess := db.Engine().NewSession()
+	defer sess.Close()
+	mustExecEngine(b, sess, `CREATE TABLE big (k int, v int, s text)`)
+	var sb strings.Builder
+	for off := 0; off < rows; off += 1000 {
+		sb.Reset()
+		sb.WriteString(`INSERT INTO big VALUES `)
+		n := rows - off
+		if n > 1000 {
+			n = 1000
+		}
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, 'payload row %d')", (off+i)%500, off+i, (off+i)%173)
+		}
+		mustExecEngine(b, sess, sb.String())
+	}
+	return db
+}
+
+func mustExecEngine(b *testing.B, sess *engine.Session, q string) {
+	b.Helper()
+	if _, err := sess.Execute(q); err != nil {
+		b.Fatal(err)
+	}
+}
