@@ -36,6 +36,7 @@ import (
 	"perm/internal/engine"
 	"perm/internal/repl"
 	"perm/internal/server"
+	"perm/internal/wal"
 	"perm/internal/workload"
 )
 
@@ -47,6 +48,9 @@ func main() {
 		load         = flag.String("load", "", "bootstrap dataset: example | forum[:N] | star[:N]")
 		open         = flag.String("open", "", "restore the database from a snapshot file at startup")
 		save         = flag.String("save", "", "write a consistent snapshot to this file on shutdown")
+		dataDir      = flag.String("data-dir", "", "durable data directory: snapshot + fsync'd write-ahead log; crash recovery replays the WAL on startup")
+		walSync      = flag.String("wal-sync", "always", "WAL fsync policy: always | group | group(<ms>) | off (SET wal_sync changes it at runtime)")
+		ckInterval   = flag.Duration("checkpoint-interval", time.Minute, "background checkpoint interval with -data-dir (0 = only on shutdown)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 		quiet        = flag.Bool("quiet", false, "disable per-session logging")
 		replicaOf    = flag.String("replica-of", "", "run as a read-only replica of the primary at host:port")
@@ -62,8 +66,28 @@ func main() {
 	if *replicaOf != "" && *load != "" {
 		logger.Fatalf("-load writes to the database; a replica (-replica-of) is read-only — load the primary instead")
 	}
+	if *dataDir != "" && *open != "" {
+		logger.Fatalf("-open conflicts with -data-dir: the data directory has its own snapshot; use one or the other")
+	}
 
-	db := engine.NewDB()
+	var db *engine.DB
+	var mgr *wal.Manager
+	if *dataDir != "" {
+		store, m, rec, err := wal.Open(*dataDir, wal.Options{
+			Sync:               *walSync,
+			CheckpointInterval: *ckInterval,
+			Logf:               logger.Printf,
+		})
+		if err != nil {
+			logger.Fatalf("recover %s: %v", *dataDir, err)
+		}
+		mgr = m
+		db = engine.NewDBFrom(store)
+		db.SetWALController(server.WALController(mgr))
+		logger.Printf("recovered %s: %s", *dataDir, rec)
+	} else {
+		db = engine.NewDB()
+	}
 	db.Store().Log().SetRetention(*replRetain)
 	db.Store().Log().SetRetentionBytes(*replRetainMB << 20)
 	if *open != "" {
@@ -101,6 +125,13 @@ func main() {
 	var follower *server.Follower
 	if *replicaOf != "" {
 		fcfg := server.FollowerConfig{PrimaryAddr: *replicaOf}
+		if mgr != nil {
+			// A durable replica journals the feed it applies: restart
+			// recovers from local disk and resumes the stream incrementally
+			// instead of re-bootstrapping, and a fresh bootstrap snapshot
+			// rebases the local WAL onto the primary's history.
+			fcfg.PrepareStore = mgr.AdoptStore
+		}
 		if !*quiet {
 			fcfg.Logf = logger.Printf
 		}
@@ -143,6 +174,20 @@ func main() {
 		st := follower.Status()
 		logger.Printf("replication stopped at LSN %d (primary at %d, lag %d)",
 			st.AppliedLSN, st.PrimaryLSN, st.Lag())
+	}
+
+	if mgr != nil {
+		// Final checkpoint so the next start replays (close to) nothing,
+		// then detach — everything acknowledged is already fsync'd per the
+		// sync policy, so even a failed checkpoint loses nothing.
+		if err := mgr.Checkpoint(); err != nil {
+			logger.Printf("final checkpoint: %v (WAL replay will cover it)", err)
+		}
+		if err := mgr.Close(); err != nil {
+			logger.Printf("closing WAL: %v", err)
+		} else {
+			logger.Printf("data directory %s closed cleanly", *dataDir)
+		}
 	}
 
 	if *save != "" {

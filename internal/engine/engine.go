@@ -79,6 +79,9 @@ type DB struct {
 	// replStatus, when set, reports the replica's live replication state
 	// (installed by the follower driving this database).
 	replStatus atomic.Value // of func() ReplStatus
+	// walCtl, when set, is the write-ahead log manager behind SET wal_sync
+	// and SHOW wal_status (installed by the server when -data-dir is given).
+	walCtl atomic.Value // of walCtlBox
 }
 
 // NewDB creates an empty database.
@@ -86,6 +89,64 @@ func NewDB() *DB {
 	db := &DB{}
 	db.store.Store(storage.NewStore())
 	return db
+}
+
+// NewDBFrom wraps an existing store — the durable path: the server recovers
+// the store from its data directory first, then serves it.
+func NewDBFrom(s *storage.Store) *DB {
+	db := &DB{}
+	db.store.Store(s)
+	return db
+}
+
+// WALStatus is the observable durable-write-path state behind
+// SHOW wal_status.
+type WALStatus struct {
+	// Mode is the active sync policy ("always", "group(<ms>)", "off"), or
+	// "disabled" when the server runs without a data directory.
+	Mode string
+	// LastLSN is the newest journaled record, DurableLSN the newest one
+	// fsync has covered, CheckpointLSN the position of the on-disk snapshot.
+	LastLSN, DurableLSN, CheckpointLSN uint64
+	// Checkpoints counts snapshots written in this process life; Segments
+	// and WALBytes size the live log.
+	Checkpoints int
+	Segments    int
+	WALBytes    int64
+	// Err is the sticky durability failure, empty while healthy.
+	Err string
+}
+
+// WALController is the engine's handle on the write-ahead log manager. The
+// engine only depends on this interface; internal/server adapts the
+// concrete manager to it.
+type WALController interface {
+	SetSyncPolicy(policy string) error
+	WALStatus() WALStatus
+}
+
+type walCtlBox struct{ c WALController }
+
+// SetWALController installs (or, with nil, removes) the write-ahead log
+// handle behind SET wal_sync and SHOW wal_status.
+func (db *DB) SetWALController(c WALController) {
+	db.walCtl.Store(walCtlBox{c: c})
+}
+
+func (db *DB) walController() WALController {
+	if box, ok := db.walCtl.Load().(walCtlBox); ok {
+		return box.c
+	}
+	return nil
+}
+
+// WALStatus reports the durable write path's state; without a WAL the mode
+// is "disabled" and every counter zero.
+func (db *DB) WALStatus() WALStatus {
+	if ctl := db.walController(); ctl != nil {
+		return ctl.WALStatus()
+	}
+	return WALStatus{Mode: "disabled"}
 }
 
 // Store exposes the storage engine (tools and tests).
@@ -834,6 +895,18 @@ func (s *Session) runUpdate(up *sql.UpdateStmt, args []value.Value) (*Result, er
 func (s *Session) runSet(st *sql.SetStmt) (*Result, error) {
 	name := strings.ToLower(st.Name)
 	val := strings.ToLower(st.Value)
+	if name == "wal_sync" {
+		// Database-scoped, not a session setting: it reconfigures the shared
+		// write-ahead log, so it never enters the session fingerprint.
+		ctl := s.db.walController()
+		if ctl == nil {
+			return nil, fmt.Errorf("no write-ahead log: server runs without a data directory")
+		}
+		if err := ctl.SetSyncPolicy(val); err != nil {
+			return nil, err
+		}
+		return &Result{Tag: "SET"}, nil
+	}
 	valid := map[string][]string{
 		"provenance_contribution":      {"influence", "copy", "copycomplete"},
 		"provenance_strategy":          {"heuristic", "cost"},
@@ -899,6 +972,41 @@ func (s *Session) runShow(st *sql.ShowStmt) (*Result, error) {
 				value.NewString(rs.LastError),
 			}},
 			Tag: "SHOW",
+		}, nil
+	}
+	if name == "wal_status" {
+		ws := s.db.WALStatus()
+		return &Result{
+			Columns: []string{"sync_mode", "last_lsn", "durable_lsn", "checkpoint_lsn", "checkpoints", "segments", "wal_bytes", "last_error"},
+			Schema: algebra.Schema{
+				{Name: "sync_mode", Type: value.KindString},
+				{Name: "last_lsn", Type: value.KindInt},
+				{Name: "durable_lsn", Type: value.KindInt},
+				{Name: "checkpoint_lsn", Type: value.KindInt},
+				{Name: "checkpoints", Type: value.KindInt},
+				{Name: "segments", Type: value.KindInt},
+				{Name: "wal_bytes", Type: value.KindInt},
+				{Name: "last_error", Type: value.KindString},
+			},
+			Rows: []value.Row{{
+				value.NewString(ws.Mode),
+				value.NewInt(int64(ws.LastLSN)),
+				value.NewInt(int64(ws.DurableLSN)),
+				value.NewInt(int64(ws.CheckpointLSN)),
+				value.NewInt(int64(ws.Checkpoints)),
+				value.NewInt(int64(ws.Segments)),
+				value.NewInt(ws.WALBytes),
+				value.NewString(ws.Err),
+			}},
+			Tag: "SHOW",
+		}, nil
+	}
+	if name == "wal_sync" {
+		return &Result{
+			Columns: []string{"wal_sync"},
+			Schema:  algebra.Schema{{Name: "wal_sync", Type: value.KindString}},
+			Rows:    []value.Row{{value.NewString(s.db.WALStatus().Mode)}},
+			Tag:     "SHOW",
 		}, nil
 	}
 	if name == "memory_status" {

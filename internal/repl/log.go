@@ -45,6 +45,11 @@ type ChangeLog struct {
 	// notify is closed and replaced on every append: a snapshot of this
 	// channel is a one-shot "the log has grown" signal for subscribers.
 	notify chan struct{}
+	// hook, when set, observes every accepted record under l.mu, in strict
+	// LSN order, inside the same critical section that published it — the
+	// write-ahead log journals from here, so a point-in-time snapshot, the
+	// in-memory log and the on-disk log can never disagree on ordering.
+	hook func(Record)
 }
 
 // NewChangeLog returns an empty log with the default retention bounds.
@@ -122,9 +127,23 @@ func (l *ChangeLog) AppendAt(rec Record) error {
 	return nil
 }
 
+// SetAppendHook installs (or, with nil, removes) the per-append observer.
+// The hook runs under the log's mutex on every accepted record — it must
+// not call back into the log, and it must not block on anything slower
+// than a buffered file write (fsync waiting belongs to the caller's
+// post-critical-section durability wait, not here).
+func (l *ChangeLog) SetAppendHook(fn func(Record)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hook = fn
+}
+
 // push appends under l.mu, trims past the retention bounds, and wakes
 // subscribers.
 func (l *ChangeLog) push(rec Record) {
+	if l.hook != nil {
+		l.hook(rec)
+	}
 	l.recs = append(l.recs, rec)
 	l.costs = append(l.costs, recordCost(rec))
 	l.totalCost += l.costs[len(l.costs)-1]

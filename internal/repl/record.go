@@ -23,6 +23,7 @@ package repl
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 
@@ -30,6 +31,13 @@ import (
 	"perm/internal/value"
 	"perm/internal/wire"
 )
+
+// ErrCorrupt is wrapped by every decode error in this package: a record or
+// batch that cannot be decoded from untrusted bytes (a replication peer, a
+// WAL segment off disk). The decoder's contract is to return this — never
+// to panic and never to over-allocate — whatever the input; the WAL's
+// recovery turns it into a truncation point, the follower into a resync.
+var ErrCorrupt = errors.New("repl: corrupt record")
 
 // Kind enumerates the logical change types.
 type Kind uint8
@@ -132,11 +140,17 @@ func appendRowSet(dst []byte, rows []value.Row) []byte {
 	return dst
 }
 
-// ReadRecord decodes one record from r.
+// ReadRecord decodes one record from r. Every failure wraps ErrCorrupt.
 func ReadRecord(r *wire.Reader) (Record, error) {
 	var rec Record
 	rec.LSN = r.Uvarint()
 	rec.Kind = Kind(r.Byte())
+	if err := r.Err(); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if rec.Kind < KindInsert || rec.Kind > KindAnalyze {
+		return Record{}, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, uint8(rec.Kind))
+	}
 	rec.Table = r.String()
 	rec.Rows = readRowSet(r)
 	rec.OldRows = readRowSet(r)
@@ -144,10 +158,10 @@ func ReadRecord(r *wire.Reader) (Record, error) {
 	// Each column costs at least 3 payload bytes; reject impossible counts
 	// before allocating.
 	if err := r.Err(); err != nil {
-		return Record{}, err
+		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	if ncols > uint64(r.Remaining())/3 {
-		return Record{}, fmt.Errorf("repl: record with impossible column count %d", ncols)
+		return Record{}, fmt.Errorf("%w: impossible column count %d", ErrCorrupt, ncols)
 	}
 	if ncols > 0 {
 		rec.Columns = make([]catalog.Column, ncols)
@@ -159,7 +173,7 @@ func ReadRecord(r *wire.Reader) (Record, error) {
 	}
 	rec.ViewText = r.String()
 	if err := r.Err(); err != nil {
-		return Record{}, err
+		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return rec, nil
 }
@@ -209,17 +223,18 @@ func AppendBatch(dst []byte, recs []Record) []byte {
 	return dst
 }
 
-// DecodeBatch parses a change-batch payload.
+// DecodeBatch parses a change-batch payload. Every failure wraps
+// ErrCorrupt.
 func DecodeBatch(payload []byte) ([]Record, error) {
 	r := wire.NewReader(payload)
 	n := r.Uvarint()
 	if err := r.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	// Each record costs several payload bytes; this bound only guards the
 	// allocation below against corrupt counts.
 	if n > uint64(len(payload)) {
-		return nil, fmt.Errorf("repl: change batch with impossible record count %d", n)
+		return nil, fmt.Errorf("%w: impossible record count %d", ErrCorrupt, n)
 	}
 	recs := make([]Record, 0, n)
 	for i := uint64(0); i < n; i++ {

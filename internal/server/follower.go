@@ -30,6 +30,11 @@ type FollowerConfig struct {
 	// RetryMin/RetryMax bound the reconnect backoff; defaults 200ms / 5s.
 	RetryMin time.Duration
 	RetryMax time.Duration
+	// PrepareStore, when set, is called with the freshly restored bootstrap
+	// store before it is swapped in — the WAL manager hooks in here
+	// (Manager.AdoptStore) so a durable replica journals the feed it
+	// applies and restarts from local disk instead of re-bootstrapping.
+	PrepareStore func(*storage.Store) error
 	// Logf, when set, receives connection lifecycle and error logs.
 	Logf func(format string, args ...any)
 }
@@ -299,6 +304,14 @@ func (f *Follower) streamOnce() error {
 				}
 			}
 			if n := len(recs); n > 0 {
+				// One durability wait per batch, not per record: the applied
+				// records are journaled by the store's WAL hook (when one is
+				// attached), and group-committing the batch keeps replica
+				// apply throughput at the primary's, not at one fsync per
+				// record.
+				if err := store.WaitDurable(); err != nil {
+					return fmt.Errorf("replica WAL: %w", err)
+				}
 				f.observePrimary(recs[n-1].LSN)
 			}
 		case wire.MsgHeartbeat:
@@ -353,6 +366,12 @@ func (f *Follower) bootstrap(conn *wire.Conn, nc net.Conn) (time.Duration, error
 	if cs.liveLSN != fresh.Log().LastLSN() {
 		f.markResync()
 		return 0, fmt.Errorf("snapshot stream live at LSN %d, snapshot payload at %d", cs.liveLSN, fresh.Log().LastLSN())
+	}
+	if f.cfg.PrepareStore != nil {
+		if err := f.cfg.PrepareStore(fresh); err != nil {
+			f.markResync()
+			return 0, fmt.Errorf("prepare bootstrap store: %w", err)
+		}
 	}
 	f.db.SwapStore(fresh)
 	f.mu.Lock()

@@ -1,0 +1,34 @@
+package server
+
+import (
+	"perm/internal/engine"
+	"perm/internal/wal"
+)
+
+// walController adapts a wal.Manager to engine.WALController, keeping the
+// engine free of a dependency on the wal package (the engine sees only its
+// own interface; the server, which owns both, bridges them).
+type walController struct{ m *wal.Manager }
+
+// WALController wraps the manager for engine.DB.SetWALController.
+func WALController(m *wal.Manager) engine.WALController {
+	return walController{m: m}
+}
+
+func (c walController) SetSyncPolicy(policy string) error {
+	return c.m.SetSyncPolicy(policy)
+}
+
+func (c walController) WALStatus() engine.WALStatus {
+	st := c.m.Status()
+	return engine.WALStatus{
+		Mode:          st.Mode,
+		LastLSN:       st.LastLSN,
+		DurableLSN:    st.DurableLSN,
+		CheckpointLSN: st.CheckpointLSN,
+		Checkpoints:   st.Checkpoints,
+		Segments:      st.Segments,
+		WALBytes:      st.WALBytes,
+		Err:           st.Err,
+	}
+}

@@ -42,6 +42,9 @@ type Table struct {
 	// the row slice in, so a snapshot (gate exclusive) always captures a row
 	// state and a log position that agree exactly.
 	log *repl.ChangeLog
+	// store, when non-nil, is the owning store — mutations consult its
+	// durability gate before deciding and wait on it before acknowledging.
+	store *Store
 }
 
 // NewTable creates an empty table for the definition.
@@ -164,6 +167,25 @@ func appendRecord(log *repl.ChangeLog, rec repl.Record) {
 	}
 }
 
+// writeAllowed reports the owning store's sticky durability failure, if
+// any; a detached table (no owning store) is always writable.
+func (t *Table) writeAllowed() error {
+	if t.store == nil {
+		return nil
+	}
+	return t.store.writeAllowed()
+}
+
+// waitDurable blocks until the mutation this call follows is durable under
+// the owning store's policy. Called after the apply critical section, so an
+// fsync wait never blocks snapshot collection or other tables' writers.
+func (t *Table) waitDurable() error {
+	if t.store == nil {
+		return nil
+	}
+	return t.store.WaitDurable()
+}
+
 // Insert appends a row after type checking. It returns the number of rows
 // inserted (always 1 on success).
 func (t *Table) Insert(row value.Row) (int, error) {
@@ -183,10 +205,16 @@ func (t *Table) InsertBatch(rows []value.Row) (int, error) {
 	if len(checked) == 0 {
 		return 0, nil
 	}
+	if err := t.writeAllowed(); err != nil {
+		return 0, err
+	}
 	t.writeMu.Lock()
-	defer t.writeMu.Unlock()
 	rec := &repl.Record{Kind: repl.KindInsert, Table: t.def.Name, Rows: checked}
 	t.applyRows(append(t.snapshotLocked(), checked...), rec)
+	t.writeMu.Unlock()
+	if err := t.waitDurable(); err != nil {
+		return 0, err
+	}
 	return len(checked), nil
 }
 
@@ -231,6 +259,20 @@ func (t *Table) RowCount() int {
 // phase — outside the table's read-write lock — so it may itself query this
 // table (DELETE ... WHERE x IN (SELECT ... FROM same_table)).
 func (t *Table) Delete(pred func(value.Row) (bool, error)) (int, error) {
+	if err := t.writeAllowed(); err != nil {
+		return 0, err
+	}
+	n, err := t.delete(pred)
+	if err != nil || n == 0 {
+		return n, err
+	}
+	if err := t.waitDurable(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func (t *Table) delete(pred func(value.Row) (bool, error)) (int, error) {
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
 	if pred == nil {
@@ -269,6 +311,20 @@ func (t *Table) Delete(pred func(value.Row) (bool, error)) (int, error) {
 // Delete's pred, both callbacks run outside the table lock and may query any
 // table, including this one.
 func (t *Table) Update(pred func(value.Row) (bool, error), fn func(value.Row) (value.Row, error)) (int, error) {
+	if err := t.writeAllowed(); err != nil {
+		return 0, err
+	}
+	n, err := t.update(pred, fn)
+	if err != nil || n == 0 {
+		return n, err
+	}
+	if err := t.waitDurable(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func (t *Table) update(pred func(value.Row) (bool, error), fn func(value.Row) (value.Row, error)) (int, error) {
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
 	rows := t.snapshotLocked()
@@ -335,6 +391,68 @@ type Store struct {
 	// bootstrap from a snapshot — its LSNs count a different past, even if
 	// the numbers happen to line up.
 	origin atomic.Uint64
+	// dur holds the store's Durability gate (a durabilityBox; nil d when the
+	// store is purely in-memory). Loaded on every mutation, stored once at
+	// startup, hence atomic rather than under mu.
+	dur atomic.Value
+}
+
+// Durability is the write-ahead log's contract with the store: WaitDurable
+// blocks until everything the change log accepted up to lsn is persistent
+// under the configured sync policy, and Err reports the sticky failure that
+// makes the store read-only (a write that may have been lost must never be
+// acknowledged, and no later write may be accepted on top of it).
+type Durability interface {
+	WaitDurable(lsn uint64) error
+	Err() error
+}
+
+type durabilityBox struct{ d Durability }
+
+// SetDurability installs (or, with nil, removes) the durability gate. The
+// WAL manager calls it after recovery, before the store serves traffic.
+func (s *Store) SetDurability(d Durability) {
+	s.dur.Store(durabilityBox{d: d})
+}
+
+func (s *Store) durability() Durability {
+	if box, ok := s.dur.Load().(durabilityBox); ok {
+		return box.d
+	}
+	return nil
+}
+
+// WaitDurable blocks until the store's current change-log position is
+// durable. Mutations call it after their critical section: the log position
+// is at least their own record's LSN, and durability is monotone, so
+// waiting for the newer position is correct (and naturally group-commits
+// concurrent writers). A replication follower calls it once per applied
+// batch instead of once per record.
+func (s *Store) WaitDurable() error {
+	d := s.durability()
+	if d == nil {
+		return nil
+	}
+	return d.WaitDurable(s.log.LastLSN())
+}
+
+// writeAllowed refuses new mutations while the durability gate's sticky
+// failure stands; reads are unaffected.
+func (s *Store) writeAllowed() error {
+	d := s.durability()
+	if d == nil {
+		return nil
+	}
+	return d.Err()
+}
+
+// AdoptOrigin stamps the store with a history identifier recovered from an
+// on-disk artifact (a WAL segment header when no snapshot survived). Zero —
+// "no origin recorded" — is ignored.
+func (s *Store) AdoptOrigin(origin uint64) {
+	if origin != 0 {
+		s.origin.Store(origin)
+	}
 }
 
 // NewStore creates a store over a fresh catalog.
@@ -373,7 +491,17 @@ func (s *Store) Log() *repl.ChangeLog { return s.log }
 // CreateTable registers the definition and allocates the heap. Catalog entry
 // and heap appear atomically with respect to snapshot collection.
 func (s *Store) CreateTable(def *catalog.TableDef) (*Table, error) {
-	return s.createTable(def, 0)
+	if err := s.writeAllowed(); err != nil {
+		return nil, err
+	}
+	t, err := s.createTable(def, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.WaitDurable(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 func (s *Store) createTable(def *catalog.TableDef, lsn uint64) (*Table, error) {
@@ -392,13 +520,20 @@ func (s *Store) attach(def *catalog.TableDef) *Table {
 	t := NewTable(def)
 	t.gate = &s.gate
 	t.log = s.log
+	t.store = s
 	s.tables[keyOf(def.Name)] = t
 	return t
 }
 
 // DropTable removes definition and data atomically.
 func (s *Store) DropTable(name string) error {
-	return s.dropTable(name, 0)
+	if err := s.writeAllowed(); err != nil {
+		return err
+	}
+	if err := s.dropTable(name, 0); err != nil {
+		return err
+	}
+	return s.WaitDurable()
 }
 
 func (s *Store) dropTable(name string, lsn uint64) error {
@@ -416,7 +551,13 @@ func (s *Store) dropTable(name string, lsn uint64) error {
 // must go through the store (not the catalog directly) on any database that
 // may have replication followers.
 func (s *Store) CreateView(def *catalog.ViewDef) error {
-	return s.createView(def, 0)
+	if err := s.writeAllowed(); err != nil {
+		return err
+	}
+	if err := s.createView(def, 0); err != nil {
+		return err
+	}
+	return s.WaitDurable()
 }
 
 func (s *Store) createView(def *catalog.ViewDef, lsn uint64) error {
@@ -431,7 +572,13 @@ func (s *Store) createView(def *catalog.ViewDef, lsn uint64) error {
 
 // DropView removes a view and logs the change.
 func (s *Store) DropView(name string) error {
-	return s.dropView(name, 0)
+	if err := s.writeAllowed(); err != nil {
+		return err
+	}
+	if err := s.dropView(name, 0); err != nil {
+		return err
+	}
+	return s.WaitDurable()
 }
 
 func (s *Store) dropView(name string, lsn uint64) error {
@@ -454,7 +601,13 @@ func (s *Store) Table(name string) *Table {
 // Analyze refreshes the catalog statistics (row count and per-column distinct
 // fraction) for the named table, or for all tables when name is empty.
 func (s *Store) Analyze(name string) error {
-	return s.analyze(name, 0)
+	if err := s.writeAllowed(); err != nil {
+		return err
+	}
+	if err := s.analyze(name, 0); err != nil {
+		return err
+	}
+	return s.WaitDurable()
 }
 
 // analyze does the statistics refresh and logs it. The record is appended
@@ -505,6 +658,9 @@ func (s *Store) analyze(name string, lsn uint64) error {
 // and is returned as an error so the caller can re-bootstrap from a
 // snapshot.
 func (s *Store) ApplyChange(rec repl.Record) error {
+	if err := s.writeAllowed(); err != nil {
+		return err
+	}
 	switch rec.Kind {
 	case repl.KindCreateTable:
 		cols := append([]catalog.Column(nil), rec.Columns...)

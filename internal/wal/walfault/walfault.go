@@ -1,0 +1,98 @@
+// Package walfault is the crash-fault-injection seam of the write-ahead
+// log: a set of hooks internal/wal calls at every durability-relevant
+// instant of the commit path. Production runs pass no hooks and pay a nil
+// check per call; the crash harness installs hooks that kill the process
+// with SIGKILL at a chosen commit point, shorten or corrupt the bytes
+// handed to write(2), or make fsync report an I/O error — so recovery can
+// be proven against every failure the real world produces, not just clean
+// shutdowns.
+package walfault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Hooks are the WAL's fault-injection points. Every field may be nil. The
+// crash points (BeforeAppend, AfterAppend, AfterSync, MidRotate,
+// MidCheckpoint) are called synchronously from inside the WAL's critical
+// sections, in commit order; a hook that never returns (process kill)
+// therefore freezes the log at an exactly known byte state.
+type Hooks struct {
+	// BeforeAppend fires before the record's frame is written to the
+	// segment file (crash here: the mutation is in memory, not in the WAL —
+	// it was never acknowledged and must be absent after recovery).
+	BeforeAppend func(lsn uint64)
+	// AfterAppend fires after write(2) returned but before any fsync
+	// (crash here: the record may or may not survive; if it was not yet
+	// acknowledged either outcome is a correct recovery).
+	AfterAppend func(lsn uint64)
+	// AfterSync fires after a successful fsync, before any waiter is
+	// released (crash here: the record is durable but the client never saw
+	// the acknowledgment — recovery must still replay it).
+	AfterSync func(lsn uint64)
+	// MidRotate fires between sealing the full segment and creating its
+	// successor.
+	MidRotate func()
+	// MidCheckpoint fires between writing the checkpoint snapshot to its
+	// temp file and renaming it over the live snapshot.
+	MidCheckpoint func()
+	// TransformWrite, when set, may return a mutated copy of the frame
+	// about to be written — truncated (a short write), bit-flipped, or
+	// garbage — simulating torn and corrupt records without a real crash.
+	TransformWrite func(frame []byte) []byte
+	// SyncErr, when set, is consulted before each fsync; a non-nil return
+	// is treated exactly like fsync failing with that error (sticky: the
+	// log goes read-only, the waiter is never acknowledged).
+	SyncErr func() error
+}
+
+// Crash-point names accepted by CrashSpec, in commit order.
+const (
+	PointPreAppend     = "pre-append"
+	PointPostAppend    = "post-append"
+	PointPostSync      = "post-fsync"
+	PointMidRotate     = "mid-rotate"
+	PointMidCheckpoint = "mid-checkpoint"
+)
+
+// CrashSpec builds Hooks that invoke kill() at the n-th occurrence of the
+// named crash point, from a "point:n" spec (n counts from 1). The crash
+// harness passes a func that SIGKILLs the running process; tests may pass
+// any func, including one that panics. Unknown points are an error so a
+// typo cannot silently produce a crash-free "crash" run.
+func CrashSpec(spec string, kill func()) (*Hooks, error) {
+	point, nstr, ok := strings.Cut(spec, ":")
+	n := 1
+	if ok {
+		v, err := strconv.Atoi(nstr)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("walfault: bad crash count in %q", spec)
+		}
+		n = v
+	}
+	var hits atomic.Int64
+	at := func() {
+		if hits.Add(1) == int64(n) {
+			kill()
+		}
+	}
+	h := &Hooks{}
+	switch point {
+	case PointPreAppend:
+		h.BeforeAppend = func(uint64) { at() }
+	case PointPostAppend:
+		h.AfterAppend = func(uint64) { at() }
+	case PointPostSync:
+		h.AfterSync = func(uint64) { at() }
+	case PointMidRotate:
+		h.MidRotate = func() { at() }
+	case PointMidCheckpoint:
+		h.MidCheckpoint = func() { at() }
+	default:
+		return nil, fmt.Errorf("walfault: unknown crash point %q", point)
+	}
+	return h, nil
+}
