@@ -186,10 +186,15 @@ func (m *Manager) StartCheckpointer(interval time.Duration) {
 // journaling re-attaches to the fresh store, so a replica restart recovers
 // locally and resumes the feed incrementally instead of re-bootstrapping.
 //
-// Ordering is crash-safe in the weak-but-consistent sense: segments are
-// removed before the new snapshot lands, so a crash in between recovers an
-// older consistent state, and the follower (it is always a follower that
-// calls this) re-bootstraps from the primary on its next connection.
+// Ordering is crash-safe in the weak-but-consistent sense, and every crash
+// window recovers to a state replay accepts: (1) the old-origin segments
+// are removed first — a crash here recovers the old snapshot with no WAL
+// tail, an older consistent state, and the follower (it is always a
+// follower that calls this) re-bootstraps from the primary; (2) the new
+// snapshot is installed — a crash here recovers the fresh state the same
+// way; (3) only then is the first new-origin segment created, so no crash
+// can leave a new-origin segment next to an old-origin snapshot (which
+// recovery would reject as mixed data directories).
 func (m *Manager) AdoptStore(fresh *storage.Store) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -201,11 +206,14 @@ func (m *Manager) AdoptStore(fresh *storage.Store) error {
 	// wait on a log that will never see its LSNs again.
 	m.store.Log().SetAppendHook(nil)
 	m.store.SetDurability(nil)
-	if err := m.log.rebase(fresh.Log().LastLSN(), fresh.Origin()); err != nil {
+	if err := m.log.discard(); err != nil {
 		return err
 	}
 	m.store = fresh
 	if err := m.checkpointLocked(); err != nil {
+		return err
+	}
+	if err := m.log.restart(fresh.Log().LastLSN(), fresh.Origin()); err != nil {
 		return err
 	}
 	m.attach(fresh)

@@ -210,6 +210,19 @@ func replayDir(waldir string, store *storage.Store, snapLSN uint64, rec *Recover
 		if segRes.torn {
 			return truncateAt(i, segRes.goodOffset, segRes.why)
 		}
+		// A trailing header-only segment is the footprint of a crash right
+		// after rotation (or first boot) created it: it holds no records, and
+		// the append side will reuse its name for the fresh live segment. It
+		// must NOT survive as a sealed segment — tracking the same file both
+		// as sealed and as the live tail would let a later checkpoint GC
+		// unlink the segment being appended to, losing acknowledged writes.
+		if i == len(segs)-1 && segRes.goodOffset == segHeaderSize {
+			logf("wal: dropping empty trailing segment %s", seg.path)
+			if err := os.Remove(seg.path); err != nil {
+				return nil, fmt.Errorf("wal: remove empty segment: %w", err)
+			}
+			break
+		}
 		survived = append(survived, segment{first: seg.first, path: seg.path, bytes: seg.bytes})
 	}
 	adoptOrigin()
@@ -282,7 +295,11 @@ func replaySegment(f *os.File, seg segment, snapLSN uint64, prevLSN, origin *uin
 			return segResult{torn: true, goodOffset: offset, why: "undecodable record"}, nil
 		}
 		if *prevLSN != 0 && r.LSN != *prevLSN+1 {
-			return segResult{torn: true, goodOffset: offset, why: fmt.Sprintf("LSN gap (%d after %d)", r.LSN, *prevLSN)}, nil
+			// CRC-valid records on both sides of a hole: records were lost,
+			// which is corruption, not a torn tail. Truncating here would
+			// silently discard the later (potentially acknowledged) records,
+			// so refuse to recover instead.
+			return segResult{}, fmt.Errorf("wal: segment %s has an LSN gap (record %d follows %d) — records are missing, refusing to recover", seg.path, r.LSN, *prevLSN)
 		}
 		*prevLSN = r.LSN
 		if r.LSN > snapLSN {

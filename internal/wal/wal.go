@@ -35,6 +35,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -80,8 +81,10 @@ func ParseSyncPolicy(s string) (mode int, interval time.Duration, err error) {
 	}
 	if rest, ok := strings.CutPrefix(p, "group("); ok {
 		if ms, ok := strings.CutSuffix(rest, ")"); ok {
-			var v float64
-			if _, err := fmt.Sscanf(ms, "%g", &v); err == nil && v >= 0 && v <= 10_000 {
+			// ParseFloat over the whole substring: trailing garbage
+			// ("group(5xyz)", "group(5s)") must fail validation, not silently
+			// parse as 5 ms.
+			if v, err := strconv.ParseFloat(strings.TrimSpace(ms), 64); err == nil && v >= 0 && v <= 10_000 {
 				return syncGroup, time.Duration(v * float64(time.Millisecond)), nil
 			}
 		}
@@ -479,6 +482,14 @@ func (l *seglog) removeBelow(floor uint64) int {
 		if next > floor {
 			break
 		}
+		// Invariant guard: the live append segment must never appear in the
+		// sealed list (recovery drops a trailing header-only segment before
+		// the append side reuses its name). Unlinking it here would send
+		// later writes to an unlinked file — acknowledged-write loss.
+		if l.sealed[0].path == l.curPath {
+			l.logf("wal: BUG: sealed list contains the live segment %s; refusing to remove it", l.curPath)
+			break
+		}
 		if err := os.Remove(l.sealed[0].path); err != nil && !os.IsNotExist(err) {
 			l.logf("wal: removing obsolete segment %s: %v", l.sealed[0].path, err)
 			break
@@ -489,10 +500,12 @@ func (l *seglog) removeBelow(floor uint64) int {
 	return removed
 }
 
-// rebase discards the entire log (a replica adopted a new bootstrap
-// snapshot whose history the local segments no longer describe) and
-// restarts it positioned after lastLSN under the given history origin.
-func (l *seglog) rebase(lastLSN, origin uint64) error {
+// discard drops the entire log — every sealed segment and the live one (a
+// replica adopted a new bootstrap snapshot whose history the local segments
+// no longer describe) — leaving the log without an append segment until
+// restart reopens it. In between, appends are impossible (the manager holds
+// no attached store) and fsyncs are no-ops (durableLSN == lastLSN).
+func (l *seglog) discard() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.err != nil {
@@ -504,6 +517,7 @@ func (l *seglog) rebase(lastLSN, origin uint64) error {
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: close segment: %w", err)
 	}
+	l.f = nil
 	if err := os.Remove(l.curPath); err != nil {
 		return fmt.Errorf("wal: remove segment: %w", err)
 	}
@@ -513,6 +527,22 @@ func (l *seglog) rebase(lastLSN, origin uint64) error {
 		}
 	}
 	l.sealed = nil
+	l.durableLSN = l.lastLSN
+	l.cond.Broadcast()
+	return nil
+}
+
+// restart reopens a discarded log positioned after lastLSN under the given
+// history origin, creating the first segment of the new timeline.
+func (l *seglog) restart(lastLSN, origin uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return fmt.Errorf("%w: log closed", ErrWALFailed)
+	}
 	l.origin = origin
 	l.lastLSN = lastLSN
 	l.durableLSN = lastLSN
@@ -551,8 +581,12 @@ func (l *seglog) close() error {
 		return nil
 	}
 	err := l.fsyncLocked()
-	if cerr := l.f.Close(); err == nil && cerr != nil {
-		err = fmt.Errorf("wal: close segment: %w", cerr)
+	// l.f is nil only when a discard was never followed by a successful
+	// restart (the sticky error already reports why).
+	if l.f != nil {
+		if cerr := l.f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("wal: close segment: %w", cerr)
+		}
 	}
 	l.closed = true
 	l.cond.Broadcast()

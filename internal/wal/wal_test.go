@@ -104,6 +104,9 @@ func TestParseSyncPolicy(t *testing.T) {
 		{in: "group(-1)", bad: true},
 		{in: "group(99999)", bad: true},
 		{in: "group(x)", bad: true},
+		{in: "group(5s)", bad: true},
+		{in: "group(5xyz)", bad: true},
+		{in: "group()", bad: true},
 		{in: "fsync", bad: true},
 		{in: "", bad: true},
 	} {
@@ -501,6 +504,129 @@ func TestAdoptStoreRebasesWAL(t *testing.T) {
 		t.Fatalf("AdoptStore wrote no checkpoint: %+v", rec)
 	}
 	wantKeys(t, s2, 7, 40, 41)
+}
+
+// A crash that leaves a header-only segment (created by rotation or first
+// boot, never appended to) must not let the reopened log track that file
+// both as a sealed segment and as the live append segment: checkpoint GC
+// would then unlink the segment being appended to, and every later
+// acknowledged write would vanish on the next restart.
+func TestEmptyTrailingSegmentNotDoubleTracked(t *testing.T) {
+	dir := t.TempDir()
+	s, m, _ := testOpen(t, dir, Options{})
+	origin := s.Origin()
+	if err := m.Close(); err != nil { // leaves wal-...01.seg header-only
+		t.Fatal(err)
+	}
+
+	s2, m2, _ := testOpen(t, dir, Options{})
+	if s2.Origin() != origin {
+		t.Fatalf("recovered origin %x, want %x (adopted from the empty segment)", s2.Origin(), origin)
+	}
+	s2.Log().SetRetention(1)
+	seed(t, s2, 0, 3)
+	// In the buggy version the live segment sat in the sealed list too, and
+	// this checkpoint's GC unlinked it out from under the appender.
+	if err := m2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	seed(t, s2, 10, 2) // acknowledged post-checkpoint writes
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s3, m3, _ := testOpen(t, dir, Options{})
+	defer m3.Close()
+	wantKeys(t, s3, 0, 1, 2, 10, 11)
+}
+
+// An LSN gap between CRC-valid records means records were lost — corruption,
+// not a torn tail. Recovery must refuse, not silently truncate the valid
+// (potentially acknowledged) records after the hole.
+func TestLSNGapFatal(t *testing.T) {
+	dir := t.TempDir()
+	s, m, _ := testOpen(t, dir, Options{SegmentBytes: 128})
+	seed(t, s, 0, 20)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := segPaths(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("%d segments, want at least 3", len(segs))
+	}
+	if err := os.Remove(segs[1]); err != nil { // hole in the middle of history
+		t.Fatal(err)
+	}
+	if _, _, _, err := Open(dir, Options{SegmentBytes: 128}); err == nil {
+		t.Fatal("recovery spliced over a missing segment, want hard error")
+	}
+}
+
+// AdoptStore must never leave a crash window where a new-origin segment
+// coexists with an old-origin snapshot (recovery rejects that as mixed data
+// directories): the old segments go first, the fresh snapshot is installed
+// second, and only then is the first new-origin segment created.
+func TestAdoptStoreCrashWindowOrdering(t *testing.T) {
+	dir := t.TempDir()
+	segsAtInstall := -1
+	hooks := &walfault.Hooks{MidCheckpoint: func() {
+		// Fires inside AdoptStore's checkpoint, just before the snapshot
+		// rename: the old-origin segments must already be gone and the
+		// new-origin segment must not exist yet.
+		segsAtInstall = len(segPathsQuiet(dir))
+	}}
+	s, m, _ := testOpen(t, dir, Options{Hooks: hooks})
+	seed(t, s, 0, 3)
+
+	fresh := storage.NewStore()
+	tab, err := fresh.CreateTable(&catalog.TableDef{Name: "kv", Columns: []catalog.Column{
+		{Name: "k", Type: value.KindInt}, {Name: "v", Type: value.KindInt},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Insert(value.Row{value.NewInt(7), value.NewInt(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AdoptStore(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if segsAtInstall != 0 {
+		t.Fatalf("AdoptStore installed the snapshot with %d segment(s) on disk, want 0", segsAtInstall)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash between snapshot install and the new segment's
+	// creation: a new-origin snapshot with no WAL at all must recover.
+	for _, p := range segPathsQuiet(dir) {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, m2, _ := testOpen(t, dir, Options{})
+	defer m2.Close()
+	if s2.Origin() != fresh.Origin() {
+		t.Fatalf("recovered origin %x, want adopted %x", s2.Origin(), fresh.Origin())
+	}
+	wantKeys(t, s2, 7)
+}
+
+// segPathsQuiet is segPaths without the testing.T plumbing, for use inside
+// fault hooks.
+func segPathsQuiet(dir string) []string {
+	ents, err := os.ReadDir(filepath.Join(dir, walSubdir))
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range ents {
+		if _, ok := parseSegName(e.Name()); ok {
+			out = append(out, filepath.Join(dir, walSubdir, e.Name()))
+		}
+	}
+	return out
 }
 
 func TestMixedOriginRejected(t *testing.T) {
