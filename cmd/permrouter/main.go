@@ -1,0 +1,87 @@
+// Command permrouter is the cluster front end: one address that looks like a
+// single permserver but fans out over a member set — writes go to the
+// current-epoch primary, reads load-balance across healthy least-lagged
+// replicas, and idempotent reads are transparently retried across a
+// failover.
+//
+//	permrouter -addr :5440 -members 127.0.0.1:5433,127.0.0.1:5434,127.0.0.1:5435
+//
+// The router also runs the cluster's coordinator: it probes every member on
+// -probe, and when the primary goes unseen for -lease it promotes the
+// most-caught-up replica at a bumped fencing epoch and re-points the other
+// members at it. A deposed primary that returns is demoted (and re-seeded if
+// its timeline diverged) automatically.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"perm/internal/cluster"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:5440", "listen address for routed client connections")
+		members = flag.String("members", "", "comma-separated cluster member addresses (required)")
+		probe   = flag.Duration("probe", 500*time.Millisecond, "member health-probe interval")
+		lease   = flag.Duration("lease", 3*time.Second, "primary lease: unseen this long, failover is declared")
+		dialTO  = flag.Duration("dial-timeout", 2*time.Second, "backend connect + probe timeout")
+		quiet   = flag.Bool("quiet", false, "disable routing and probe logging")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "permrouter: ", log.LstdFlags)
+
+	var memberList []string
+	for _, m := range strings.Split(*members, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			memberList = append(memberList, m)
+		}
+	}
+	if len(memberList) == 0 {
+		logger.Fatalf("-members is required (comma-separated host:port list)")
+	}
+
+	logf := logger.Printf
+	if *quiet {
+		logf = nil
+	}
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Members:       memberList,
+		ProbeInterval: *probe,
+		LeaseTimeout:  *lease,
+		DialTimeout:   *dialTO,
+		Logf:          logf,
+	})
+	go coord.Run()
+
+	router := cluster.NewRouter(cluster.RouterConfig{
+		Topology:    coord,
+		DialTimeout: *dialTO,
+		Logf:        logf,
+	})
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- router.ListenAndServe(*addr) }()
+	logger.Printf("routing %s over %d members (probe %s, lease %s)", *addr, len(memberList), *probe, *lease)
+
+	exitCode := 0
+	select {
+	case err := <-serveErr:
+		logger.Printf("serve: %v", err)
+		exitCode = 1
+	case s := <-sig:
+		logger.Printf("received %s, closing", s)
+	}
+	router.Close()
+	coord.Stop()
+	logger.Printf("goodbye")
+	os.Exit(exitCode)
+}

@@ -60,6 +60,8 @@ func main() {
 		cursorBatch  = flag.Int("cursor-batch", 0, "rows per streamed result batch frame (0 = default 256)")
 		workMem      = flag.Int64("work-mem", 0, "per-session memory budget in bytes for blocking operators; past it sorts/aggregates/set ops spill to disk (0 = engine default, -1 = unlimited)")
 		tempDir      = flag.String("temp-dir", "", "directory for spill temp files (default: the OS temp directory)")
+		syncReplicas = flag.Int("sync-replicas", 0, "semi-synchronous replication: writes are acknowledged only after this many replicas have durably applied them (0 = async)")
+		syncTimeout  = flag.Duration("sync-timeout", 2*time.Second, "how long a write waits for its replica-acknowledgment quorum before failing with a typed error")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "permserver: ", log.LstdFlags)
@@ -116,27 +118,42 @@ func main() {
 		CursorBatchRows:   *cursorBatch,
 		WorkMem:           *workMem,
 		TempDir:           *tempDir,
+		SyncReplicas:      *syncReplicas,
+		SyncTimeout:       *syncTimeout,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
 	}
 	srv := server.New(db, cfg)
 
-	var follower *server.Follower
+	// Every server is a managed cluster member: the harness restores the
+	// persisted fencing epoch from -data-dir and serves coordinator-issued
+	// promote/demote orders, so a permrouter can fail the cluster over
+	// without restarting processes.
+	fcfg := server.FollowerConfig{}
+	if mgr != nil {
+		// A durable replica journals the feed it applies: restart
+		// recovers from local disk and resumes the stream incrementally
+		// instead of re-bootstrapping, and a fresh bootstrap snapshot
+		// rebases the local WAL onto the primary's history.
+		fcfg.PrepareStore = mgr.AdoptStore
+	}
+	if !*quiet {
+		fcfg.Logf = logger.Printf
+	}
+	node, err := server.NewClusterNode(db, srv, server.ClusterNodeConfig{
+		DataDir:  *dataDir,
+		Follower: fcfg,
+		Logf:     logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("cluster harness: %v", err)
+	}
 	if *replicaOf != "" {
-		fcfg := server.FollowerConfig{PrimaryAddr: *replicaOf}
-		if mgr != nil {
-			// A durable replica journals the feed it applies: restart
-			// recovers from local disk and resumes the stream incrementally
-			// instead of re-bootstrapping, and a fresh bootstrap snapshot
-			// rebases the local WAL onto the primary's history.
-			fcfg.PrepareStore = mgr.AdoptStore
-		}
-		if !*quiet {
-			fcfg.Logf = logger.Printf
-		}
-		follower = server.StartFollower(db, fcfg)
+		node.Follow(*replicaOf)
 		logger.Printf("replica of %s (resuming after LSN %d)", *replicaOf, db.Store().Log().LastLSN())
+	} else if err := node.EnsurePrimaryEpoch(); err != nil {
+		logger.Fatalf("cluster harness: %v", err)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -167,11 +184,11 @@ func main() {
 		}
 	}
 
-	if follower != nil {
+	if follower := node.Follower(); follower != nil {
 		// Stop applying before the final snapshot so -save captures a stable
 		// LSN the restarted replica resumes from.
-		follower.Stop()
 		st := follower.Status()
+		node.Stop()
 		logger.Printf("replication stopped at LSN %d (primary at %d, lag %d)",
 			st.AppliedLSN, st.PrimaryLSN, st.Lag())
 	}

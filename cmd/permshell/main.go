@@ -17,6 +17,7 @@
 //	\timing on|off    show per-stage timings (default off)
 //	\set name value   session setting (shorthand for SET)
 //	\status           server role and replication status
+//	\cluster [addrs]  probe cluster members: roles, epochs, lag
 //	\mem              session memory budget and spill counters
 //	\q                quit
 //
@@ -36,6 +37,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"perm"
@@ -47,6 +49,7 @@ import (
 type shell struct {
 	db     *perm.DB
 	client *wire.Client // non-nil in -connect mode
+	addr   string       // the -connect address, for \cluster's default probe
 	out    *bufio.Writer
 	trees  bool
 	timing bool
@@ -72,6 +75,7 @@ func main() {
 			os.Exit(1)
 		}
 		sh.client = client
+		sh.addr = *connect
 		defer client.Close()
 		fmt.Printf("connected to %s (server %q, protocol %d)\n",
 			*connect, client.Server().Server, client.Server().Version)
@@ -220,6 +224,7 @@ func (s *shell) meta(cmd string) bool {
   \fetch N         cursor batch size for remote queries (0 = no suspension)
   \set name value  change a session setting (e.g. \set work_mem 1048576)
   \status          server role and replication status
+  \cluster [addrs] probe cluster members (comma-separated; default: the -connect address)
   \mem             session memory budget, peak, spill counters
   \q               quit`)
 	case "\\d":
@@ -318,6 +323,8 @@ func (s *shell) meta(cmd string) bool {
 				s.client.Server().Server, s.client.Server().Version)
 		}
 		s.run("SHOW replication_status")
+	case "\\cluster":
+		s.clusterStatus(fields[1:])
 	case "\\mem":
 		// The session's work_mem budget, live/peak tracked bytes and spill
 		// counters — plain SQL, so it works embedded and over -connect.
@@ -326,6 +333,53 @@ func (s *shell) meta(cmd string) bool {
 		fmt.Fprintf(s.out, "unknown meta command %s (try \\?)\n", fields[0])
 	}
 	return true
+}
+
+// clusterStatus probes each member address with a Status round trip and
+// renders the membership table: role, fencing epoch, replication positions,
+// lag and health. Addresses come from the arguments (comma- or
+// space-separated); with none, the -connect address is probed.
+func (s *shell) clusterStatus(args []string) {
+	var addrs []string
+	for _, a := range args {
+		for _, one := range strings.Split(a, ",") {
+			if one = strings.TrimSpace(one); one != "" {
+				addrs = append(addrs, one)
+			}
+		}
+	}
+	if len(addrs) == 0 {
+		if s.addr == "" {
+			fmt.Fprintln(s.out, `usage: \cluster addr1,addr2,... (default needs -connect)`)
+			return
+		}
+		addrs = []string{s.addr}
+	}
+	w := tabwriter.NewWriter(s.out, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(w, "member\trole\tepoch\tapplied\tdurable\tlag\tstaleness\thealth")
+	for _, addr := range addrs {
+		cli, err := wire.DialTimeout(addr, 3*time.Second)
+		if err != nil {
+			fmt.Fprintf(w, "%s\t-\t-\t-\t-\t-\t-\tunreachable: %v\n", addr, err)
+			continue
+		}
+		st, err := cli.Status()
+		cli.Close()
+		if err != nil {
+			fmt.Fprintf(w, "%s\t-\t-\t-\t-\t-\t-\tstatus failed: %v\n", addr, err)
+			continue
+		}
+		health := "ok"
+		if st.Role == "replica" && !st.Connected {
+			health = "disconnected"
+		}
+		if st.LastError != "" {
+			health += " (" + st.LastError + ")"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%d\t%d\t%d\t%d\t%dms\t%s\n",
+			addr, st.Role, st.Epoch, st.AppliedLSN, st.DurableLSN, st.LagRecords(), st.StalenessMs, health)
+	}
+	w.Flush()
 }
 
 func (s *shell) load(args []string) {

@@ -1,0 +1,153 @@
+package driver_test
+
+// Multi-host perm:// DSNs: connect-time member selection by role, read
+// preferences, and the typed stale-epoch error mapping.
+
+import (
+	"database/sql"
+	"errors"
+	"strings"
+	"testing"
+
+	"perm/internal/engine"
+	"perm/internal/server"
+
+	permdriver "perm/driver"
+)
+
+// TestMultiHostDSNErrors pins the parse failures: they must surface at pool
+// use, naming the offending DSN.
+func TestMultiHostDSNErrors(t *testing.T) {
+	cases := []struct{ dsn, want string }{
+		{"perm://", "no member addresses"},
+		{"perm:///?readpref=replica", "no member addresses"},
+		{"perm://h1,h2/?readpref=nearest", "bad value"},
+		{"perm://h1/?readpref=", "bad value"},
+	}
+	for _, c := range cases {
+		db, err := sql.Open("perm", c.dsn)
+		if err == nil {
+			err = db.Ping()
+			db.Close()
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("DSN %q: error %v, want mention of %q", c.dsn, err, c.want)
+		}
+	}
+}
+
+// multiHostCluster is one writable primary and one read-only replica server,
+// both over independent engines so the answering member is identifiable.
+func multiHostCluster(t *testing.T) (primaryAddr, replicaAddr string) {
+	t.Helper()
+	pdb := engine.NewDB()
+	mustExecute(t, pdb, `CREATE TABLE t (v string)`)
+	mustExecute(t, pdb, `INSERT INTO t VALUES ('on-primary')`)
+	pdb.SetEpoch(1)
+
+	rdb := engine.NewDB()
+	mustExecute(t, rdb, `CREATE TABLE t (v string)`)
+	mustExecute(t, rdb, `INSERT INTO t VALUES ('on-replica')`)
+	rdb.SetEpoch(1)
+	rdb.SetReadOnly(true)
+
+	return startServer(t, pdb, server.Config{}), startServer(t, rdb, server.Config{})
+}
+
+func mustExecute(t *testing.T, db *engine.DB, sqlText string) {
+	t.Helper()
+	s := db.NewSession()
+	defer s.Close()
+	if _, err := s.Execute(sqlText); err != nil {
+		t.Fatalf("%s: %v", sqlText, err)
+	}
+}
+
+func queryOne(t *testing.T, db *sql.DB, q string) string {
+	t.Helper()
+	var v string
+	if err := db.QueryRow(q).Scan(&v); err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return v
+}
+
+func TestMultiHostReadPref(t *testing.T) {
+	primary, replica := multiHostCluster(t)
+	hosts := primary + "," + replica
+
+	// Default (primary): every connection must land on the writable member,
+	// whatever the host order.
+	for _, dsn := range []string{
+		"perm://" + hosts,
+		"perm://" + replica + "," + primary,
+		"perm://" + hosts + "/?readpref=primary",
+	} {
+		db, err := sql.Open("perm", dsn)
+		if err != nil {
+			t.Fatalf("%s: %v", dsn, err)
+		}
+		for i := 0; i < 4; i++ {
+			if got := queryOne(t, db, `SELECT v FROM t`); got != "on-primary" {
+				t.Fatalf("%s routed a connection to %q", dsn, got)
+			}
+		}
+		if _, err := db.Exec(`INSERT INTO t VALUES ('w')`); err != nil {
+			t.Fatalf("%s: write on primary-pref pool: %v", dsn, err)
+		}
+		db.Close()
+	}
+
+	// readpref=replica: reads come from the replica, and the pool works even
+	// though the replica rejects writes (that is what the pref is for).
+	rdb, err := sql.Open("perm", "perm://"+hosts+"/?readpref=replica")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rdb.Close()
+	for i := 0; i < 4; i++ {
+		if got := queryOne(t, rdb, `SELECT v FROM t`); got != "on-replica" {
+			t.Fatalf("replica-pref connection answered %q", got)
+		}
+	}
+	if _, err := rdb.Exec(`INSERT INTO t VALUES ('w')`); !errors.Is(err, permdriver.ErrReadOnly) {
+		t.Fatalf("write on replica-pref pool: %v, want ErrReadOnly", err)
+	}
+
+	// readpref=replica falls back to the primary when no replica answers.
+	fdb, err := sql.Open("perm", "perm://"+primary+"/?readpref=replica")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fdb.Close()
+	if got := queryOne(t, fdb, `SELECT v FROM t`); got != "on-primary" {
+		t.Fatalf("replica-pref fallback answered %q", got)
+	}
+
+	// readpref=any with only dead members reports every attempt.
+	dead, err := sql.Open("perm", "perm://127.0.0.1:1/?readpref=any")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dead.Close()
+	if err := dead.Ping(); err == nil || !strings.Contains(err.Error(), "127.0.0.1:1") {
+		t.Fatalf("all-dead pool: %v, want the attempted address in the error", err)
+	}
+}
+
+// TestMultiHostReadOnlyOption: ?readonly composes with multi-host DSNs —
+// writes are refused client-side before any dial.
+func TestMultiHostReadOnlyOption(t *testing.T) {
+	primary, replica := multiHostCluster(t)
+	db, err := sql.Open("perm", "perm://"+primary+","+replica+"/?readpref=replica&readonly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`DELETE FROM t`); !errors.Is(err, permdriver.ErrReadOnly) {
+		t.Fatalf("write on readonly multi-host pool: %v", err)
+	}
+	if got := queryOne(t, db, `SELECT v FROM t`); got != "on-replica" {
+		t.Fatalf("readonly pool read answered %q", got)
+	}
+}

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand/v2"
 	"strconv"
 	"strings"
 	"time"
 
+	"perm/internal/cluster"
 	"perm/internal/engine"
 	"perm/internal/value"
 	"perm/internal/wire"
@@ -21,6 +23,8 @@ import (
 type connector struct {
 	drv      *Driver
 	addr     string     // remote mode when non-empty
+	hosts    []string   // perm:// multi-host mode when non-empty
+	readPref string     // perm:// role preference: "" ("primary"), "replica", "any"
 	mem      *engine.DB // in-process mode otherwise
 	readOnly bool       // `?readonly` DSN option: reject writes client-side
 }
@@ -32,6 +36,9 @@ func (c *connector) Connect(ctx context.Context) (sqldriver.Conn, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if len(c.hosts) > 0 {
+		return c.connectMulti(ctx)
+	}
 	if c.addr != "" {
 		client, err := wire.DialContext(ctx, c.addr)
 		if err != nil {
@@ -40,6 +47,64 @@ func (c *connector) Connect(ctx context.Context) (sqldriver.Conn, error) {
 		return &conn{remote: client, readOnly: c.readOnly}, nil
 	}
 	return &conn{local: c.mem.NewSession(), readOnly: c.readOnly}, nil
+}
+
+// connectMulti dials a perm:// member set: each candidate's handshake
+// reports its role and fencing epoch, so the connector classifies members
+// without issuing a single query. readpref=primary (the default) demands the
+// writable primary; readpref=replica prefers a replica but falls back to the
+// primary (a degraded cluster still answers reads); readpref=any takes the
+// first member that answers. Hosts are tried in random order so a pool's
+// replica connections spread across the member set.
+func (c *connector) connectMulti(ctx context.Context) (sqldriver.Conn, error) {
+	hosts := c.hosts
+	if len(hosts) > 1 {
+		hosts = append([]string(nil), hosts...)
+		rand.Shuffle(len(hosts), func(i, j int) { hosts[i], hosts[j] = hosts[j], hosts[i] })
+	}
+	var fallback *wire.Client
+	var attempts []string
+	for _, h := range hosts {
+		client, err := wire.DialContext(ctx, h)
+		if err != nil {
+			attempts = append(attempts, fmt.Sprintf("%s: %v", h, err))
+			continue
+		}
+		role := client.Server().Role
+		switch c.readPref {
+		case "any":
+			return &conn{remote: client, readOnly: c.readOnly}, nil
+		case "replica":
+			if role == "replica" {
+				return &conn{remote: client, readOnly: c.readOnly}, nil
+			}
+			// Remember one non-replica as the fallback; keep probing for a
+			// real replica.
+			if fallback == nil {
+				fallback = client
+			} else {
+				client.Close()
+			}
+			attempts = append(attempts, h+": role "+role)
+		default: // "primary"
+			// Pre-cluster servers report no role; treat them as writable
+			// rather than unusable.
+			if role != "replica" {
+				return &conn{remote: client, readOnly: c.readOnly}, nil
+			}
+			client.Close()
+			attempts = append(attempts, h+": role replica")
+		}
+	}
+	if fallback != nil {
+		return &conn{remote: fallback, readOnly: c.readOnly}, nil
+	}
+	pref := c.readPref
+	if pref == "" {
+		pref = "primary"
+	}
+	return nil, fmt.Errorf("perm driver: no member matched readpref=%s (%s)",
+		pref, strings.Join(attempts, "; "))
 }
 
 func (c *connector) connect() (sqldriver.Conn, error) {
@@ -295,12 +360,17 @@ func ctxOr(ctx context.Context, err error) error {
 }
 
 // remoteErr maps typed wire error codes back onto the driver's sentinel
-// errors, so errors.Is(err, ErrReadOnly) works identically for remote and
-// embedded connections.
+// errors, so errors.Is(err, ErrReadOnly) and errors.Is(err, ErrStaleEpoch)
+// work identically for remote and embedded connections.
 func remoteErr(err error) error {
 	var serr *wire.ServerError
-	if errors.As(err, &serr) && serr.Code == wire.ErrCodeReadOnly {
-		return fmt.Errorf("%w (%s)", ErrReadOnly, serr.Message)
+	if errors.As(err, &serr) {
+		switch serr.Code {
+		case wire.ErrCodeReadOnly:
+			return fmt.Errorf("%w (%s)", ErrReadOnly, serr.Message)
+		case wire.ErrCodeStaleEpoch:
+			return fmt.Errorf("%w (%s)", ErrStaleEpoch, serr.Message)
+		}
 	}
 	return err
 }
@@ -322,46 +392,10 @@ func (c *conn) checkReadOnly(sqlText string) error {
 }
 
 // firstKeyword returns the statement's leading keyword, lowercased, skipping
-// whitespace, comments and empty statements — the engine's parser skips
-// leading semicolons too, so ";INSERT …" must classify as "insert", not as
-// empty ("(" for a parenthesized query, "" for a genuinely empty statement).
-func firstKeyword(s string) string {
-	i := 0
-	for i < len(s) {
-		switch {
-		case s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r' || s[i] == ';':
-			i++
-		case s[i] == '-' && i+1 < len(s) && s[i+1] == '-':
-			for i < len(s) && s[i] != '\n' {
-				i++
-			}
-		case s[i] == '/' && i+1 < len(s) && s[i+1] == '*':
-			depth := 1
-			i += 2
-			for i < len(s) && depth > 0 {
-				switch {
-				case i+1 < len(s) && s[i] == '/' && s[i+1] == '*':
-					depth++
-					i += 2
-				case i+1 < len(s) && s[i] == '*' && s[i+1] == '/':
-					depth--
-					i += 2
-				default:
-					i++
-				}
-			}
-		case s[i] == '(':
-			return "("
-		default:
-			j := i
-			for j < len(s) && (s[j] == '_' || 'a' <= s[j]|0x20 && s[j]|0x20 <= 'z') {
-				j++
-			}
-			return strings.ToLower(s[i:j])
-		}
-	}
-	return ""
-}
+// whitespace, comments and empty statements. The implementation lives in
+// internal/cluster (the routing proxy classifies statements with the same
+// scanner, and the two must never disagree on what counts as a read).
+func firstKeyword(s string) string { return cluster.FirstKeyword(s) }
 
 // execLocal runs one materialized statement on the embedded session with
 // the caller's context cancellation armed as the engine interrupt — the

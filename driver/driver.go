@@ -28,6 +28,14 @@
 //	mem://name      — an in-process database shared by every sql.DB in the
 //	                  process that opens the same name (cross-package tests,
 //	                  embedded tools).
+//	perm://h1,h2,h3 — a cluster member set: each pooled connection dials the
+//	                  members (in random order) and picks one by role, read
+//	                  from the wire handshake. `?readpref=primary` (default)
+//	                  demands the writable primary, `?readpref=replica`
+//	                  prefers a replica and falls back to the primary,
+//	                  `?readpref=any` takes the first member that answers. A
+//	                  trailing "/" before options is tolerated:
+//	                  perm://h1,h2,h3/?readpref=replica.
 //
 // Any DSN may carry a `?readonly` suffix (also `?readonly=1|true`), the
 // option for pools pointed at replicas: the driver rejects INSERT, UPDATE,
@@ -87,6 +95,14 @@ func init() {
 // with errors.Is.
 var ErrReadOnly = engine.ErrReadOnly
 
+// ErrStaleEpoch is the typed error a clustered server answers with when a
+// request ran under a fencing epoch older than the cluster's current one — a
+// write acknowledged by a since-deposed primary, or any statement routed to
+// a fenced member mid-failover. It is retryable: reconnecting (or the next
+// statement through a perm:// multi-host pool) lands on the current primary.
+// Match it with errors.Is.
+var ErrStaleEpoch = engine.ErrStaleEpoch
+
 // Driver is the database/sql driver for Perm.
 type Driver struct{}
 
@@ -102,52 +118,87 @@ func (d *Driver) Open(dsn string) (sqldriver.Conn, error) {
 // OpenConnector implements driver.DriverContext: the DSN is parsed once and
 // each pool connection reuses the result.
 func (d *Driver) OpenConnector(dsn string) (sqldriver.Connector, error) {
-	target, readOnly, err := splitOptions(dsn)
+	target, opts, err := splitOptions(dsn)
 	if err != nil {
 		return nil, err
 	}
 	switch {
 	case strings.HasPrefix(target, "mem://"):
 		name := strings.TrimPrefix(target, "mem://")
-		return &connector{drv: d, mem: memDB(name), readOnly: readOnly}, nil
+		return &connector{drv: d, mem: memDB(name), readOnly: opts.readOnly}, nil
 	case strings.HasPrefix(target, "tcp://"):
 		addr := strings.TrimPrefix(target, "tcp://")
 		if addr == "" {
 			return nil, fmt.Errorf("perm driver: empty address in DSN %q", dsn)
 		}
-		return &connector{drv: d, addr: addr, readOnly: readOnly}, nil
+		return &connector{drv: d, addr: addr, readOnly: opts.readOnly}, nil
+	case strings.HasPrefix(target, "perm://"):
+		hosts, err := splitHosts(strings.TrimPrefix(target, "perm://"), dsn)
+		if err != nil {
+			return nil, err
+		}
+		return &connector{drv: d, hosts: hosts, readPref: opts.readPref, readOnly: opts.readOnly}, nil
 	case strings.Contains(target, "://"):
-		return nil, fmt.Errorf("perm driver: unsupported scheme in DSN %q (want tcp:// or mem://)", dsn)
+		return nil, fmt.Errorf("perm driver: unsupported scheme in DSN %q (want tcp://, perm:// or mem://)", dsn)
 	case target == "":
 		return nil, fmt.Errorf("perm driver: empty DSN")
 	default:
 		// Bare host:port.
-		return &connector{drv: d, addr: target, readOnly: readOnly}, nil
+		return &connector{drv: d, addr: target, readOnly: opts.readOnly}, nil
 	}
 }
 
+// dsnOptions are the parsed ?option suffix values.
+type dsnOptions struct {
+	readOnly bool
+	readPref string // "primary" (default), "replica" or "any"
+}
+
 // splitOptions strips and parses the DSN's ?option suffix.
-func splitOptions(dsn string) (target string, readOnly bool, err error) {
-	target, opts, found := strings.Cut(dsn, "?")
+func splitOptions(dsn string) (target string, opts dsnOptions, err error) {
+	target, rawOpts, found := strings.Cut(dsn, "?")
 	if !found {
-		return target, false, nil
+		return target, opts, nil
 	}
-	for _, opt := range strings.Split(opts, "&") {
+	for _, opt := range strings.Split(rawOpts, "&") {
 		name, val, _ := strings.Cut(opt, "=")
 		switch name {
 		case "readonly":
 			switch val {
 			case "", "1", "true":
-				readOnly = true
+				opts.readOnly = true
 			case "0", "false":
 			default:
-				return "", false, fmt.Errorf("perm driver: bad value %q for readonly in DSN %q", val, dsn)
+				return "", opts, fmt.Errorf("perm driver: bad value %q for readonly in DSN %q", val, dsn)
+			}
+		case "readpref":
+			switch val {
+			case "primary", "replica", "any":
+				opts.readPref = val
+			default:
+				return "", opts, fmt.Errorf("perm driver: bad value %q for readpref in DSN %q (want primary, replica or any)", val, dsn)
 			}
 		default:
-			return "", false, fmt.Errorf("perm driver: unknown DSN option %q in %q", name, dsn)
+			return "", opts, fmt.Errorf("perm driver: unknown DSN option %q in %q", name, dsn)
 		}
 	}
-	return target, readOnly, nil
+	return target, opts, nil
+}
+
+// splitHosts parses a perm:// DSN's comma-separated member list (an optional
+// trailing "/" before the options is tolerated: perm://h1,h2/?readpref=…).
+func splitHosts(list, dsn string) ([]string, error) {
+	list = strings.TrimSuffix(list, "/")
+	var hosts []string
+	for _, h := range strings.Split(list, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hosts = append(hosts, h)
+		}
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("perm driver: no member addresses in DSN %q", dsn)
+	}
+	return hosts, nil
 }
 
 // memRegistry holds the process-wide named in-memory databases.

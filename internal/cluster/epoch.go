@@ -1,0 +1,84 @@
+// Package cluster is the availability layer over the replicated, durable
+// core: fencing epochs persisted beside the WAL, a coordinator that detects
+// primary failure and promotes the most-caught-up replica, and a routing
+// proxy that splits reads from writes across the member set.
+//
+// The package deliberately depends only on internal/wire (plus the standard
+// library): coordinator and router speak to members purely through the
+// protocol, exactly like any other client, so they can run anywhere — inside
+// cmd/permrouter, inside a test, or beside a member process.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// epochFile is the name of the fencing-epoch sidecar inside a data
+// directory, next to the WAL segments and snapshot.
+const epochFile = "epoch"
+
+// LoadEpoch reads the persisted fencing epoch from dir. A missing file is
+// epoch 0 ("never clustered"), not an error.
+func LoadEpoch(dir string) (uint64, error) {
+	b, err := os.ReadFile(filepath.Join(dir, epochFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("cluster: read epoch: %w", err)
+	}
+	e, err := strconv.ParseUint(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: corrupt epoch file %q: %w", filepath.Join(dir, epochFile), err)
+	}
+	return e, nil
+}
+
+// SaveEpoch durably persists the fencing epoch in dir: write-temp, fsync,
+// rename, fsync-dir — the same atomic-install discipline as the WAL's
+// checkpoint, because the epoch IS the fence: a promotion that is not on
+// disk before the node acknowledges writes could be forgotten by a crash,
+// resurrecting a deposed primary at full authority.
+func SaveEpoch(dir string, epoch uint64) error {
+	tmp := filepath.Join(dir, epochFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("cluster: write epoch: %w", err)
+	}
+	_, err = fmt.Fprintf(f, "%d\n", epoch)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: write epoch: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, epochFile)); err != nil {
+		return fmt.Errorf("cluster: install epoch: %w", err)
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("cluster: sync dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: sync dir: %w", err)
+	}
+	return nil
+}

@@ -32,6 +32,13 @@ import (
 // read-only error code so it stays typed across the network.
 var ErrReadOnly = errors.New("read-only replica: writes must go to the primary")
 
+// ErrStaleEpoch is the typed error for cluster fencing: a request carried a
+// fencing epoch newer than this node's (so this node is a deposed primary or
+// a lagging member), or a promote/demote arrived with an epoch the node has
+// already moved past. The network server maps it to the wire protocol's
+// stale-epoch error code so it stays typed across the network.
+var ErrStaleEpoch = errors.New("stale cluster epoch")
+
 // ReplStatus is the observable replication state surfaced by
 // SHOW replication_status.
 type ReplStatus struct {
@@ -46,6 +53,13 @@ type ReplStatus struct {
 	// PrimaryLSN is the primary's last known LSN (heartbeats carry it); on
 	// the primary itself it equals AppliedLSN.
 	PrimaryLSN uint64
+	// Epoch is the cluster fencing epoch this node serves under (0 when the
+	// node has never been part of a managed cluster).
+	Epoch uint64
+	// Staleness is the wall clock elapsed since the replica last made
+	// observable progress — applied records, or a heartbeat confirming it
+	// was caught up. Zero on a primary and on a replica that is current.
+	Staleness time.Duration
 	// LastError is the most recent replication error, empty when healthy.
 	LastError string
 }
@@ -82,6 +96,10 @@ type DB struct {
 	// walCtl, when set, is the write-ahead log manager behind SET wal_sync
 	// and SHOW wal_status (installed by the server when -data-dir is given).
 	walCtl atomic.Value // of walCtlBox
+	// epoch is the cluster fencing epoch this node serves under. It only
+	// ever rises (SetEpoch ignores lower values), so a raced promote/demote
+	// cannot roll the fence back.
+	epoch atomic.Uint64
 }
 
 // NewDB creates an empty database.
@@ -194,6 +212,25 @@ func (db *DB) SetReadOnly(ro bool) { db.readOnly.Store(ro) }
 // ReadOnly reports whether the database rejects writes.
 func (db *DB) ReadOnly() bool { return db.readOnly.Load() }
 
+// Epoch reports the cluster fencing epoch this node serves under.
+func (db *DB) Epoch() uint64 { return db.epoch.Load() }
+
+// SetEpoch raises the node's fencing epoch. Epochs are monotonic: a value at
+// or below the current one is ignored, and the method reports whether the
+// epoch advanced. Persisting the epoch (so a restart cannot resurrect an old
+// fence) is the cluster harness's job, not the engine's.
+func (db *DB) SetEpoch(e uint64) bool {
+	for {
+		cur := db.epoch.Load()
+		if e <= cur {
+			return false
+		}
+		if db.epoch.CompareAndSwap(cur, e) {
+			return true
+		}
+	}
+}
+
 // SetReplStatusFunc installs the provider behind SHOW replication_status.
 // The replication follower sets it; pass nil to revert to the built-in
 // primary view.
@@ -221,7 +258,11 @@ func (db *DB) SwapStore(s *storage.Store) {
 // change log's position.
 func (db *DB) ReplicationStatus() ReplStatus {
 	if f, _ := db.replStatus.Load().(func() ReplStatus); f != nil {
-		return f()
+		st := f()
+		if st.Epoch == 0 {
+			st.Epoch = db.Epoch()
+		}
+		return st
 	}
 	lsn := db.Store().Log().LastLSN()
 	role := "primary"
@@ -230,7 +271,7 @@ func (db *DB) ReplicationStatus() ReplStatus {
 		// running (yet), e.g. between Restore and StartFollower.
 		role = "replica"
 	}
-	return ReplStatus{Role: role, Connected: role == "primary", AppliedLSN: lsn, PrimaryLSN: lsn}
+	return ReplStatus{Role: role, Connected: role == "primary", AppliedLSN: lsn, PrimaryLSN: lsn, Epoch: db.Epoch()}
 }
 
 // Session is a single-user connection with its own settings and its own plan
@@ -954,21 +995,25 @@ func (s *Session) runShow(st *sql.ShowStmt) (*Result, error) {
 	if name == "replication_status" {
 		rs := s.db.ReplicationStatus()
 		return &Result{
-			Columns: []string{"role", "connected", "applied_lsn", "primary_lsn", "lag", "last_error"},
+			Columns: []string{"role", "connected", "epoch", "applied_lsn", "primary_lsn", "lag", "staleness_ms", "last_error"},
 			Schema: algebra.Schema{
 				{Name: "role", Type: value.KindString},
 				{Name: "connected", Type: value.KindBool},
+				{Name: "epoch", Type: value.KindInt},
 				{Name: "applied_lsn", Type: value.KindInt},
 				{Name: "primary_lsn", Type: value.KindInt},
 				{Name: "lag", Type: value.KindInt},
+				{Name: "staleness_ms", Type: value.KindInt},
 				{Name: "last_error", Type: value.KindString},
 			},
 			Rows: []value.Row{{
 				value.NewString(rs.Role),
 				value.NewBool(rs.Connected),
+				value.NewInt(int64(rs.Epoch)),
 				value.NewInt(int64(rs.AppliedLSN)),
 				value.NewInt(int64(rs.PrimaryLSN)),
 				value.NewInt(int64(rs.Lag())),
+				value.NewInt(rs.Staleness.Milliseconds()),
 				value.NewString(rs.LastError),
 			}},
 			Tag: "SHOW",

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -35,6 +36,12 @@ type FollowerConfig struct {
 	// (Manager.AdoptStore) so a durable replica journals the feed it
 	// applies and restarts from local disk instead of re-bootstrapping.
 	PrepareStore func(*storage.Store) error
+	// ObserveEpoch, when set, is called with every cluster epoch the stream
+	// reports that is higher than the local one, BEFORE the follower adopts
+	// it — a cluster harness persists the epoch here so a restart cannot
+	// forget that an old primary was fenced. When nil the epoch is adopted
+	// in memory only.
+	ObserveEpoch func(epoch uint64)
 	// Logf, when set, receives connection lifecycle and error logs.
 	Logf func(format string, args ...any)
 }
@@ -78,7 +85,8 @@ type Follower struct {
 	primaryLSN uint64
 	snapshots  int
 	resync     bool
-	nc         net.Conn // current connection, closed by Stop
+	progress   time.Time // last applied batch or caught-up heartbeat
+	nc         net.Conn  // current connection, closed by Stop
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -129,11 +137,17 @@ func (f *Follower) Status() engine.ReplStatus {
 	if primary < applied {
 		primary = applied
 	}
+	var staleness time.Duration
+	if !f.progress.IsZero() {
+		staleness = time.Since(f.progress)
+	}
 	return engine.ReplStatus{
 		Role:       "replica",
 		Connected:  f.connected,
 		AppliedLSN: applied,
 		PrimaryLSN: primary,
+		Epoch:      f.db.Epoch(),
+		Staleness:  staleness,
 		LastError:  f.lastErr,
 	}
 }
@@ -174,10 +188,14 @@ func (f *Follower) loop() {
 		if time.Since(started) > 10*f.cfg.RetryMin {
 			backoff = f.cfg.RetryMin
 		}
+		// Jitter the sleep into [backoff/2, backoff): when every replica of a
+		// crashed primary reconnects at once, identical deterministic backoff
+		// would keep them retrying in lockstep against the successor.
+		sleep := backoff/2 + time.Duration(rand.Int64N(int64(backoff/2)+1))
 		select {
 		case <-f.stop:
 			return
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
 		if backoff *= 2; backoff > f.cfg.RetryMax {
 			backoff = f.cfg.RetryMax
@@ -241,6 +259,10 @@ func (f *Follower) streamOnce() error {
 	payload = wire.AppendBool(payload, force)
 	payload = binary.AppendUvarint(payload, f.db.Store().Origin())
 	payload = binary.AppendUvarint(payload, resumeHash)
+	// The cluster epoch this replica last saw: a deposed primary (serving a
+	// lower epoch) must reject this subscription instead of feeding us its
+	// fenced timeline.
+	payload = binary.AppendUvarint(payload, f.db.Epoch())
 	if err := conn.WriteMessage(wire.MsgSubscribe, payload); err != nil {
 		return err
 	}
@@ -257,6 +279,7 @@ func (f *Follower) streamOnce() error {
 			readTimeout = min
 		}
 	}
+	ackBuf := make([]byte, 0, binary.MaxVarintLen64)
 	for {
 		nc.SetReadDeadline(time.Now().Add(readTimeout))
 		typ, body, err := conn.ReadMessage()
@@ -265,12 +288,18 @@ func (f *Follower) streamOnce() error {
 		}
 		switch typ {
 		case wire.MsgSubSnapshot:
-			hb, err := f.bootstrap(conn, nc)
+			hb, epoch, err := f.bootstrap(conn, nc)
 			if err != nil {
 				return err
 			}
 			adoptHeartbeat(hb)
+			if epoch > 0 {
+				if err := f.adoptStreamEpoch(epoch); err != nil {
+					return err
+				}
+			}
 			f.setConnected()
+			f.noteProgress()
 			f.logf("bootstrapped from snapshot at LSN %d", f.db.Store().Log().LastLSN())
 		case wire.MsgSubLive:
 			r := wire.NewReader(body)
@@ -278,14 +307,24 @@ func (f *Follower) streamOnce() error {
 			if r.Remaining() > 0 {
 				adoptHeartbeat(time.Duration(r.Uvarint()))
 			}
+			epoch, haveEpoch := uint64(0), false
+			if r.Remaining() > 0 {
+				epoch, haveEpoch = r.Uvarint(), true
+			}
 			if r.Err() != nil {
 				return r.Err()
+			}
+			if haveEpoch {
+				if err := f.adoptStreamEpoch(epoch); err != nil {
+					return err
+				}
 			}
 			if from != f.db.Store().Log().LastLSN() {
 				f.markResync()
 				return fmt.Errorf("primary resumed stream at LSN %d, local log is at %d", from, f.db.Store().Log().LastLSN())
 			}
 			f.setConnected()
+			f.noteProgress()
 			f.logf("live at LSN %d (primary %s)", from, f.cfg.PrimaryAddr)
 		case wire.MsgChanges:
 			recs, err := repl.DecodeBatch(body)
@@ -313,14 +352,40 @@ func (f *Follower) streamOnce() error {
 					return fmt.Errorf("replica WAL: %w", err)
 				}
 				f.observePrimary(recs[n-1].LSN)
+				f.noteProgress()
+				// Acknowledge the durably applied position so a semi-sync
+				// primary can release writes waiting on this replica.
+				ackBuf = binary.AppendUvarint(ackBuf[:0], recs[n-1].LSN)
+				nc.SetWriteDeadline(time.Now().Add(readTimeout))
+				if err := conn.WriteMessage(wire.MsgSubAck, ackBuf); err != nil {
+					return fmt.Errorf("send replication ack: %w", err)
+				}
+				if err := conn.Flush(); err != nil {
+					return fmt.Errorf("send replication ack: %w", err)
+				}
+				nc.SetWriteDeadline(time.Time{})
 			}
 		case wire.MsgHeartbeat:
 			r := wire.NewReader(body)
 			lsn := r.Uvarint()
+			epoch, haveEpoch := uint64(0), false
+			if r.Remaining() > 0 {
+				epoch, haveEpoch = r.Uvarint(), true
+			}
 			if r.Err() != nil {
 				return r.Err()
 			}
+			if haveEpoch {
+				if err := f.adoptStreamEpoch(epoch); err != nil {
+					return err
+				}
+			}
 			f.observePrimary(lsn)
+			// A heartbeat that reports nothing left to apply is progress: the
+			// replica is caught up, so staleness restarts from now.
+			if lsn <= f.db.Store().Log().LastLSN() {
+				f.noteProgress()
+			}
 		case wire.MsgError:
 			serr := wire.DecodeServerError(body)
 			if serr.Code == wire.ErrCodeLogTrimmed {
@@ -338,8 +403,9 @@ func (f *Follower) streamOnce() error {
 // bootstrap wipes local storage and rebuilds it from the snapshot chunk
 // stream, leaving the local change log positioned at the snapshot's LSN (and
 // the store carrying the primary's history origin, via Restore). It returns
-// the primary's heartbeat interval as reported by the closing MsgSubLive.
-func (f *Follower) bootstrap(conn *wire.Conn, nc net.Conn) (time.Duration, error) {
+// the primary's heartbeat interval and cluster epoch as reported by the
+// closing MsgSubLive (epoch 0 when the primary predates clustering).
+func (f *Follower) bootstrap(conn *wire.Conn, nc net.Conn) (time.Duration, uint64, error) {
 	f.mu.Lock()
 	f.snapshots++
 	f.mu.Unlock()
@@ -354,23 +420,23 @@ func (f *Follower) bootstrap(conn *wire.Conn, nc net.Conn) (time.Duration, error
 	cs := &chunkStream{conn: conn, nc: nc, timeout: f.cfg.ReadTimeout}
 	if err := fresh.Restore(cs); err != nil {
 		if cs.err != nil {
-			return 0, cs.err // transport error wins over the decode error it caused
+			return 0, 0, cs.err // transport error wins over the decode error it caused
 		}
 		f.markResync()
-		return 0, fmt.Errorf("restore bootstrap snapshot: %w", err)
+		return 0, 0, fmt.Errorf("restore bootstrap snapshot: %w", err)
 	}
 	if err := cs.finish(); err != nil {
 		f.markResync()
-		return 0, err
+		return 0, 0, err
 	}
 	if cs.liveLSN != fresh.Log().LastLSN() {
 		f.markResync()
-		return 0, fmt.Errorf("snapshot stream live at LSN %d, snapshot payload at %d", cs.liveLSN, fresh.Log().LastLSN())
+		return 0, 0, fmt.Errorf("snapshot stream live at LSN %d, snapshot payload at %d", cs.liveLSN, fresh.Log().LastLSN())
 	}
 	if f.cfg.PrepareStore != nil {
 		if err := f.cfg.PrepareStore(fresh); err != nil {
 			f.markResync()
-			return 0, fmt.Errorf("prepare bootstrap store: %w", err)
+			return 0, 0, fmt.Errorf("prepare bootstrap store: %w", err)
 		}
 	}
 	f.db.SwapStore(fresh)
@@ -381,7 +447,7 @@ func (f *Follower) bootstrap(conn *wire.Conn, nc net.Conn) (time.Duration, error
 	// report a lag that never reaches zero again.
 	f.primaryLSN = fresh.Log().LastLSN()
 	f.mu.Unlock()
-	return cs.liveHB, nil
+	return cs.liveHB, cs.liveEpoch, nil
 }
 
 func (f *Follower) setConnected() {
@@ -408,6 +474,35 @@ func (f *Follower) observePrimary(lsn uint64) {
 	f.mu.Unlock()
 }
 
+// noteProgress timestamps the last moment this replica was demonstrably
+// current: it applied a batch, or a heartbeat confirmed there was nothing to
+// apply. SHOW replication_status reports time-since as staleness_ms.
+func (f *Follower) noteProgress() {
+	f.mu.Lock()
+	f.progress = time.Now()
+	f.mu.Unlock()
+}
+
+// adoptStreamEpoch reconciles a cluster epoch reported by the stream with
+// the local one. Lower means the node feeding us was deposed — the stream
+// fails with engine.ErrStaleEpoch rather than applying a fenced timeline.
+// Higher is adopted, persisting first (via the harness's ObserveEpoch) so a
+// restart cannot forget the fence.
+func (f *Follower) adoptStreamEpoch(epoch uint64) error {
+	cur := f.db.Epoch()
+	if epoch < cur {
+		return fmt.Errorf("node %s serves cluster epoch %d but this replica is at epoch %d: %w",
+			f.cfg.PrimaryAddr, epoch, cur, engine.ErrStaleEpoch)
+	}
+	if epoch > cur {
+		if f.cfg.ObserveEpoch != nil {
+			f.cfg.ObserveEpoch(epoch)
+		}
+		f.db.SetEpoch(epoch)
+	}
+	return nil
+}
+
 // markResync makes the next subscription ask for a fresh snapshot instead of
 // resuming: the local state can no longer be trusted to match the feed.
 func (f *Follower) markResync() {
@@ -424,11 +519,12 @@ type chunkStream struct {
 	conn    *wire.Conn
 	nc      net.Conn
 	timeout time.Duration
-	buf     []byte
-	live    bool
-	liveLSN uint64
-	liveHB  time.Duration // primary's heartbeat interval, from MsgSubLive
-	err     error
+	buf       []byte
+	live      bool
+	liveLSN   uint64
+	liveHB    time.Duration // primary's heartbeat interval, from MsgSubLive
+	liveEpoch uint64        // primary's cluster epoch, from MsgSubLive
+	err       error
 }
 
 func (c *chunkStream) Read(p []byte) (int, error) {
@@ -467,6 +563,9 @@ func (c *chunkStream) next() error {
 		c.liveLSN = r.Uvarint()
 		if r.Remaining() > 0 {
 			c.liveHB = time.Duration(r.Uvarint())
+		}
+		if r.Remaining() > 0 {
+			c.liveEpoch = r.Uvarint()
 		}
 		if rerr := r.Err(); rerr != nil {
 			c.err = rerr

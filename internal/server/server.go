@@ -72,6 +72,18 @@ type Config struct {
 	// are removed when their query ends, and a session teardown — client
 	// disconnect, timeout, shutdown — removes any it left behind.
 	TempDir string
+	// SyncReplicas, when positive, makes writes semi-synchronous: a
+	// mutation is acknowledged only after that many replication
+	// subscribers have confirmed durably applying it (MsgSubAck), on top
+	// of the local WAL gate. A write that cannot gather its quorum within
+	// SyncTimeout fails with a typed error — it is applied locally but NOT
+	// confirmed replicated, the honest answer during a replica outage —
+	// which is what lets failover promote a most-caught-up replica without
+	// losing a single acknowledged write. 0 keeps replication async.
+	SyncReplicas int
+	// SyncTimeout bounds the wait for the SyncReplicas quorum; 0 means two
+	// seconds.
+	SyncTimeout time.Duration
 	// Logf, when set, receives connection lifecycle and error logs.
 	Logf func(format string, args ...any)
 }
@@ -81,6 +93,13 @@ func (c Config) heartbeat() time.Duration {
 		return time.Second
 	}
 	return c.HeartbeatInterval
+}
+
+func (c Config) syncTimeout() time.Duration {
+	if c.SyncTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return c.SyncTimeout
 }
 
 func (c Config) batchRows() int {
@@ -140,18 +159,27 @@ type Server struct {
 	queries       atomic.Uint64
 	subscriptions atomic.Int64
 	portals       atomic.Int64
+
+	// acks tracks each replication subscriber's durably-applied LSN (from
+	// MsgSubAck frames); the semi-synchronous write gate waits on it.
+	acks *ackTracker
+	// cluster, when set, is the node's promote/demote harness (a clusterBox).
+	cluster atomic.Value
 }
 
 // New creates a server over db.
 func New(db *engine.DB, cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		db:          db,
 		cfg:         cfg,
 		listeners:   make(map[net.Listener]struct{}),
 		conns:       make(map[net.Conn]*connState),
 		refuseConns: make(map[net.Conn]struct{}),
 		done:        make(chan struct{}),
+		acks:        newAckTracker(),
 	}
+	s.InstallSyncGate()
+	return s
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -478,7 +506,7 @@ func (s *Server) serveConn(nc net.Conn, kill <-chan struct{}) {
 		conn.Flush()
 		return
 	}
-	ok := wire.HelloOK{Version: wire.ProtocolVersion, Server: "perm"}
+	ok := wire.HelloOK{Version: wire.ProtocolVersion, Server: "perm", Epoch: s.db.Epoch(), Role: s.role()}
 	if err := conn.WriteMessage(wire.MsgHelloOK, ok.Encode(nil)); err != nil {
 		return
 	}
@@ -540,8 +568,22 @@ func (s *Server) serveConn(nc net.Conn, kill <-chan struct{}) {
 			if r.Remaining() > 0 {
 				sub.resumeHash = r.Uvarint()
 			}
+			if r.Remaining() > 0 {
+				sub.epoch = r.Uvarint()
+			}
 			if r.Err() != nil {
 				s.writeError(conn, "malformed subscribe frame")
+				return
+			}
+			if sub.epoch > s.db.Epoch() {
+				// The subscriber has seen a newer fencing epoch than this
+				// node serves under: this node is a deposed primary (or a
+				// lagging member) and must not feed anyone its stale
+				// timeline. The typed code tells the follower to go find
+				// the real primary rather than re-bootstrap from us.
+				s.writeErrorCode(conn, fmt.Sprintf(
+					"subscriber is at cluster epoch %d but this node serves epoch %d: node is fenced",
+					sub.epoch, s.db.Epoch()), wire.ErrCodeStaleEpoch)
 				return
 			}
 			s.logf("replication subscription from %s (after LSN %d, origin %x, force-snapshot %v)",
@@ -613,6 +655,26 @@ func (s *Server) serveConn(nc net.Conn, kill <-chan struct{}) {
 		case wire.MsgBackup:
 			s.armWriteDeadline(nc)
 			fatal = s.runBackup(conn, nc)
+		case wire.MsgStatus:
+			s.armWriteDeadline(nc)
+			st.frame = s.nodeStatus().Encode(st.frame[:0])
+			fatal = s.writeMessageFlush(conn, wire.MsgStatusOK, st.frame)
+		case wire.MsgPromote:
+			req, err := wire.DecodePromote(body)
+			if err != nil {
+				s.writeError(conn, "malformed promote frame")
+				return
+			}
+			s.armWriteDeadline(nc)
+			fatal = st.runClusterOp(conn, func(ctl ClusterControl) error { return ctl.Promote(req.Epoch) })
+		case wire.MsgDemote:
+			req, err := wire.DecodeDemote(body)
+			if err != nil {
+				s.writeError(conn, "malformed demote frame")
+				return
+			}
+			s.armWriteDeadline(nc)
+			fatal = st.runClusterOp(conn, func(ctl ClusterControl) error { return ctl.Demote(req.Epoch, req.PrimaryAddr) })
 		default:
 			s.writeError(conn, fmt.Sprintf("unexpected message type %q", typ))
 			return
@@ -680,7 +742,55 @@ func errCodeOf(err error) uint64 {
 	if errors.Is(err, engine.ErrReadOnly) {
 		return wire.ErrCodeReadOnly
 	}
+	if errors.Is(err, engine.ErrStaleEpoch) {
+		return wire.ErrCodeStaleEpoch
+	}
 	return wire.ErrCodeGeneric
+}
+
+// role names the node's cluster role for handshakes and status probes.
+func (s *Server) role() string {
+	if s.db.ReadOnly() {
+		return "replica"
+	}
+	return "primary"
+}
+
+// nodeStatus snapshots the member state a coordinator or router needs.
+func (s *Server) nodeStatus() wire.NodeStatus {
+	rs := s.db.ReplicationStatus()
+	ws := s.db.WALStatus()
+	durable := ws.DurableLSN
+	if ws.Mode == "disabled" {
+		// No WAL: applied is as durable as this node gets.
+		durable = rs.AppliedLSN
+	}
+	return wire.NodeStatus{
+		Role:        rs.Role,
+		Epoch:       rs.Epoch,
+		Origin:      s.db.Store().Origin(),
+		AppliedLSN:  rs.AppliedLSN,
+		DurableLSN:  durable,
+		PrimaryLSN:  rs.PrimaryLSN,
+		Connected:   rs.Connected,
+		StalenessMs: rs.Staleness.Milliseconds(),
+		LastError:   rs.LastError,
+	}
+}
+
+// runClusterOp executes a coordinator-issued promote/demote against the
+// node's cluster harness and answers with the post-transition status.
+func (st *connStreams) runClusterOp(conn *wire.Conn, op func(ClusterControl) error) error {
+	s := st.s
+	ctl := s.ClusterControl()
+	if ctl == nil {
+		return s.writeError(conn, "this server is not cluster-managed (no cluster harness installed)")
+	}
+	if err := op(ctl); err != nil {
+		return s.writeErrorCode(conn, err.Error(), errCodeOf(err))
+	}
+	st.frame = s.nodeStatus().Encode(st.frame[:0])
+	return s.writeMessageFlush(conn, wire.MsgStatusOK, st.frame)
 }
 
 // connStreams is one connection's statement-serving state: its named
@@ -803,6 +913,9 @@ func (st *connStreams) runQuery(conn *wire.Conn, sess *engine.Session, sqlText s
 		if timeoutCode(err, deadline) {
 			code = wire.ErrCodeTimeout
 		}
+		// Open consumed compute budget (a timed-out Open consumed all of
+		// it); the error frame gets its own delivery deadline.
+		s.armWriteDeadline(st.nc)
 		return s.writeErrorCode(conn, err.Error(), code)
 	}
 	defer rows.Close()
@@ -858,6 +971,8 @@ func (st *connStreams) runExecute(conn *wire.Conn, sess *engine.Session, req wir
 		if timeoutCode(err, deadline) {
 			code = wire.ErrCodeTimeout
 		}
+		// Same as runQuery: the error frame's delivery gets a fresh budget.
+		s.armWriteDeadline(st.nc)
 		return s.writeErrorCode(conn, err.Error(), code)
 	}
 	port := &portal{rows: rows, deadline: deadline}
@@ -939,7 +1054,12 @@ func (st *connStreams) streamBatches(conn *wire.Conn, p *portal, limit uint64) (
 				// A mid-stream statement error (interrupt, timeout, runtime
 				// failure): deliver the rows already batched, then report the
 				// error in-band — the frame stream stays in sync and the
-				// connection survives.
+				// connection survives. The write deadline is re-armed first:
+				// a query that timed out consumed its whole budget computing,
+				// and the deadline bounds delivery, not compute — without a
+				// fresh arm the error frame itself hits the expired deadline
+				// and the client sees a reset instead of the typed error.
+				s.armWriteDeadline(st.nc)
 				if ferr := st.writeBatch(conn, n); ferr != nil {
 					return false, ferr
 				}
@@ -953,6 +1073,10 @@ func (st *connStreams) streamBatches(conn *wire.Conn, p *portal, limit uint64) (
 				return true, nil
 			}
 			if row == nil {
+				// Fresh delivery budget for the final batch + Complete: the
+				// accumulation loop above is compute, bounded by the query
+				// deadline, not by the write deadline armed at dispatch.
+				s.armWriteDeadline(st.nc)
 				if ferr := st.writeBatch(conn, n); ferr != nil {
 					return false, ferr
 				}
@@ -965,6 +1089,7 @@ func (st *connStreams) streamBatches(conn *wire.Conn, p *portal, limit uint64) (
 					Rewrite:  int64(t.Rewrite),
 					Plan:     int64(t.Plan),
 					Execute:  int64(t.Execute),
+					Epoch:    s.db.Epoch(),
 				}
 				st.frame = done.Encode(st.frame[:0])
 				if err := conn.WriteMessage(wire.MsgComplete, st.frame); err != nil {
@@ -976,6 +1101,7 @@ func (st *connStreams) streamBatches(conn *wire.Conn, p *portal, limit uint64) (
 			n++
 			sent++
 		}
+		s.armWriteDeadline(st.nc)
 		if err := st.writeBatch(conn, n); err != nil {
 			// An oversize row is rejected before any of its bytes hit the
 			// wire, so the stream is still in sync: report it in-band and
@@ -991,12 +1117,11 @@ func (st *connStreams) streamBatches(conn *wire.Conn, p *portal, limit uint64) (
 		if limit > 0 && sent >= limit {
 			return false, nil
 		}
-		// Flush per batch and re-arm the write deadline, so delivery is
-		// bounded per batch, not per result.
+		// Flush per batch (the deadline armed above bounds it), so delivery
+		// is bounded per batch, not per result.
 		if err := conn.Flush(); err != nil {
 			return false, err
 		}
-		s.armWriteDeadline(st.nc)
 	}
 }
 
@@ -1155,6 +1280,10 @@ type subscribeRequest struct {
 	// resumeHash fingerprints the follower's record at `after` (0 when
 	// unavailable — empty log, or restored from a snapshot file).
 	resumeHash uint64
+	// epoch is the newest cluster fencing epoch the follower has seen; a
+	// node serving under an older epoch refuses the subscription (it is a
+	// deposed primary).
+	epoch uint64
 }
 
 // serveSubscription streams this database's change feed: an optional
@@ -1220,11 +1349,13 @@ func (s *Server) serveSubscription(conn *wire.Conn, nc net.Conn, sub subscribeRe
 		after = lsn
 	}
 	s.armWriteDeadline(nc)
-	// SubLive carries the stream's start LSN and this server's heartbeat
-	// interval, so the follower can size its liveness read deadline to the
-	// cadence it will actually observe instead of guessing.
+	// SubLive carries the stream's start LSN, this server's heartbeat
+	// interval (so the follower can size its liveness read deadline to the
+	// cadence it will actually observe instead of guessing), and the fencing
+	// epoch the stream is served under.
 	live := binary.AppendUvarint(nil, after)
 	live = binary.AppendUvarint(live, uint64(s.cfg.heartbeat()))
+	live = binary.AppendUvarint(live, s.db.Epoch())
 	if err := conn.WriteMessage(wire.MsgSubLive, live); err != nil {
 		return err
 	}
@@ -1232,6 +1363,38 @@ func (s *Server) serveSubscription(conn *wire.Conn, nc net.Conn, sub subscribeRe
 		return err
 	}
 	nc.SetWriteDeadline(time.Time{})
+
+	// The subscription writes one-way, which frees the read side for the
+	// follower's apply acknowledgments: a dedicated reader feeds MsgSubAck
+	// LSNs into the tracker the semi-synchronous write gate waits on. The
+	// reader doubles as prompt disconnect detection — a dead follower wakes
+	// the idle select below instead of lingering until a heartbeat write
+	// fails (and until then would count toward the sync quorum).
+	ackID := s.acks.register()
+	defer s.acks.unregister(ackID)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			typ, body, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			switch typ {
+			case wire.MsgSubAck:
+				r := wire.NewReader(body)
+				lsn := r.Uvarint()
+				if r.Err() != nil {
+					return
+				}
+				s.acks.update(ackID, lsn)
+			case wire.MsgTerminate:
+				return
+			default:
+				return // protocol violation; the write loop will notice the close
+			}
+		}
+	}()
 
 	hb := time.NewTicker(s.cfg.heartbeat())
 	defer hb.Stop()
@@ -1265,13 +1428,17 @@ func (s *Server) serveSubscription(conn *wire.Conn, nc net.Conn, sub subscribeRe
 			case <-grown:
 			case <-hb.C:
 				s.armWriteDeadline(nc)
-				if err := conn.WriteMessage(wire.MsgHeartbeat, binary.AppendUvarint(frame[:0], log.LastLSN())); err != nil {
+				frame = binary.AppendUvarint(frame[:0], log.LastLSN())
+				frame = binary.AppendUvarint(frame, s.db.Epoch())
+				if err := conn.WriteMessage(wire.MsgHeartbeat, frame); err != nil {
 					return err
 				}
 				if err := conn.Flush(); err != nil {
 					return err
 				}
 				nc.SetWriteDeadline(time.Time{})
+			case <-readerDone:
+				return nil // follower disconnected (or spoke out of turn)
 			case <-kill:
 				return nil
 			case <-s.done:

@@ -422,6 +422,11 @@ func (s *Store) durability() Durability {
 	return nil
 }
 
+// Durability returns the installed durability gate (nil when the store is
+// purely in-memory). The cluster layer uses it to wrap the WAL gate with a
+// replica-acknowledgment quorum without the two layers knowing each other.
+func (s *Store) Durability() Durability { return s.durability() }
+
 // WaitDurable blocks until the store's current change-log position is
 // durable. Mutations call it after their critical section: the log position
 // is at least their own record's LSN, and durability is monotone, so

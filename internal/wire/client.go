@@ -281,6 +281,49 @@ func (c *Client) drainBackup() {
 	}
 }
 
+// Status probes the server's cluster status: role, fencing epoch, timeline
+// origin and replication positions. It is the coordinator's failure-detector
+// probe and the router's membership refresh — one tiny round trip, no SQL.
+func (c *Client) Status() (NodeStatus, error) {
+	return c.statusRequest(MsgStatus, nil)
+}
+
+// Promote orders the server to fence itself at epoch and start accepting
+// writes, returning its post-promotion status.
+func (c *Client) Promote(epoch uint64) (NodeStatus, error) {
+	return c.statusRequest(MsgPromote, Promote{Epoch: epoch}.Encode(nil))
+}
+
+// Demote orders the server to fence itself at epoch, enter read-only mode
+// and follow primaryAddr, returning its post-demotion status.
+func (c *Client) Demote(epoch uint64, primaryAddr string) (NodeStatus, error) {
+	return c.statusRequest(MsgDemote, Demote{Epoch: epoch, PrimaryAddr: primaryAddr}.Encode(nil))
+}
+
+func (c *Client) statusRequest(typ byte, payload []byte) (NodeStatus, error) {
+	if err := c.ready(); err != nil {
+		return NodeStatus{}, err
+	}
+	if err := c.request(typ, payload); err != nil {
+		return NodeStatus{}, err
+	}
+	rtyp, body, err := c.conn.ReadMessage()
+	if err != nil {
+		return NodeStatus{}, c.fail(err)
+	}
+	switch rtyp {
+	case MsgStatusOK:
+		st, err := DecodeNodeStatus(body)
+		if err != nil {
+			return NodeStatus{}, c.fail(err)
+		}
+		return st, nil
+	case MsgError:
+		return NodeStatus{}, DecodeServerError(body)
+	}
+	return NodeStatus{}, c.fail(fmt.Errorf("wire: unexpected response %q to status request", rtyp))
+}
+
 // Close terminates the session and closes the connection.
 func (c *Client) Close() error {
 	if c.broken == nil {

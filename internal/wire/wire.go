@@ -47,7 +47,11 @@ import (
 // Version 3 added cursors and server-side prepared statements
 // (Parse/Execute/Fetch/ClosePortal, batched row frames, typed parameters)
 // and switched row streaming from one frame per row to RowBatch frames.
-const ProtocolVersion = 3
+// Version 4 added the cluster layer: fencing epochs in the handshake,
+// Subscribe, the replication stream and Complete frames; node status probes
+// (Status/StatusOK); coordinator-driven Promote/Demote; and follower apply
+// acknowledgments (SubAck) for semi-synchronous replication.
+const ProtocolVersion = 4
 
 // MaxFrameSize bounds a single frame (64 MiB): a defense against corrupt or
 // malicious length prefixes allocating unbounded memory.
@@ -103,6 +107,24 @@ const (
 	MsgRowBatch    byte = 'w' // server: a batch of data rows in one frame
 	MsgSuspended   byte = 's' // server: batch done, portal open — Fetch for more
 	MsgCloseOK     byte = 'o' // server: portal/statement closed
+
+	// Cluster management (protocol v4). Status is a cheap point-in-time probe
+	// of a member's role, fencing epoch and replication position — the
+	// coordinator's failure detector and permshell's \cluster both live on
+	// it. Promote and Demote are coordinator→member role changes: Promote
+	// fences the member at a new (higher) epoch and opens it for writes;
+	// Demote fences it at the coordinator's epoch and points it at the new
+	// primary as a follower. Both answer with MsgStatusOK on success so the
+	// coordinator sees the post-transition state in one round trip. SubAck is
+	// the one exception to the one-way replication stream: a follower sends
+	// it upstream on the subscription connection after durably applying a
+	// change batch, which is what primaries running with sync_replicas > 0
+	// wait on before acknowledging writes.
+	MsgStatus   byte = 'U' // client: probe node status
+	MsgPromote  byte = 'R' // coordinator: raise epoch, exit read-only, serve writes
+	MsgDemote   byte = 'M' // coordinator: adopt epoch, follow the new primary
+	MsgSubAck   byte = 'A' // follower: durably applied through LSN (on the subscription conn)
+	MsgStatusOK byte = 'u' // server: NodeStatus payload
 )
 
 // Error codes carried by Error frames, so clients can surface typed errors
@@ -119,6 +141,12 @@ const (
 	// timeout — including a cursor whose client fetched past the deadline,
 	// so timeouts stay typed across Fetch boundaries.
 	ErrCodeTimeout uint64 = 3
+	// ErrCodeStaleEpoch reports a request carrying (or served under) a
+	// fencing epoch older than the cluster's current one: a deposed
+	// primary's subscription stream, a promote/demote that lost the race,
+	// or a write acknowledged by a primary that has since been fenced. The
+	// typed code is what turns split-brain into a visible, retryable error.
+	ErrCodeStaleEpoch uint64 = 4
 )
 
 // Hello is the client's opening message.
@@ -127,10 +155,14 @@ type Hello struct {
 	Client  string
 }
 
-// HelloOK is the server's handshake acceptance.
+// HelloOK is the server's handshake acceptance. Epoch and Role (v4) expose
+// the member's cluster position right in the handshake, so routers and
+// multi-host drivers can classify a member without issuing a single query.
 type HelloOK struct {
 	Version uint32
 	Server  string
+	Epoch   uint64 // fencing epoch the member currently serves under
+	Role    string // "primary" or "replica"
 }
 
 // RowDesc describes the columns of a result set, including which columns are
@@ -142,7 +174,9 @@ type RowDesc struct {
 }
 
 // Complete finishes a statement: the command tag, whether the session plan
-// cache served it, and the per-stage pipeline timings in nanoseconds.
+// cache served it, and the per-stage pipeline timings in nanoseconds. Epoch
+// (v4) stamps the acknowledgment with the fencing epoch the statement ran
+// under, so a router can detect a write acked by a since-deposed primary.
 type Complete struct {
 	Tag      string
 	CacheHit bool
@@ -151,6 +185,7 @@ type Complete struct {
 	Rewrite  int64
 	Plan     int64
 	Execute  int64
+	Epoch    uint64
 }
 
 // ServerError is an error reported by the remote server. Code carries the
@@ -474,13 +509,19 @@ func DecodeHello(payload []byte) (Hello, error) {
 // Encode appends the HelloOK payload.
 func (m HelloOK) Encode(dst []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(m.Version))
-	return AppendString(dst, m.Server)
+	dst = AppendString(dst, m.Server)
+	dst = binary.AppendUvarint(dst, m.Epoch)
+	return AppendString(dst, m.Role)
 }
 
 // DecodeHelloOK parses a HelloOK payload.
 func DecodeHelloOK(payload []byte) (HelloOK, error) {
 	r := NewReader(payload)
 	m := HelloOK{Version: uint32(r.Uvarint()), Server: r.String()}
+	if r.Remaining() > 0 {
+		m.Epoch = r.Uvarint()
+		m.Role = r.String()
+	}
 	return m, r.Err()
 }
 
@@ -524,7 +565,7 @@ func (m Complete) Encode(dst []byte) []byte {
 	for _, d := range [5]int64{m.Parse, m.Analyze, m.Rewrite, m.Plan, m.Execute} {
 		dst = binary.AppendVarint(dst, d)
 	}
-	return dst
+	return binary.AppendUvarint(dst, m.Epoch)
 }
 
 // DecodeComplete parses a Complete payload.
@@ -533,6 +574,9 @@ func DecodeComplete(payload []byte) (Complete, error) {
 	m := Complete{Tag: r.String(), CacheHit: r.Bool()}
 	m.Parse, m.Analyze, m.Rewrite, m.Plan, m.Execute =
 		r.Varint(), r.Varint(), r.Varint(), r.Varint(), r.Varint()
+	if r.Remaining() > 0 {
+		m.Epoch = r.Uvarint()
+	}
 	return m, r.Err()
 }
 
