@@ -357,6 +357,44 @@ func BenchmarkPlanCacheHit(b *testing.B) {
 	})
 }
 
+// BenchmarkObservabilityOverhead measures what each observability tier adds
+// to the Figure 2 provenance query (PERFORMANCE.md §10):
+//
+//   - off: the default session — instrumentation compiled in but disabled,
+//     the path every production query takes. Must stay within noise of the
+//     pre-observability engine.
+//   - armed: a slow-query threshold is set (high enough never to fire), so
+//     each statement carries the deep-observation sidecar (pool baselines,
+//     SQL retention) but executes uninstrumented iterators.
+//   - traced: SET trace = on — every operator wrapped with counters and
+//     timers, the full per-operator profile built after each statement.
+func BenchmarkObservabilityOverhead(b *testing.B) {
+	q := `SELECT PROVENANCE mId, text FROM messages UNION SELECT mId, text FROM imports`
+	cases := []struct{ name, setup string }{
+		{"off", ""},
+		{"armed", `SET slow_query_ms = 3600000`},
+		{"traced", `SET trace = on`},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			db := mustPaperDB(b)
+			sess := db.NewSession()
+			if c.setup != "" {
+				if _, err := sess.Exec(c.setup); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkScratchKeys regression-guards the remaining scratch-key reuse
 // paths: DISTINCT aggregates (seen-set lookups through a reusable buffer)
 // and uncorrelated IN-subquery probes (hash membership without a key string

@@ -11,11 +11,15 @@
 // most-caught-up replica at a bumped fencing epoch and re-points the other
 // members at it. A deposed primary that returns is demoted (and re-seeded if
 // its timeline diverged) automatically.
+//
+// With -metrics-addr the router exposes its routing counters, the
+// coordinator's epoch/promotion series and pprof over HTTP.
 package main
 
 import (
 	"flag"
-	"log"
+	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -23,19 +27,29 @@ import (
 	"time"
 
 	"perm/internal/cluster"
+	"perm/internal/logx"
+	"perm/internal/metrics"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:5440", "listen address for routed client connections")
-		members = flag.String("members", "", "comma-separated cluster member addresses (required)")
-		probe   = flag.Duration("probe", 500*time.Millisecond, "member health-probe interval")
-		lease   = flag.Duration("lease", 3*time.Second, "primary lease: unseen this long, failover is declared")
-		dialTO  = flag.Duration("dial-timeout", 2*time.Second, "backend connect + probe timeout")
-		quiet   = flag.Bool("quiet", false, "disable routing and probe logging")
+		addr        = flag.String("addr", "127.0.0.1:5440", "listen address for routed client connections")
+		members     = flag.String("members", "", "comma-separated cluster member addresses (required)")
+		probe       = flag.Duration("probe", 500*time.Millisecond, "member health-probe interval")
+		lease       = flag.Duration("lease", 3*time.Second, "primary lease: unseen this long, failover is declared")
+		dialTO      = flag.Duration("dial-timeout", 2*time.Second, "backend connect + probe timeout")
+		quiet       = flag.Bool("quiet", false, "disable routing and probe logging")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics and pprof on this address; empty disables")
+		logFormat   = flag.String("log-format", "text", "log output format: text | json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "permrouter: ", log.LstdFlags)
+	minLevel, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	logger := logx.New(os.Stderr, *logFormat, minLevel, "permrouter")
 
 	var memberList []string
 	for _, m := range strings.Split(*members, ",") {
@@ -44,7 +58,8 @@ func main() {
 		}
 	}
 	if len(memberList) == 0 {
-		logger.Fatalf("-members is required (comma-separated host:port list)")
+		logger.Error("-members is required (comma-separated host:port list)")
+		os.Exit(1)
 	}
 
 	logf := logger.Printf
@@ -65,6 +80,17 @@ func main() {
 		DialTimeout: *dialTO,
 		Logf:        logf,
 	})
+
+	if *metricsAddr != "" {
+		msrv := &http.Server{Addr: *metricsAddr, Handler: metrics.Default.Handler()}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Printf("metrics listener: %v", err)
+			}
+		}()
+		defer msrv.Close()
+		logger.Printf("metrics and pprof on http://%s/metrics", *metricsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -25,7 +25,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -34,6 +34,8 @@ import (
 	"time"
 
 	"perm/internal/engine"
+	"perm/internal/logx"
+	"perm/internal/metrics"
 	"perm/internal/repl"
 	"perm/internal/server"
 	"perm/internal/wal"
@@ -62,9 +64,19 @@ func main() {
 		tempDir      = flag.String("temp-dir", "", "directory for spill temp files (default: the OS temp directory)")
 		syncReplicas = flag.Int("sync-replicas", 0, "semi-synchronous replication: writes are acknowledged only after this many replicas have durably applied them (0 = async)")
 		syncTimeout  = flag.Duration("sync-timeout", 2*time.Second, "how long a write waits for its replica-acknowledgment quorum before failing with a typed error")
+		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus metrics and pprof on this address (e.g. 127.0.0.1:9090); empty disables")
+		slowQueryMs  = flag.Int64("slow-query-ms", 0, "log statements taking at least this many milliseconds (0 = disabled; sessions can still SET slow_query_ms)")
+		logFormat    = flag.String("log-format", "text", "log output format: text | json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
 	flag.Parse()
-	logger := log.New(os.Stderr, "permserver: ", log.LstdFlags)
+	minLevel, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	slog := logx.New(os.Stderr, *logFormat, minLevel, "permserver")
+	logger := logAdapter{slog}
 	if *replicaOf != "" && *load != "" {
 		logger.Fatalf("-load writes to the database; a replica (-replica-of) is read-only — load the primary instead")
 	}
@@ -120,6 +132,8 @@ func main() {
 		TempDir:           *tempDir,
 		SyncReplicas:      *syncReplicas,
 		SyncTimeout:       *syncTimeout,
+		SlowQueryMs:       *slowQueryMs,
+		Log:               slog,
 	}
 	if !*quiet {
 		cfg.Logf = logger.Printf
@@ -154,6 +168,17 @@ func main() {
 		logger.Printf("replica of %s (resuming after LSN %d)", *replicaOf, db.Store().Log().LastLSN())
 	} else if err := node.EnsurePrimaryEpoch(); err != nil {
 		logger.Fatalf("cluster harness: %v", err)
+	}
+
+	if *metricsAddr != "" {
+		msrv := &http.Server{Addr: *metricsAddr, Handler: metrics.Default.Handler()}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Printf("metrics listener: %v", err)
+			}
+		}()
+		defer msrv.Close()
+		logger.Printf("metrics and pprof on http://%s/metrics", *metricsAddr)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -223,6 +248,17 @@ func main() {
 	}
 	logger.Printf("served %d queries, goodbye", srv.QueriesServed())
 	os.Exit(exitCode)
+}
+
+// logAdapter keeps the printf-style call sites over the structured logger
+// and gives Fatalf back (logx deliberately has no exiting level).
+type logAdapter struct{ l *logx.Logger }
+
+func (a logAdapter) Printf(format string, args ...any) { a.l.Printf(format, args...) }
+
+func (a logAdapter) Fatalf(format string, args ...any) {
+	a.l.Error(fmt.Sprintf(format, args...))
+	os.Exit(1)
 }
 
 // loadDataset bootstraps one of the built-in workloads: "example",

@@ -226,6 +226,8 @@ func (s *shell) meta(cmd string) bool {
   \status          server role and replication status
   \cluster [addrs] probe cluster members (comma-separated; default: the -connect address)
   \mem             session memory budget, peak, spill counters
+  \stats           process-wide engine metrics (queries, cache, WAL, spill)
+  \trace on|off    per-query stage tracing (then SHOW last_trace)
   \q               quit`)
 	case "\\d":
 		if s.client != nil {
@@ -329,6 +331,16 @@ func (s *shell) meta(cmd string) bool {
 		// The session's work_mem budget, live/peak tracked bytes and spill
 		// counters — plain SQL, so it works embedded and over -connect.
 		s.run("SHOW memory_status")
+	case "\\stats":
+		// Process-wide metrics snapshot — plain SQL, so over -connect it
+		// reports the server process, which is the point.
+		s.run("SHOW engine_stats")
+	case "\\trace":
+		if len(fields) > 1 && (fields[1] == "on" || fields[1] == "off") {
+			s.run("SET trace = " + fields[1])
+		} else {
+			s.run("SHOW last_trace")
+		}
 	default:
 		fmt.Fprintf(s.out, "unknown meta command %s (try \\?)\n", fields[0])
 	}

@@ -160,6 +160,7 @@ func (c *Coordinator) Tick() {
 				m.Status = st
 				if st.Epoch > c.epoch {
 					c.epoch = st.Epoch
+					mEpoch.Set(int64(c.epoch))
 				}
 			}
 			c.mu.Unlock()
@@ -304,6 +305,8 @@ func (c *Coordinator) failover() {
 
 	c.mu.Lock()
 	c.epoch = newEpoch
+	mEpoch.Set(int64(newEpoch))
+	mPromotions.Inc()
 	c.primary = addr
 	c.primarySeen = time.Now()
 	if m := c.members[addr]; m != nil {

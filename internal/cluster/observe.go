@@ -1,0 +1,20 @@
+package cluster
+
+import "perm/internal/metrics"
+
+// Process-wide cluster metrics: the coordinator's failover activity and the
+// router's traffic split. The epoch gauge moving is the observable for "a
+// failover happened"; read retries climbing without reads climbing means a
+// member is flapping.
+var (
+	mEpoch = metrics.Default.Gauge("perm_cluster_epoch",
+		"Highest fencing epoch the coordinator has observed")
+	mPromotions = metrics.Default.Counter("perm_cluster_promotions_total",
+		"Failover promotions executed by the coordinator")
+	mRouteWrites = metrics.Default.Counter("perm_router_writes_total",
+		"Statements routed to the primary")
+	mRouteReads = metrics.Default.Counter("perm_router_reads_total",
+		"Idempotent requests routed across read backends")
+	mReadRetries = metrics.Default.Counter("perm_router_read_retries_total",
+		"Read requests retried on another member after a backend failure")
+)

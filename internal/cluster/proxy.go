@@ -402,6 +402,7 @@ func (s *routerSession) trackPortal(rtyp byte, b *backend) {
 // never retried: a transport failure mid-request has an unknown outcome and
 // is reported as such.
 func (s *routerSession) relayWrite(typ byte, body []byte) error {
+	mRouteWrites.Inc()
 	b, err := s.writeBackend()
 	if err != nil {
 		return s.writeError("cluster has no writable primary: "+err.Error(), wire.ErrCodeGeneric)
@@ -432,8 +433,13 @@ func (s *routerSession) relayWrite(typ byte, body []byte) error {
 // forwarded to the client yet. stmt, when set, names a prepared statement
 // that must exist on the chosen backend before the request is relayed.
 func (s *routerSession) relayRead(typ byte, body []byte, stmt *string) error {
+	mRouteReads.Inc()
 	var lastErr error
+	tried := 0
 	for _, addr := range s.r.cfg.Topology.ReadOrder() {
+		if tried++; tried > 1 {
+			mReadRetries.Inc()
+		}
 		b, err := s.readBackend(addr)
 		if err != nil {
 			lastErr = err

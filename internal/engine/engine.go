@@ -20,6 +20,7 @@ import (
 	"perm/internal/catalog"
 	"perm/internal/core"
 	"perm/internal/executor"
+	"perm/internal/metrics"
 	"perm/internal/planner"
 	"perm/internal/sql"
 	"perm/internal/storage"
@@ -193,10 +194,13 @@ func (db *DB) NewSession() *Session {
 			"provenance_schema_name":       "public",
 			"plan_cache":                   "on",
 			"work_mem":                     strconv.FormatInt(DefaultWorkMem, 10),
+			"trace":                        "off",
+			"slow_query_ms":                "-1",
 		},
 		cache: newPlanCache(),
 		mem:   executor.NewMemTracker(DefaultWorkMem, ""),
 	}
+	s.slowMs.Store(-1)
 	s.fingerprint = s.computeFingerprint()
 	db.sessions.Add(1)
 	return s
@@ -301,6 +305,15 @@ type Session struct {
 	// files through. SHOW memory_status reads it; Close removes any spill
 	// files still on disk.
 	mem *executor.MemTracker
+	// Observability state (observe.go): the memoized SET trace flag, the
+	// most recent traced-statement profile (SHOW last_trace), the
+	// slow-query threshold in ms (-1 = off, memoized from the setting), and
+	// the installed slow-query sink. All atomic: the shared implicit
+	// session executes statements from many goroutines.
+	traceFlag atomic.Bool
+	lastTrace atomic.Pointer[Trace]
+	slowMs    atomic.Int64
+	slowSink  atomic.Pointer[func(SlowQuery)]
 }
 
 // SetWorkMem sets the session's blocking-operator memory budget in bytes
@@ -958,6 +971,8 @@ func (s *Session) runSet(st *sql.SetStmt) (*Result, error) {
 		"plan_cache":                   {"on", "off"},
 		"provenance_schema_name":       nil, // free-form
 		"work_mem":                     nil, // validated below (byte count)
+		"trace":                        {"on", "off"},
+		"slow_query_ms":                nil, // validated below (ms, -1 = off)
 	}
 	allowed, ok := valid[name]
 	if !ok {
@@ -981,6 +996,23 @@ func (s *Session) runSet(st *sql.SetStmt) (*Result, error) {
 			return nil, fmt.Errorf("invalid value %q for work_mem (bytes, >= 0; 0 = unlimited)", st.Value)
 		}
 		s.mem.SetBudget(n)
+		val = strconv.FormatInt(n, 10)
+	}
+	if name == "trace" {
+		s.traceFlag.Store(val == "on")
+	}
+	if name == "slow_query_ms" {
+		// The grammar has no negative literals, so "off" is the way to
+		// disable from SQL (it normalizes to the sentinel -1).
+		n := int64(-1)
+		if val != "off" {
+			var err error
+			n, err = strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("invalid value %q for slow_query_ms (ms; 0 = log all, off = disable)", st.Value)
+			}
+		}
+		s.slowMs.Store(n)
 		val = strconv.FormatInt(n, 10)
 	}
 	s.settingsMu.Lock()
@@ -1079,6 +1111,71 @@ func (s *Session) runShow(st *sql.ShowStmt) (*Result, error) {
 				value.NewString(tempDir),
 			}},
 			Tag: "SHOW",
+		}, nil
+	}
+	if name == "last_trace" {
+		tr := s.LastTrace()
+		if tr == nil {
+			return nil, fmt.Errorf("no trace recorded: SET trace = on, then run a query")
+		}
+		t := tr.Timings
+		drain := t.Execute - tr.Open
+		if drain < 0 {
+			drain = 0
+		}
+		return &Result{
+			Columns: []string{"sql", "cache_hit", "parse_us", "analyze_us", "rewrite_us", "plan_us", "open_us", "drain_us", "total_us", "rows", "mem_peak", "spill_files", "spill_bytes", "subplan_hits", "subplan_misses"},
+			Schema: algebra.Schema{
+				{Name: "sql", Type: value.KindString},
+				{Name: "cache_hit", Type: value.KindBool},
+				{Name: "parse_us", Type: value.KindInt},
+				{Name: "analyze_us", Type: value.KindInt},
+				{Name: "rewrite_us", Type: value.KindInt},
+				{Name: "plan_us", Type: value.KindInt},
+				{Name: "open_us", Type: value.KindInt},
+				{Name: "drain_us", Type: value.KindInt},
+				{Name: "total_us", Type: value.KindInt},
+				{Name: "rows", Type: value.KindInt},
+				{Name: "mem_peak", Type: value.KindInt},
+				{Name: "spill_files", Type: value.KindInt},
+				{Name: "spill_bytes", Type: value.KindInt},
+				{Name: "subplan_hits", Type: value.KindInt},
+				{Name: "subplan_misses", Type: value.KindInt},
+			},
+			Rows: []value.Row{{
+				value.NewString(tr.SQL),
+				value.NewBool(tr.CacheHit),
+				value.NewInt(t.Parse.Microseconds()),
+				value.NewInt(t.Analyze.Microseconds()),
+				value.NewInt(t.Rewrite.Microseconds()),
+				value.NewInt(t.Plan.Microseconds()),
+				value.NewInt(tr.Open.Microseconds()),
+				value.NewInt(drain.Microseconds()),
+				value.NewInt(t.Total().Microseconds()),
+				value.NewInt(tr.Rows),
+				value.NewInt(tr.MemPeak),
+				value.NewInt(tr.SpillFiles),
+				value.NewInt(tr.SpillBytes),
+				value.NewInt(tr.SubplanHits),
+				value.NewInt(tr.SubplanMisses),
+			}},
+			Tag: "SHOW",
+		}, nil
+	}
+	if name == "engine_stats" {
+		stats := metrics.Default.Snapshot()
+		rows := make([]value.Row, len(stats))
+		for i, st := range stats {
+			rows[i] = value.Row{value.NewString(st.Name), value.NewString(st.Value)}
+		}
+		return &Result{
+			Columns: []string{"metric", "value"},
+			Schema: algebra.Schema{
+				{Name: "metric", Type: value.KindString},
+				{Name: "value", Type: value.KindString},
+			},
+			Rows: rows,
+			Tag:  "SHOW",
 		}, nil
 	}
 	if name == "plan_cache_stats" {

@@ -26,6 +26,16 @@ type Explanation struct {
 	Timings       Timings
 	RowCount      int
 	Analyzed      bool
+	// EXPLAIN ANALYZE extras: the optimized tree annotated with measured
+	// per-operator counters, the stats tree itself (tests and tools read
+	// the raw numbers), and statement-level totals.
+	AnalyzedTree               string
+	Stats                      *executor.OpStats
+	SpillFiles, SpillBytes     int64
+	SubplanHits, SubplanMisses int64
+	// OpenDur is the executor-open slice of Execute (blocking operators'
+	// up-front work); the drain phase is Execute - OpenDur.
+	OpenDur time.Duration
 }
 
 // Explain produces the browser artifacts for a query without running it.
@@ -69,15 +79,76 @@ func (s *Session) explain(sel *sql.SelectStmt, analyze bool) (*Explanation, erro
 	})
 
 	if analyze {
+		ctx := s.execContextOn(store)
 		t2 := time.Now()
-		out, err := executor.Run(s.execContextOn(store), opt)
+		stream, root, err := executor.OpenInstrumented(ctx, opt)
 		if err != nil {
 			return nil, err
 		}
+		ex.OpenDur = time.Since(t2)
+		rows, err := stream.Drain()
+		if err != nil {
+			stream.Close()
+			return nil, err
+		}
 		ex.Timings.Execute = time.Since(t2)
-		ex.RowCount = len(out.Rows)
+		ex.RowCount = len(rows)
+		ex.Stats = root
+		ex.SpillFiles, ex.SpillBytes = root.SpillFiles, root.SpillBytes
+		ex.SubplanHits, ex.SubplanMisses = int64(ctx.SubplanHits), int64(ctx.SubplanMisses)
+		ex.AnalyzedTree = analyzedTree(opt, root)
 	}
 	return ex, nil
+}
+
+// analyzedTree renders the optimized plan annotated with the measured
+// per-operator counters — the EXPLAIN ANALYZE payload. Stats nodes are
+// matched to plan nodes by operator identity; pass-through nodes (BaseRel,
+// ProvDone) executed no iterator and carry no annotation.
+func analyzedTree(plan algebra.Op, root *executor.OpStats) string {
+	byOp := map[algebra.Op]*executor.OpStats{}
+	root.Walk(func(n *executor.OpStats) { byOp[n.Op] = n })
+	return algebra.AnnotatedTree(plan, func(op algebra.Op) string {
+		n := byOp[op]
+		if n == nil {
+			return ""
+		}
+		if n.Opens == 0 {
+			return "(never executed)"
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "(rows=%d", n.Rows)
+		if n.Opens > 1 {
+			fmt.Fprintf(&sb, " loops=%d", n.Opens)
+		}
+		fmt.Fprintf(&sb, " time=%s open=%s",
+			time.Duration(n.TotalNs()).Round(time.Microsecond),
+			time.Duration(n.OpenNs).Round(time.Microsecond))
+		if n.MemPeak > 0 {
+			fmt.Fprintf(&sb, " mem=%s", fmtBytes(n.MemPeak))
+		}
+		if n.SpillFiles > 0 {
+			fmt.Fprintf(&sb, " spill=%d/%s", n.SpillFiles, fmtBytes(n.SpillBytes))
+		}
+		if n.BuildRows > 0 {
+			fmt.Fprintf(&sb, " build=%d", n.BuildRows)
+		}
+		sb.WriteByte(')')
+		return sb.String()
+	})
+}
+
+// fmtBytes renders a byte count with a binary-unit suffix.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 // runExplain renders an Explanation as a one-column result, the way EXPLAIN
@@ -106,9 +177,17 @@ func (s *Session) runExplain(st *sql.ExplainStmt) (*Result, error) {
 	add("Optimized plan:")
 	lines = append(lines, strings.Split(strings.TrimRight(ex.OptimizedTree, "\n"), "\n")...)
 	if ex.Analyzed {
-		add("Stage timings: analyze=%v (rewrite=%v) plan=%v execute=%v",
-			ex.Timings.Analyze, ex.Timings.Rewrite, ex.Timings.Plan, ex.Timings.Execute)
+		add("Analyzed plan (measured):")
+		lines = append(lines, strings.Split(strings.TrimRight(ex.AnalyzedTree, "\n"), "\n")...)
+		add("Stage timings: analyze=%v (rewrite=%v) plan=%v open=%v execute=%v",
+			ex.Timings.Analyze, ex.Timings.Rewrite, ex.Timings.Plan, ex.OpenDur, ex.Timings.Execute)
 		add("Rows: %d", ex.RowCount)
+		if ex.SpillFiles > 0 {
+			add("Spill: %d file(s), %s", ex.SpillFiles, fmtBytes(ex.SpillBytes))
+		}
+		if ex.SubplanHits+ex.SubplanMisses > 0 {
+			add("Subplan cache: %d hit(s), %d miss(es)", ex.SubplanHits, ex.SubplanMisses)
+		}
 	}
 	rows := make([]value.Row, len(lines))
 	for i, l := range lines {

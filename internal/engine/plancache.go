@@ -141,14 +141,26 @@ func normalizeSQL(text string) string {
 	return strings.TrimRight(strings.TrimSpace(text), "; \t\n\r")
 }
 
-// computeFingerprint serializes every session setting into the key suffix.
-// Callers hold settingsMu (or own the session exclusively, as in NewSession);
-// the result is memoized in s.fingerprint so the map is only iterated when a
-// setting actually changes, never per statement.
+// planNeutralSettings are session settings that never influence what plan
+// the pipeline produces — observability toggles bound at executor-open time,
+// not plan time. They are excluded from the settings fingerprint so flipping
+// them neither invalidates nor forks cached plans (and keeps cache keys
+// short).
+var planNeutralSettings = map[string]bool{
+	"trace":         true,
+	"slow_query_ms": true,
+}
+
+// computeFingerprint serializes every plan-affecting session setting into
+// the key suffix. Callers hold settingsMu (or own the session exclusively,
+// as in NewSession); the result is memoized in s.fingerprint so the map is
+// only iterated when a setting actually changes, never per statement.
 func (s *Session) computeFingerprint() string {
 	names := make([]string, 0, len(s.settings))
 	for k := range s.settings {
-		names = append(names, k)
+		if !planNeutralSettings[k] {
+			names = append(names, k)
+		}
 	}
 	sort.Strings(names)
 	var b strings.Builder

@@ -40,14 +40,38 @@ type Rows struct {
 	// cache, skipping parse, analyze, rewrite and planning entirely.
 	CacheHit bool
 
+	done bool
+	pos  int32 // cursor into res.Rows for materialized results
+
 	stream  *executor.Stream // streaming SELECT plan; nil for materialized results
 	res     *Result          // complete result backing non-streamed statements
-	pos     int
 	opened  time.Time
 	timings Timings
-	done    bool
 	tag     string
 	err     error
+
+	// Observability plumbing (observe.go): the owning session records
+	// process metrics at finish; obs carries the deep-observation state —
+	// statement text, stats tree, spill baselines — and is allocated only
+	// when SET trace or the slow-query log is armed, so the default path
+	// keeps the pre-instrumentation Rows footprint.
+	sess *Session
+	obs  *rowsObs
+}
+
+// rowsObs is the deep-observation sidecar of one streamed statement,
+// allocated only when SET trace is on or a slow-query threshold is set at
+// open time.
+type rowsObs struct {
+	sqlText    string
+	nparams    int
+	stats      *executor.OpStats
+	ectx       *executor.Context
+	poolFiles0 int64
+	poolBytes0 int64
+	// openDur is the executor-open slice of the execute stage (blocking
+	// operators' up-front work).
+	openDur time.Duration
 }
 
 // materializedRows wraps an already-complete result in the Rows interface.
@@ -70,7 +94,7 @@ func (r *Rows) Next() (value.Row, error) {
 		return nil, r.err
 	}
 	if r.stream == nil {
-		if r.res == nil || r.pos >= len(r.res.Rows) {
+		if r.res == nil || int(r.pos) >= len(r.res.Rows) {
 			r.done = true
 			return nil, nil
 		}
@@ -102,6 +126,9 @@ func (r *Rows) finish() {
 		r.stream.Close()
 		r.timings.Execute += time.Since(r.opened)
 		r.tag = fmt.Sprintf("SELECT %d", r.stream.Rows())
+		if r.sess != nil {
+			r.sess.noteStreamDone(r)
+		}
 	}
 }
 
@@ -191,14 +218,26 @@ func (s *Session) query(text string, st sql.Statement, args []value.Value) (*Row
 		key, keyFingerprint = s.cacheKey(text, args)
 		schemaVersion = store.Catalog().Version()
 		if e := s.cache.get(key, schemaVersion); e != nil {
-			return s.openCached(e, store, args)
+			mPlanCacheHits.Inc()
+			rows, err := s.openCached(e, store, args)
+			if err != nil {
+				mQueryErrors.Inc()
+				return nil, err
+			}
+			rows.sess = s
+			if rows.obs != nil {
+				rows.obs.sqlText, rows.obs.nparams = text, len(args)
+			}
+			return rows, nil
 		}
+		mPlanCacheMisses.Inc()
 	}
 	t0 := time.Now()
 	if st == nil {
 		var err error
 		st, err = sql.Parse(text)
 		if err != nil {
+			mQueryErrors.Inc()
 			return nil, err
 		}
 	}
@@ -206,7 +245,12 @@ func (s *Session) query(text string, st sql.Statement, args []value.Value) (*Row
 	if sel, ok := st.(*sql.SelectStmt); ok {
 		rows, plan, err := s.openSelect(sel, store, args)
 		if err != nil {
+			mQueryErrors.Inc()
 			return nil, err
+		}
+		rows.sess = s
+		if rows.obs != nil {
+			rows.obs.sqlText, rows.obs.nparams = text, len(args)
 		}
 		rows.timings.Parse = parseDur
 		// Guard against a concurrent SET landing mid-plan on the shared
@@ -224,11 +268,21 @@ func (s *Session) query(text string, st sql.Statement, args []value.Value) (*Row
 		}
 		return rows, nil
 	}
+	var spill0 int64
+	if s.mem != nil {
+		spill0 = s.mem.Pool().Bytes()
+	}
 	res, err := s.executeStatement(st, args)
 	if err != nil {
+		mQueryErrors.Inc()
 		return nil, err
 	}
 	res.Timings.Parse = parseDur
+	var spillBytes int64
+	if s.mem != nil {
+		spillBytes = s.mem.Pool().Bytes() - spill0
+	}
+	s.noteStatement(text, res.Timings, int64(len(res.Rows)), res.CacheHit, len(args), spillBytes)
 	return materializedRows(res), nil
 }
 
@@ -252,15 +306,52 @@ func (s *Session) openSelect(sel *sql.SelectStmt, store *storage.Store, args []v
 
 	ctx := s.execContextOn(store)
 	ctx.Params = args
-	rows.opened = time.Now()
-	stream, err := executor.Open(ctx, plan)
-	if err != nil {
+	if err := s.openStream(rows, ctx, plan); err != nil {
 		return nil, nil, err
 	}
-	rows.stream = stream
-	rows.Schema = stream.Schema()
+	rows.Schema = rows.stream.Schema()
 	rows.Columns = rows.Schema.Names()
 	return rows, plan, nil
+}
+
+// openStream opens the executor stream behind rows. When SET trace is on the
+// build is instrumented; when either trace or a slow-query threshold is
+// armed, the deep-observation sidecar captures spill-pool baselines and the
+// open-stage timing. The default path — no trace, no threshold — does
+// exactly what it did before instrumentation existed.
+func (s *Session) openStream(rows *Rows, ctx *executor.Context, plan algebra.Op) error {
+	trace := s.traceOn()
+	if !trace && s.slowMs.Load() < 0 {
+		rows.opened = time.Now()
+		stream, err := executor.Open(ctx, plan)
+		if err != nil {
+			return err
+		}
+		rows.stream = stream
+		return nil
+	}
+	obs := &rowsObs{}
+	if s.mem != nil {
+		p := s.mem.Pool()
+		obs.poolFiles0, obs.poolBytes0 = p.Files(), p.Bytes()
+	}
+	rows.obs = obs
+	rows.opened = time.Now()
+	var stream *executor.Stream
+	var err error
+	if trace {
+		var root *executor.OpStats
+		stream, root, err = executor.OpenInstrumented(ctx, plan)
+		obs.stats, obs.ectx = root, ctx
+	} else {
+		stream, err = executor.Open(ctx, plan)
+	}
+	if err != nil {
+		return err
+	}
+	obs.openDur = time.Since(rows.opened)
+	rows.stream = stream
+	return nil
 }
 
 // openCached opens a stream over a previously planned statement: only the
@@ -274,13 +365,11 @@ func (s *Session) openCached(e *planCacheEntry, store *storage.Store, args []val
 	}
 	ctx := s.execContextOn(store)
 	ctx.Params = args
-	rows := &Rows{CacheHit: true, Rewrites: decisions, opened: time.Now()}
-	stream, err := executor.Open(ctx, e.plan)
-	if err != nil {
+	rows := &Rows{CacheHit: true, Rewrites: decisions}
+	if err := s.openStream(rows, ctx, e.plan); err != nil {
 		return nil, err
 	}
-	rows.stream = stream
-	rows.Schema = stream.Schema()
+	rows.Schema = rows.stream.Schema()
 	rows.Columns = e.columns
 	return rows, nil
 }

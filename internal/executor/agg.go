@@ -96,7 +96,7 @@ func (a *aggIter) Open(ctx *Context) error {
 			break
 		}
 		total++
-		if ctx.RowBudget > 0 && total > ctx.RowBudget {
+		if ctx.RowBudget > 0 && total > int(ctx.RowBudget) {
 			return fmt.Errorf("executor: intermediate result exceeds row budget of %d rows", ctx.RowBudget)
 		}
 		if err := fold.add(uint64(total-1), row); err != nil {
@@ -277,7 +277,7 @@ func (a *aggIter) newFold(level int) *aggFold {
 	return &aggFold{
 		a:       a,
 		level:   level,
-		acct:    memAcct{mem: a.ctx.Mem},
+		acct:    memAcct{ctx: a.ctx},
 		groups:  make(map[string]*aggGroup),
 		keyVals: make(value.Row, len(a.groupBy)),
 	}

@@ -33,10 +33,6 @@ type Context struct {
 	// evaluation fully materializes before returning and a plan tree cannot
 	// contain itself, so the cached iterator is never re-entered mid-stream.
 	subplanIters map[*algebra.Subplan]iterator
-	// RowBudget, when positive, bounds the total number of rows any single
-	// operator may buffer (protection against runaway provenance joins in
-	// interactive use). Zero means unlimited.
-	RowBudget int
 	// Mem, when non-nil, is the session's memory governor: blocking
 	// operators (sort, aggregation, set operations, DISTINCT) account the
 	// bytes they retain against its budget and spill to its temp-file pool
@@ -57,8 +53,22 @@ type Context struct {
 	// keyScratch is a reusable buffer for probe-side hash keys (uncorrelated
 	// IN-subquery membership tests), so probing does not allocate per row.
 	keyScratch []byte
+	// owner is the stats node of the operator currently executing, set and
+	// restored by statIter around every wrapped Open/Next/Close so memory
+	// accounts attribute their bytes to the right operator. Always nil on
+	// the uninstrumented path.
+	owner *OpStats
+	// RowBudget, when positive, bounds the total number of rows any single
+	// operator may buffer (protection against runaway provenance joins in
+	// interactive use). Zero means unlimited.
+	RowBudget int32
+	// SubplanHits/SubplanMisses count uncorrelated-subplan memoization: a
+	// miss runs the subplan, a hit reuses its materialized result. Reported
+	// by EXPLAIN ANALYZE and SET trace at statement level.
+	SubplanHits   int32
+	SubplanMisses int32
 	// ticks counts tick() calls for the row-free cancellation polls.
-	ticks uint
+	ticks uint32
 }
 
 // Tick exposes the cancellation poll to engine-level DML loops (UPDATE
@@ -187,65 +197,80 @@ type iterator interface {
 	Close() error
 }
 
-// build maps a logical operator to its iterator.
-func build(op algebra.Op) (iterator, error) {
+// build maps a logical operator to its uninstrumented iterator — the
+// default, zero-overhead path.
+func build(op algebra.Op) (iterator, error) { return buildInto(op, nil) }
+
+// buildInto maps a logical operator to its iterator. With a non-nil parent
+// stats node (EXPLAIN ANALYZE, SET trace) every concrete operator gets a
+// stats child and a statIter wrapper; pass-through nodes (BaseRel, ProvDone)
+// attach their input directly to the parent, exactly as they produce no
+// iterator of their own.
+func buildInto(op algebra.Op, parent *OpStats) (iterator, error) {
 	switch o := op.(type) {
 	case *algebra.Scan:
-		return &scanIter{op: o}, nil
+		return wrapStat(&scanIter{op: o}, node(parent, o)), nil
 	case *algebra.Values:
-		return &valuesIter{op: o}, nil
+		return wrapStat(&valuesIter{op: o}, node(parent, o)), nil
 	case *algebra.Project:
-		in, err := build(o.Input)
+		n := node(parent, o)
+		in, err := buildInto(o.Input, n)
 		if err != nil {
 			return nil, err
 		}
-		return &projectIter{op: o, input: in}, nil
+		return wrapStat(&projectIter{op: o, input: in}, n), nil
 	case *algebra.Select:
-		in, err := build(o.Input)
+		n := node(parent, o)
+		in, err := buildInto(o.Input, n)
 		if err != nil {
 			return nil, err
 		}
-		return &filterIter{op: o, input: in}, nil
+		return wrapStat(&filterIter{op: o, input: in}, n), nil
 	case *algebra.BaseRel:
-		return build(o.Input)
+		return buildInto(o.Input, parent)
 	case *algebra.ProvDone:
-		return build(o.Input)
+		return buildInto(o.Input, parent)
 	case *algebra.Join:
-		return buildJoin(o)
+		return buildJoin(o, parent)
 	case *algebra.Agg:
-		in, err := build(o.Input)
+		n := node(parent, o)
+		in, err := buildInto(o.Input, n)
 		if err != nil {
 			return nil, err
 		}
-		return &aggIter{op: o, input: in}, nil
+		return wrapStat(&aggIter{op: o, input: in}, n), nil
 	case *algebra.Distinct:
-		in, err := build(o.Input)
+		n := node(parent, o)
+		in, err := buildInto(o.Input, n)
 		if err != nil {
 			return nil, err
 		}
-		return &distinctIter{input: in}, nil
+		return wrapStat(&distinctIter{input: in}, n), nil
 	case *algebra.SetOp:
-		l, err := build(o.Left)
+		n := node(parent, o)
+		l, err := buildInto(o.Left, n)
 		if err != nil {
 			return nil, err
 		}
-		r, err := build(o.Right)
+		r, err := buildInto(o.Right, n)
 		if err != nil {
 			return nil, err
 		}
-		return &setOpIter{op: o, left: l, right: r}, nil
+		return wrapStat(&setOpIter{op: o, left: l, right: r}, n), nil
 	case *algebra.Sort:
-		in, err := build(o.Input)
+		n := node(parent, o)
+		in, err := buildInto(o.Input, n)
 		if err != nil {
 			return nil, err
 		}
-		return &sortIter{op: o, input: in}, nil
+		return wrapStat(&sortIter{op: o, input: in}, n), nil
 	case *algebra.Limit:
-		in, err := build(o.Input)
+		n := node(parent, o)
+		in, err := buildInto(o.Input, n)
 		if err != nil {
 			return nil, err
 		}
-		return &limitIter{op: o, input: in}, nil
+		return wrapStat(&limitIter{op: o, input: in}, n), nil
 	}
 	return nil, fmt.Errorf("executor: no iterator for operator %T", op)
 }

@@ -34,7 +34,7 @@ type dedupState struct {
 }
 
 func newDedupState(ctx *Context, reg *fileReg) *dedupState {
-	return &dedupState{ctx: ctx, acct: memAcct{mem: ctx.Mem}, reg: reg, seen: make(map[string]struct{})}
+	return &dedupState{ctx: ctx, acct: memAcct{ctx: ctx}, reg: reg, seen: make(map[string]struct{})}
 }
 
 // offer decides one input row: emit=true means the caller streams it out now
@@ -115,7 +115,7 @@ func (d *dedupState) resolvePartition(f *spill.File, level int, outputs *[]*spil
 	if err := f.StartRead(); err != nil {
 		return err
 	}
-	acct := memAcct{mem: d.ctx.Mem}
+	acct := memAcct{ctx: d.ctx}
 	defer acct.releaseAll()
 	seen := make(map[string]struct{})
 	var sub *partitionSet

@@ -244,12 +244,15 @@ func evalSubplan(sp *algebra.Subplan, row value.Row, ctx *Context) (value.Value,
 	if !sp.Correlated {
 		cached, ok := ctx.subplanCache[sp]
 		if !ok {
+			ctx.SubplanMisses++
 			res, err := Run(ctx, sp.Plan)
 			cached = &subplanResult{err: err}
 			if err == nil {
 				cached.rows = res.Rows
 			}
 			ctx.subplanCache[sp] = cached
+		} else {
+			ctx.SubplanHits++
 		}
 		if cached.err != nil {
 			return value.Null, cached.err

@@ -183,7 +183,7 @@ type sortKeyed struct {
 
 func (s *sortIter) Open(ctx *Context) error {
 	s.release() // re-Open (lateral re-execution) must not leak prior state
-	s.acct.mem = ctx.Mem
+	s.acct.ctx = ctx
 	if err := s.input.Open(ctx); err != nil {
 		return err
 	}
@@ -243,7 +243,7 @@ func (s *sortIter) Open(ctx *Context) error {
 			break
 		}
 		total++
-		if ctx.RowBudget > 0 && total > ctx.RowBudget {
+		if ctx.RowBudget > 0 && total > int(ctx.RowBudget) {
 			return fmt.Errorf("executor: sort input exceeds row budget of %d rows", ctx.RowBudget)
 		}
 		keys := make(value.Row, len(keyExprs))
@@ -445,7 +445,7 @@ func drain(it iterator, ctx *Context) ([]value.Row, error) {
 			return rows, nil
 		}
 		rows = append(rows, row)
-		if ctx.RowBudget > 0 && len(rows) > ctx.RowBudget {
+		if ctx.RowBudget > 0 && len(rows) > int(ctx.RowBudget) {
 			return nil, fmt.Errorf("executor: intermediate result exceeds row budget of %d rows", ctx.RowBudget)
 		}
 		if len(rows)&interruptMask == 0 {

@@ -17,28 +17,29 @@ var joinHashSeed = maphash.MakeSeed()
 // buildJoin picks a join algorithm: lateral joins always run nested-loop with
 // per-left-row re-execution of the right side; equi-joins run as hash joins;
 // everything else falls back to a generic nested loop.
-func buildJoin(op *algebra.Join) (iterator, error) {
+func buildJoin(op *algebra.Join, parent *OpStats) (iterator, error) {
+	n := node(parent, op)
 	if op.Lateral {
 		switch op.Kind {
 		case algebra.JoinInner, algebra.JoinCross, algebra.JoinLeft:
-			return &lateralJoinIter{op: op}, nil
+			return wrapStat(&lateralJoinIter{op: op, stats: n}, n), nil
 		default:
 			return nil, fmt.Errorf("executor: lateral %s join is not supported", op.Kind)
 		}
 	}
-	left, err := build(op.Left)
+	left, err := buildInto(op.Left, n)
 	if err != nil {
 		return nil, err
 	}
-	right, err := build(op.Right)
+	right, err := buildInto(op.Right, n)
 	if err != nil {
 		return nil, err
 	}
 	keys := extractEquiKeys(op)
 	if len(keys) > 0 {
-		return &hashJoinIter{op: op, left: left, right: right, keys: keys}, nil
+		return wrapStat(&hashJoinIter{op: op, left: left, right: right, keys: keys}, n), nil
 	}
-	return &nlJoinIter{op: op, left: left, right: right}, nil
+	return wrapStat(&nlJoinIter{op: op, left: left, right: right}, n), nil
 }
 
 // equiKey is one hashable join key pair: leftExpr over the left schema,
@@ -188,6 +189,9 @@ func (h *hashJoinIter) Open(ctx *Context) error {
 	}
 	h.buildRows = make([]buildRow, len(rows))
 	h.table = make(map[uint64][]int32, len(rows))
+	if ctx.owner != nil {
+		ctx.owner.BuildRows = int64(len(rows))
+	}
 	for i, row := range rows {
 		h.buildRows[i].row = row
 		key, hashable, err := h.appendKey(h.keyScratch[:0], row, h.rightKey)
@@ -393,6 +397,9 @@ func (n *nlJoinIter) Open(ctx *Context) error {
 	for i, r := range rows {
 		n.rightRows[i].row = r
 	}
+	if ctx.owner != nil {
+		ctx.owner.BuildRows = int64(len(rows))
+	}
 	return n.left.Open(ctx)
 }
 
@@ -511,6 +518,7 @@ type lateralJoinIter struct {
 	right iterator
 	ctx   *Context
 	cond  compiledPred
+	stats *OpStats
 
 	curProbe value.Row
 	curRows  []value.Row
@@ -526,13 +534,13 @@ func (l *lateralJoinIter) Open(ctx *Context) error {
 	}
 	var err error
 	if l.right == nil {
-		l.right, err = build(l.op.Right)
+		l.right, err = buildInto(l.op.Right, l.stats)
 		if err != nil {
 			return err
 		}
 	}
 	if l.left == nil {
-		l.left, err = build(l.op.Left)
+		l.left, err = buildInto(l.op.Left, l.stats)
 		if err != nil {
 			return err
 		}

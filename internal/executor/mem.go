@@ -104,41 +104,73 @@ func rowBytes(row value.Row) int64 {
 // memAcct is one operator's slice of the session tracker: every Grow is
 // remembered so Close (or a spill handoff) releases exactly what this
 // operator holds, keeping the shared counter drift-free across statements.
+// It reads the tracker through the statement context so instrumented runs
+// (EXPLAIN ANALYZE, SET trace) can attribute bytes to ctx.owner — the stats
+// node of the operator currently executing — without widening the account.
 type memAcct struct {
-	mem  *MemTracker
+	ctx  *Context
 	held int64
+}
+
+// mem returns the session tracker, or nil when unaccounted.
+func (a *memAcct) mem() *MemTracker {
+	if a.ctx == nil {
+		return nil
+	}
+	return a.ctx.Mem
 }
 
 // grow adds n bytes to the operator's tracked total.
 func (a *memAcct) grow(n int64) {
-	if a.mem == nil {
+	m := a.mem()
+	if m == nil {
 		return
 	}
 	a.held += n
-	a.mem.Grow(n)
+	m.Grow(n)
+	if o := a.ctx.owner; o != nil {
+		o.MemCur += n
+		if o.MemCur > o.MemPeak {
+			o.MemPeak = o.MemCur
+		}
+	}
 }
 
 // over reports whether the session is past its budget.
-func (a *memAcct) over() bool { return a.mem != nil && a.mem.Over() }
+func (a *memAcct) over() bool {
+	m := a.mem()
+	return m != nil && m.Over()
+}
 
 // release returns n of the operator's held bytes (a batch handed off to
 // disk). All accounting flows through memAcct so the shared session counter
 // stays drift-free.
 func (a *memAcct) release(n int64) {
-	if a.mem != nil && n != 0 {
+	m := a.mem()
+	if m != nil && n != 0 {
 		a.held -= n
-		a.mem.Shrink(n)
+		m.Shrink(n)
+		if o := a.ctx.owner; o != nil {
+			o.MemCur -= n
+		}
 	}
 }
 
 // releaseAll returns every byte this operator holds.
 func (a *memAcct) releaseAll() {
-	if a.mem != nil && a.held != 0 {
-		a.mem.Shrink(a.held)
+	m := a.mem()
+	if m != nil && a.held != 0 {
+		m.Shrink(a.held)
+		if o := a.ctx.owner; o != nil {
+			o.MemCur -= a.held
+		}
 		a.held = 0
 	}
 }
 
 // spillable reports whether spilling is possible at all: a tracker with a
 // positive budget exists.
-func (a *memAcct) spillable() bool { return a.mem != nil && a.mem.Budget() > 0 }
+func (a *memAcct) spillable() bool {
+	m := a.mem()
+	return m != nil && m.Budget() > 0
+}

@@ -43,7 +43,7 @@ type setOpIter struct {
 func (s *setOpIter) Open(ctx *Context) error {
 	s.release()
 	s.ctx = ctx
-	s.acct.mem = ctx.Mem
+	s.acct.ctx = ctx
 	switch s.op.Kind {
 	case algebra.UnionAll, algebra.UnionDistinct:
 		s.streaming = true
@@ -109,7 +109,7 @@ func (s *setOpIter) Open(ctx *Context) error {
 				return nil
 			}
 			total++
-			if ctx.RowBudget > 0 && total > ctx.RowBudget {
+			if ctx.RowBudget > 0 && total > int(ctx.RowBudget) {
 				return fmt.Errorf("executor: intermediate result exceeds row budget of %d rows", ctx.RowBudget)
 			}
 			if lparts != nil {
@@ -199,7 +199,7 @@ func (s *setOpIter) resolvePair(lf, rf *spill.File, level int, outputs *[]*spill
 		}
 		return nil
 	}
-	acct := memAcct{mem: s.ctx.Mem}
+	acct := memAcct{ctx: s.ctx}
 	defer acct.releaseAll()
 
 	// restartDeeper abandons this attempt (discarding the partial output

@@ -44,6 +44,25 @@ func Open(ctx *Context, plan algebra.Op) (*Stream, error) {
 	return &Stream{it: it, ctx: ctx, schema: plan.Schema()}, nil
 }
 
+// OpenInstrumented is Open with per-operator counters: every concrete
+// iterator is wrapped with a stats collector, and the returned root node
+// mirrors the iterator tree. The numbers are live while the stream drains
+// and final once it is closed or exhausted. Used by EXPLAIN ANALYZE and
+// SET trace; everything else takes the unwrapped Open path.
+func OpenInstrumented(ctx *Context, plan algebra.Op) (*Stream, *OpStats, error) {
+	sentinel := &OpStats{}
+	it, err := buildInto(plan, sentinel)
+	if err != nil {
+		return nil, nil, err
+	}
+	root := sentinel.Children[0]
+	if err := it.Open(ctx); err != nil {
+		it.Close()
+		return nil, nil, err
+	}
+	return &Stream{it: it, ctx: ctx, schema: plan.Schema()}, root, nil
+}
+
 // Schema describes the stream's columns.
 func (s *Stream) Schema() algebra.Schema { return s.schema }
 
@@ -116,7 +135,7 @@ func (s *Stream) Drain() ([]value.Row, error) {
 			return rows, nil
 		}
 		rows = append(rows, row)
-		if s.ctx.RowBudget > 0 && len(rows) > s.ctx.RowBudget {
+		if s.ctx.RowBudget > 0 && len(rows) > int(s.ctx.RowBudget) {
 			s.Close()
 			return nil, fmt.Errorf("executor: result exceeds row budget of %d rows", s.ctx.RowBudget)
 		}

@@ -1,0 +1,182 @@
+// Package logx is the minimal leveled structured logger shared by the Perm
+// binaries. It exists so slow-query and recovery-summary lines are
+// machine-parseable: every record is a level, a message, and key=value
+// fields, rendered either as aligned text or as one JSON object per line
+// (-log-format text|json).
+//
+// The Printf method is a compatibility adapter for the many existing
+// Logf(func(string, ...any)) seams in server, follower, coordinator and
+// router — those callers keep their printf-style call sites and gain level,
+// timestamp and format handling for free.
+package logx
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO"
+	case LevelWarn:
+		return "WARN"
+	case LevelError:
+		return "ERROR"
+	}
+	return fmt.Sprintf("LEVEL(%d)", int(l))
+}
+
+// Logger writes leveled records to one destination. Safe for concurrent use.
+type Logger struct {
+	mu        sync.Mutex
+	w         io.Writer
+	jsonMode  bool
+	level     Level
+	component string // e.g. "permserver"; empty omits the field
+	now       func() time.Time
+}
+
+// New builds a logger. format is "text" or "json" (anything else falls back
+// to text). Records below min are dropped.
+func New(w io.Writer, format string, min Level, component string) *Logger {
+	return &Logger{
+		w:         w,
+		jsonMode:  strings.EqualFold(format, "json"),
+		level:     min,
+		component: component,
+		now:       time.Now,
+	}
+}
+
+// Default logs text at Info to stderr, for embedded users that never
+// configured logging.
+var Default = New(os.Stderr, "text", LevelInfo, "")
+
+// ParseLevel maps a -log-level flag value to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "", "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("unknown log level %q (debug|info|warn|error)", s)
+}
+
+// Log emits one record with alternating key, value fields. Keys must be
+// strings; values are rendered with %v (JSON mode keeps string/int/bool/
+// float types native). Odd trailing fields get the key "arg".
+func (l *Logger) Log(level Level, msg string, fields ...any) {
+	if l == nil || level < l.level {
+		return
+	}
+	ts := l.now().UTC().Format(time.RFC3339Nano)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.jsonMode {
+		rec := make(map[string]any, 4+len(fields)/2)
+		rec["ts"] = ts
+		rec["level"] = strings.ToLower(level.String())
+		rec["msg"] = msg
+		if l.component != "" {
+			rec["component"] = l.component
+		}
+		for i := 0; i+1 < len(fields); i += 2 {
+			key, ok := fields[i].(string)
+			if !ok {
+				key = fmt.Sprintf("%v", fields[i])
+			}
+			rec[key] = jsonValue(fields[i+1])
+		}
+		if len(fields)%2 == 1 {
+			rec["arg"] = jsonValue(fields[len(fields)-1])
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			b = []byte(fmt.Sprintf(`{"ts":%q,"level":"error","msg":"logx: marshal: %v"}`, ts, err))
+		}
+		l.w.Write(append(b, '\n'))
+		return
+	}
+	var sb strings.Builder
+	sb.WriteString(ts)
+	sb.WriteByte(' ')
+	sb.WriteString(level.String())
+	sb.WriteByte(' ')
+	if l.component != "" {
+		sb.WriteString(l.component)
+		sb.WriteString(": ")
+	}
+	sb.WriteString(msg)
+	for i := 0; i+1 < len(fields); i += 2 {
+		fmt.Fprintf(&sb, " %v=%s", fields[i], textValue(fields[i+1]))
+	}
+	if len(fields)%2 == 1 {
+		fmt.Fprintf(&sb, " arg=%s", textValue(fields[len(fields)-1]))
+	}
+	sb.WriteByte('\n')
+	io.WriteString(l.w, sb.String())
+}
+
+// jsonValue keeps JSON-native types as-is and stringifies the rest.
+func jsonValue(v any) any {
+	switch v.(type) {
+	case nil, string, bool,
+		int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64,
+		float32, float64, json.Number:
+		return v
+	case time.Duration:
+		return v.(time.Duration).String()
+	case error:
+		return v.(error).Error()
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// textValue quotes values containing spaces so text lines stay splittable.
+func textValue(v any) string {
+	s := fmt.Sprintf("%v", v)
+	if strings.ContainsAny(s, " \t\n\"=") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}
+
+// Debug, Info, Warn and Error emit at their level.
+func (l *Logger) Debug(msg string, fields ...any) { l.Log(LevelDebug, msg, fields...) }
+func (l *Logger) Info(msg string, fields ...any)  { l.Log(LevelInfo, msg, fields...) }
+func (l *Logger) Warn(msg string, fields ...any)  { l.Log(LevelWarn, msg, fields...) }
+func (l *Logger) Error(msg string, fields ...any) { l.Log(LevelError, msg, fields...) }
+
+// Printf is the legacy adapter for Logf seams: the formatted string becomes
+// an Info record's message with no fields.
+func (l *Logger) Printf(format string, args ...any) {
+	if l == nil || LevelInfo < l.level {
+		return
+	}
+	l.Log(LevelInfo, fmt.Sprintf(format, args...))
+}

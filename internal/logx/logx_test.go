@@ -1,0 +1,81 @@
+package logx
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixed(l *Logger) *Logger {
+	l.now = func() time.Time { return time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC) }
+	return l
+}
+
+func TestTextFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixed(New(&buf, "text", LevelInfo, "permserver"))
+	l.Info("slow query", "duration", 1500*time.Millisecond, "sql", "select 1", "rows", 42)
+	got := buf.String()
+	want := `2026-01-02T03:04:05Z INFO permserver: slow query duration=1.5s sql="select 1" rows=42` + "\n"
+	if got != want {
+		t.Fatalf("text record\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestJSONFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixed(New(&buf, "json", LevelInfo, "permserver"))
+	l.Warn("reconnect", "attempt", 3, "err", strings.Repeat("x", 3))
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not one JSON object per line: %v in %q", err, buf.String())
+	}
+	if rec["level"] != "warn" || rec["msg"] != "reconnect" || rec["component"] != "permserver" {
+		t.Fatalf("bad record %v", rec)
+	}
+	if rec["attempt"] != float64(3) || rec["err"] != "xxx" {
+		t.Fatalf("fields not native: %v", rec)
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, "text", LevelWarn, "")
+	l.Debug("nope")
+	l.Info("nope")
+	l.Printf("printf is info: %d", 7)
+	if buf.Len() != 0 {
+		t.Fatalf("below-threshold records emitted: %q", buf.String())
+	}
+	l.Error("yes")
+	if !strings.Contains(buf.String(), "ERROR yes") {
+		t.Fatalf("error record missing: %q", buf.String())
+	}
+}
+
+func TestPrintfAdapter(t *testing.T) {
+	var buf bytes.Buffer
+	l := fixed(New(&buf, "text", LevelInfo, ""))
+	l.Printf("applied %d records in %s", 10, "5ms")
+	if !strings.Contains(buf.String(), "INFO applied 10 records in 5ms") {
+		t.Fatalf("printf adapter: %q", buf.String())
+	}
+	// A nil logger must be safe — Logf seams pass nil to disable logging.
+	var nilLogger *Logger
+	nilLogger.Printf("dropped")
+	nilLogger.Info("dropped")
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{"debug": LevelDebug, "": LevelInfo, "WARN": LevelWarn, "error": LevelError} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+}

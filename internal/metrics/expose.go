@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (version 0.0.4). Histograms emit cumulative _bucket series for non-empty
+// buckets plus the mandatory +Inf bound, _sum, and _count; empty buckets are
+// elided to keep scrapes small (cumulative counts stay monotone either way).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.sorted() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", e.name, e.help)
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.gauge.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(bw, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.fn())
+		case kindHistogram:
+			h := e.hist
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", e.name)
+			var cum uint64
+			for i := 0; i < numBuckets; i++ {
+				n := h.counts[i].Load()
+				if n == 0 {
+					continue
+				}
+				cum += n
+				fmt.Fprintf(bw, "%s_bucket{le=\"%g\"} %d\n", e.name, float64(bucketMax(i))*h.scale, cum)
+			}
+			count, sum := h.Counts()
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", e.name, count)
+			fmt.Fprintf(bw, "%s_sum %g\n", e.name, float64(sum)*h.scale)
+			fmt.Fprintf(bw, "%s_count %d\n", e.name, count)
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns the observability endpoint mux: /metrics serves the
+// registry in Prometheus text format and /debug/pprof/* serves the standard
+// runtime profiles. Mounted by permserver/permrouter under -metrics-addr.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerEndpoints smoke-tests the observability mux the binaries mount
+// under -metrics-addr: /metrics serves the exposition format and pprof
+// answers.
+func TestHandlerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("smoke_total", "smoke counter").Add(7)
+	r.Histogram("smoke_seconds", "smoke latency", 1e-9).Observe(1500)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	code, ctype, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(ctype, "text/plain") || !strings.Contains(ctype, "0.0.4") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	for _, needle := range []string{
+		"# TYPE smoke_total counter",
+		"smoke_total 7",
+		"# TYPE smoke_seconds histogram",
+		"smoke_seconds_count 1",
+	} {
+		if !strings.Contains(body, needle) {
+			t.Errorf("/metrics missing %q:\n%s", needle, body)
+		}
+	}
+
+	if code, _, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline status = %d, body %d bytes", code, len(body))
+	}
+	if code, _, body := get("/debug/pprof/goroutine?debug=1"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/goroutine status = %d", code)
+	}
+}

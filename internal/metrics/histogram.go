@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a log-bucketed histogram of non-negative int64 observations
+// (typically nanoseconds). Buckets follow an HDR-style layout: values 0..3
+// get exact buckets, and every power-of-two octave above that is split into
+// 4 sub-buckets by the two bits after the leading one. Bucket width is
+// therefore at most 25% of the bucket's lower bound, which bounds quantile
+// estimation error to the same 25% — plenty for latency monitoring, and it
+// keeps Observe at two atomic adds plus an atomic increment with zero
+// allocation or locking.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	scale  float64 // exposition unit conversion (1e-9 for ns → s, 1 for counts)
+}
+
+// Octaves for bit lengths 3..63 (observations are non-negative int64), 4
+// sub-buckets each, plus the 4 exact small-value buckets.
+const numBuckets = 4 + (63-2)*4
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 4 {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	e := bits.Len64(uint64(v))             // bit length, >= 3 here
+	sub := int((uint64(v) >> (e - 3)) & 3) // two bits after the leading one
+	return 4 + (e-3)*4 + sub
+}
+
+// bucketMax returns the largest value that maps to bucket idx — the
+// Prometheus `le` bound.
+func bucketMax(idx int) int64 {
+	if idx < 4 {
+		return int64(idx)
+	}
+	e := 3 + (idx-4)/4
+	sub := (idx - 4) % 4
+	// Values with bit length e whose top-2 mantissa bits equal sub span
+	// [(4+sub)<<(e-3), (5+sub)<<(e-3)). The top octave's upper bounds
+	// overflow int64; clamp them to MaxInt64.
+	hi := uint64(5+sub) << (e - 3)
+	if hi == 0 || hi-1 >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(hi) - 1
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Counts returns the total number of observations and their sum, in the
+// recorded (pre-scale) unit.
+func (h *Histogram) Counts() (count uint64, sum int64) {
+	return h.count.Load(), h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded values in
+// the recorded unit. The estimate is the upper bound of the bucket holding
+// the target rank, so it is never below the true quantile and at most ~25%
+// above it. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			return bucketMax(i)
+		}
+	}
+	return bucketMax(numBuckets - 1)
+}

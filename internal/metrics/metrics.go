@@ -1,0 +1,199 @@
+// Package metrics is the engine-wide instrumentation registry: allocation-free
+// atomic counters and gauges, log-bucketed latency histograms, and a
+// process-wide Registry exposed in Prometheus text format (expose.go) and as
+// SHOW engine_stats rows (Snapshot).
+//
+// Design constraints, in order:
+//
+//  1. Recording must be near-free: a Counter.Inc is one atomic add, a
+//     Histogram.Observe is two atomic adds plus a handful of bit operations.
+//     Nothing on the record path allocates, locks, or formats.
+//  2. Registration must be idempotent: the test suite runs many servers,
+//     WALs and followers in one process, all sharing the Default registry,
+//     so a second Counter("x", ...) returns the first instance instead of
+//     panicking or double-counting HELP lines.
+//  3. No dependencies: exposition is hand-rolled Prometheus text format.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable int64 (current value, may go down).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// kind discriminates exposition TYPE lines.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// entry is one registered metric.
+type entry struct {
+	name string
+	help string
+	kind kind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() int64
+	hist    *Histogram
+}
+
+// Registry holds the registered metrics of one process. Register methods are
+// idempotent by name; mismatched re-registration (same name, different kind)
+// panics, since that is always a programming error.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// Default is the process-wide registry; subsystems register into it at
+// package init and the -metrics-addr endpoint serves it.
+var Default = NewRegistry()
+
+func (r *Registry) register(name, help string, k kind) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != k {
+			panic(fmt.Sprintf("metrics: %q re-registered with a different kind", name))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, kind: k}
+	r.entries[name] = e
+	return e
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name, help string) *Counter {
+	e := r.register(name, help, kindCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.counter == nil {
+		e.counter = &Counter{}
+	}
+	return e.counter
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	e := r.register(name, help, kindGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.gauge == nil {
+		e.gauge = &Gauge{}
+	}
+	return e.gauge
+}
+
+// GaugeFunc registers a gauge computed at scrape time. Re-registration
+// replaces the function (the latest instance wins), which is what multi-server
+// test processes want.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	e := r.register(name, help, kindGaugeFunc)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e.fn = fn
+}
+
+// Histogram registers (or returns the existing) histogram under name.
+// scale converts recorded values to the exposition unit: histograms recording
+// nanoseconds expose seconds with scale 1e-9; pure counts use scale 1.
+func (r *Registry) Histogram(name, help string, scale float64) *Histogram {
+	e := r.register(name, help, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.hist == nil {
+		e.hist = &Histogram{scale: scale}
+	}
+	return e.hist
+}
+
+// sorted returns the entries in name order.
+func (r *Registry) sorted() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Stat is one row of a registry snapshot, for SHOW engine_stats.
+type Stat struct {
+	Name  string
+	Value string
+}
+
+// Snapshot renders every metric as (name, value) rows in name order.
+// Histograms expand to _count, _sum and estimated p50/p99 rows.
+func (r *Registry) Snapshot() []Stat {
+	var out []Stat
+	for _, e := range r.sorted() {
+		switch e.kind {
+		case kindCounter:
+			out = append(out, Stat{e.name, fmt.Sprintf("%d", e.counter.Value())})
+		case kindGauge:
+			out = append(out, Stat{e.name, fmt.Sprintf("%d", e.gauge.Value())})
+		case kindGaugeFunc:
+			out = append(out, Stat{e.name, fmt.Sprintf("%d", e.fn())})
+		case kindHistogram:
+			h := e.hist
+			count, sum := h.Counts()
+			out = append(out,
+				Stat{e.name + "_count", fmt.Sprintf("%d", count)},
+				Stat{e.name + "_sum", fmt.Sprintf("%g", float64(sum)*h.scale)},
+				Stat{e.name + "_p50", fmt.Sprintf("%g", float64(h.Quantile(0.50))*h.scale)},
+				Stat{e.name + "_p99", fmt.Sprintf("%g", float64(h.Quantile(0.99))*h.scale)},
+			)
+		}
+	}
+	return out
+}

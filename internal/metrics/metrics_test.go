@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries pins the HDR-style layout: exact buckets below 4, and
+// within every octave the two mantissa bits split it into 4 sub-buckets whose
+// le bounds are one below the next sub-bucket's smallest member.
+func TestBucketBoundaries(t *testing.T) {
+	for v := int64(0); v < 4; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", v, got, v)
+		}
+		if got := bucketMax(int(v)); got != v {
+			t.Fatalf("bucketMax(%d) = %d, want %d", v, got, v)
+		}
+	}
+	if got := bucketIndex(-5); got != 0 {
+		t.Fatalf("bucketIndex(-5) = %d, want 0", got)
+	}
+	// Every value must fall inside its bucket's range: bucketMax(i-1) < v <= bucketMax(i).
+	for _, v := range []int64{4, 5, 6, 7, 8, 15, 16, 100, 1000, 1 << 20, (1 << 40) + 12345, 1<<62 + 99} {
+		i := bucketIndex(v)
+		if v > bucketMax(i) {
+			t.Fatalf("value %d above its bucket %d bound %d", v, i, bucketMax(i))
+		}
+		if i > 0 && v <= bucketMax(i-1) {
+			t.Fatalf("value %d should be in bucket %d or lower, got %d", v, i-1, i)
+		}
+	}
+	// Bounds are strictly increasing — required for cumulative exposition.
+	for i := 1; i < numBuckets; i++ {
+		if bucketMax(i) <= bucketMax(i-1) {
+			t.Fatalf("bucketMax not increasing at %d: %d <= %d", i, bucketMax(i), bucketMax(i-1))
+		}
+	}
+	// Relative bucket width is bounded by 25% of the lower edge (octave/4).
+	for i := 5; i < numBuckets; i++ {
+		lo, hi := bucketMax(i-1)+1, bucketMax(i)
+		if width := hi - lo; lo >= 8 && float64(width) > 0.25*float64(lo) {
+			t.Fatalf("bucket %d [%d,%d] wider than 25%% of lower edge", i, lo, hi)
+		}
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines; run
+// under -race this proves the record path is data-race-free, and the final
+// count/sum must balance exactly.
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{scale: 1}
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1 << 30))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	count, _ := h.Counts()
+	if count != goroutines*per {
+		t.Fatalf("count = %d, want %d", count, goroutines*per)
+	}
+	var inBuckets uint64
+	for i := range h.counts {
+		inBuckets += h.counts[i].Load()
+	}
+	if inBuckets != count {
+		t.Fatalf("bucket total %d != count %d", inBuckets, count)
+	}
+}
+
+// TestQuantileErrorBound checks the estimator's contract on a random sample:
+// the estimate never undershoots the true quantile and overshoots by at most
+// the 25% bucket width (plus one for integer edges).
+func TestQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := &Histogram{scale: 1}
+	values := make([]int64, 50000)
+	for i := range values {
+		// Log-uniform spread: latencies from ~1µs to ~1s in ns.
+		values[i] = int64(1000 * (1 << rng.Intn(20)) * (1 + rng.Intn(100)) / 100)
+		h.Observe(values[i])
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		truth := values[int(q*float64(len(values)))]
+		est := h.Quantile(q)
+		if est < truth {
+			t.Fatalf("q%.2f: estimate %d below true %d", q, est, truth)
+		}
+		if float64(est) > float64(truth)*1.25+1 {
+			t.Fatalf("q%.2f: estimate %d above 25%% bound of true %d", q, est, truth)
+		}
+	}
+	if (&Histogram{}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+// TestRegistryIdempotent: re-registering a name returns the same instance; a
+// kind clash panics.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "h")
+	b := r.Counter("x_total", "h")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("instances not shared")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash did not panic")
+		}
+	}()
+	r.Gauge("x_total", "h")
+}
+
+// TestPrometheusExposition checks shape: HELP/TYPE lines, cumulative
+// monotone histogram buckets ending at +Inf, and the seconds scale.
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_queries_total", "queries").Add(7)
+	r.Gauge("t_sessions", "sessions").Set(3)
+	r.GaugeFunc("t_dynamic", "computed", func() int64 { return 11 })
+	h := r.Histogram("t_latency_seconds", "latency", 1e-9)
+	h.Observe(1500)    // 1.5µs
+	h.Observe(3000000) // 3ms
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE t_queries_total counter\nt_queries_total 7\n",
+		"# TYPE t_sessions gauge\nt_sessions 3\n",
+		"t_dynamic 11\n",
+		"# TYPE t_latency_seconds histogram\n",
+		`t_latency_seconds_bucket{le="+Inf"} 2`,
+		"t_latency_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// _sum must be in seconds: 1500ns + 3000000ns = 0.0030015s.
+	if !strings.Contains(out, "t_latency_seconds_sum 0.0030015") {
+		t.Fatalf("sum not scaled to seconds:\n%s", out)
+	}
+	// Cumulative bucket counts must be monotone and end at count.
+	var last int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "t_latency_seconds_bucket") {
+			continue
+		}
+		var n int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n); err != nil {
+			t.Fatalf("bad bucket line %q", line)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not monotone: %q after %d", line, last)
+		}
+		last = n
+	}
+	if last != 2 {
+		t.Fatalf("final cumulative bucket = %d, want 2", last)
+	}
+}
+
+// TestSnapshot covers the SHOW engine_stats surface.
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s_total", "c").Add(5)
+	h := r.Histogram("s_lat", "h", 1)
+	for i := 0; i < 100; i++ {
+		h.Observe(int64(i))
+	}
+	rows := r.Snapshot()
+	got := map[string]string{}
+	for _, s := range rows {
+		got[s.Name] = s.Value
+	}
+	if got["s_total"] != "5" {
+		t.Fatalf("s_total = %q", got["s_total"])
+	}
+	if got["s_lat_count"] != "100" {
+		t.Fatalf("s_lat_count = %q", got["s_lat_count"])
+	}
+	if _, ok := got["s_lat_p99"]; !ok {
+		t.Fatal("missing p99 row")
+	}
+}

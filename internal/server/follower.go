@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"perm/internal/engine"
+	"perm/internal/metrics"
 	"perm/internal/repl"
 	"perm/internal/storage"
 	"perm/internal/wire"
@@ -106,6 +107,12 @@ func StartFollower(db *engine.DB, cfg FollowerConfig) *Follower {
 	}
 	db.SetReadOnly(true)
 	db.SetReplStatusFunc(f.Status)
+	// Scrape-time staleness, mirroring SHOW replication_status. GaugeFunc
+	// re-registration is latest-wins, so in a multi-follower process the
+	// newest follower owns the series.
+	metrics.Default.GaugeFunc("perm_repl_staleness_ms",
+		"Milliseconds since this replica last proved itself current",
+		func() int64 { return f.Status().Staleness.Milliseconds() })
 	go f.loop()
 	return f
 }
@@ -182,6 +189,7 @@ func (f *Follower) loop() {
 		}
 		if err != nil {
 			f.logf("replication stream from %s: %v", f.cfg.PrimaryAddr, err)
+			mReplReconnects.Inc()
 		}
 		// A stream that ran for a while earned a fresh backoff; only rapid
 		// failures escalate it.
@@ -408,6 +416,7 @@ func (f *Follower) streamOnce() error {
 func (f *Follower) bootstrap(conn *wire.Conn, nc net.Conn) (time.Duration, uint64, error) {
 	f.mu.Lock()
 	f.snapshots++
+	mReplBootstraps.Inc()
 	f.mu.Unlock()
 	// Restore off to the side: sessions keep serving the current (old but
 	// complete) store until the new one is whole, then the swap is atomic.
@@ -467,9 +476,15 @@ func (f *Follower) setDisconnected(err error) {
 }
 
 func (f *Follower) observePrimary(lsn uint64) {
+	applied := f.db.Store().Log().LastLSN()
 	f.mu.Lock()
 	if lsn > f.primaryLSN {
 		f.primaryLSN = lsn
+	}
+	if f.primaryLSN > applied {
+		mReplLag.Set(int64(f.primaryLSN - applied))
+	} else {
+		mReplLag.Set(0)
 	}
 	f.mu.Unlock()
 }
@@ -516,9 +531,9 @@ func (f *Follower) markResync() {
 // MsgSubLive frame, whose LSN is retained for the caller; transport errors
 // stick in err.
 type chunkStream struct {
-	conn    *wire.Conn
-	nc      net.Conn
-	timeout time.Duration
+	conn      *wire.Conn
+	nc        net.Conn
+	timeout   time.Duration
 	buf       []byte
 	live      bool
 	liveLSN   uint64

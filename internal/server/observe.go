@@ -1,0 +1,57 @@
+package server
+
+import (
+	"net"
+
+	"perm/internal/metrics"
+)
+
+// Process-wide server and replication metrics. Gauges aggregate across every
+// Server/Follower in the process (the test suite runs several at once); the
+// staleness gauge is scrape-time computed and latest-registered wins.
+var (
+	mConns = metrics.Default.Gauge("perm_server_connections",
+		"Connections currently being served")
+	mConnsTotal = metrics.Default.Counter("perm_server_connections_total",
+		"Connections ever accepted past the handshake")
+	mServerQueries = metrics.Default.Counter("perm_server_queries_total",
+		"Statements served over the wire")
+	mOpenPortals = metrics.Default.Gauge("perm_server_open_portals",
+		"Cursors currently open (each pins an executor tree)")
+	mQueryTimeouts = metrics.Default.Counter("perm_server_query_timeouts_total",
+		"Statements canceled by the per-query timeout")
+	mBytesIn = metrics.Default.Counter("perm_server_bytes_in_total",
+		"Bytes read from clients")
+	mBytesOut = metrics.Default.Counter("perm_server_bytes_out_total",
+		"Bytes written to clients")
+
+	mReplReconnects = metrics.Default.Counter("perm_repl_reconnects_total",
+		"Follower stream failures that forced a reconnect")
+	mReplBootstraps = metrics.Default.Counter("perm_repl_bootstraps_total",
+		"Follower bootstrap snapshots consumed (full re-seeds)")
+	mReplLag = metrics.Default.Gauge("perm_repl_lag_records",
+		"Follower apply lag in log records (primary LSN minus applied LSN)")
+)
+
+// countingConn wraps a served net.Conn so wire traffic feeds the byte
+// counters. Only Read/Write are intercepted; everything else passes through,
+// including the deadline control the server's timeout logic depends on.
+type countingConn struct {
+	net.Conn
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		mBytesIn.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		mBytesOut.Add(uint64(n))
+	}
+	return n, err
+}

@@ -32,6 +32,7 @@ import (
 
 	"perm/internal/engine"
 	"perm/internal/executor"
+	"perm/internal/logx"
 	"perm/internal/repl"
 	"perm/internal/value"
 	"perm/internal/wire"
@@ -84,8 +85,23 @@ type Config struct {
 	// SyncTimeout bounds the wait for the SyncReplicas quorum; 0 means two
 	// seconds.
 	SyncTimeout time.Duration
+	// SlowQueryMs, when positive, starts every connection's session with
+	// SET slow_query_ms = SlowQueryMs (permserver -slow-query-ms): statements
+	// at or over the threshold are logged through Log. 0 keeps the engine
+	// default (off); sessions can still opt in per-connection with SET.
+	SlowQueryMs int64
+	// Log, when set, receives structured records (slow queries); nil means
+	// the process-default logger.
+	Log *logx.Logger
 	// Logf, when set, receives connection lifecycle and error logs.
 	Logf func(format string, args ...any)
+}
+
+func (c Config) slog() *logx.Logger {
+	if c.Log != nil {
+		return c.Log
+	}
+	return logx.Default
 }
 
 func (c Config) heartbeat() time.Duration {
@@ -482,7 +498,10 @@ func (s *Server) Close() error {
 // the server force-closes the connection, interrupting in-flight queries.
 func (s *Server) serveConn(nc net.Conn, kill <-chan struct{}) {
 	defer nc.Close()
-	conn := wire.NewConn(nc)
+	mConns.Inc()
+	defer mConns.Dec()
+	mConnsTotal.Inc()
+	conn := wire.NewConn(countingConn{Conn: nc})
 	// Clients only ever send small frames (handshake, SQL text, backup
 	// request); capping reads stops a hostile length prefix from making each
 	// connection allocate MaxFrameSize before sending a byte.
@@ -527,6 +546,24 @@ func (s *Server) serveConn(nc net.Conn, kill <-chan struct{}) {
 	if s.cfg.TempDir != "" {
 		sess.SetTempDir(s.cfg.TempDir)
 	}
+	if s.cfg.SlowQueryMs > 0 {
+		sess.SetSlowQueryMs(s.cfg.SlowQueryMs)
+	}
+	// Slow-query records go through the server's structured logger with the
+	// peer attached, whether the threshold came from config or from a
+	// per-connection SET slow_query_ms.
+	remote := nc.RemoteAddr().String()
+	sess.SetSlowQueryLog(func(q engine.SlowQuery) {
+		s.cfg.slog().Warn("slow query",
+			"remote", remote,
+			"duration", q.Duration,
+			"rows", q.Rows,
+			"cache_hit", q.CacheHit,
+			"spill_bytes", q.SpillBytes,
+			"params", q.Params,
+			"sql", q.SQL,
+		)
+	})
 	// The connection's kill channel is the session's standing interrupt, so a
 	// forced shutdown unwinds an in-flight query promptly; per-query timeouts
 	// ride on the session deadline (see execute).
@@ -829,6 +866,7 @@ func (st *connStreams) closePortal() {
 	st.port.rows.Close()
 	st.port = nil
 	st.s.portals.Add(-1)
+	mOpenPortals.Dec()
 	st.s.setPortalOpen(st.nc, false, time.Time{})
 }
 
@@ -867,6 +905,7 @@ func (s *Server) openRows(sess *engine.Session, open func() (*engine.Rows, error
 	// relabeled error still unwraps to executor.ErrInterrupted, so the call
 	// sites' timeoutCode classification keeps it typed on the wire.
 	if errors.Is(err, executor.ErrInterrupted) && !time.Now().Before(deadline) {
+		mQueryTimeouts.Inc()
 		return nil, deadline, &timeoutError{msg: s.timeoutMessage()}
 	}
 	return rows, deadline, err
@@ -900,6 +939,7 @@ func timeoutCode(err error, deadline time.Time) bool {
 func (st *connStreams) runQuery(conn *wire.Conn, sess *engine.Session, sqlText string) error {
 	s := st.s
 	s.queries.Add(1)
+	mServerQueries.Inc()
 	if st.port != nil {
 		// A suspended cursor owns the session's active statement (its
 		// executor tree is live); running another statement under it would
@@ -949,6 +989,7 @@ func (st *connStreams) runParse(conn *wire.Conn, sess *engine.Session, p wire.Pa
 func (st *connStreams) runExecute(conn *wire.Conn, sess *engine.Session, req wire.Execute) error {
 	s := st.s
 	s.queries.Add(1)
+	mServerQueries.Inc()
 	if st.port != nil {
 		// One portal per connection; the protocol is strictly
 		// request/response, so a second Execute is a client bug. The open
@@ -989,6 +1030,7 @@ func (st *connStreams) runExecute(conn *wire.Conn, sess *engine.Session, req wir
 	// the connection counts as draining-eligible for graceful shutdown.
 	st.port = port
 	s.portals.Add(1)
+	mOpenPortals.Inc()
 	s.setPortalOpen(st.nc, true, port.deadline)
 	if err := conn.WriteMessage(wire.MsgSuspended, nil); err != nil {
 		return err

@@ -23,7 +23,17 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"perm/internal/metrics"
 	"perm/internal/value"
+)
+
+// Process-wide spill traffic, across every pool in the process. Per-session
+// numbers stay available through SHOW memory_status.
+var (
+	mSpillFiles = metrics.Default.Counter("perm_spill_files_total",
+		"Spill files ever created")
+	mSpillBytes = metrics.Default.Counter("perm_spill_bytes_total",
+		"Bytes ever written to spill files")
 )
 
 // --- exact row codec -------------------------------------------------------------
@@ -185,6 +195,7 @@ func (p *Pool) Create() (*File, error) {
 	p.live[sf] = struct{}{}
 	p.mu.Unlock()
 	p.files.Add(1)
+	mSpillFiles.Inc()
 	return sf, nil
 }
 
@@ -241,6 +252,7 @@ func (f *File) StartRead() error {
 		return err
 	}
 	f.pool.bytes.Add(f.written)
+	mSpillBytes.Add(uint64(f.written))
 	f.written = 0
 	if _, err := f.f.Seek(0, io.SeekStart); err != nil {
 		return err
@@ -286,6 +298,7 @@ func (f *File) Close() error {
 	// Bytes written but never read back (an interrupted run) still count as
 	// spilled traffic.
 	f.pool.bytes.Add(f.written)
+	mSpillBytes.Add(uint64(f.written))
 	name := f.f.Name()
 	err := f.f.Close()
 	if rerr := os.Remove(name); err == nil {

@@ -128,6 +128,7 @@ func (m *Manager) checkpointLocked() error {
 	}
 	m.checkpointLSN = lsn
 	m.checkpoints++
+	mCheckpoints.Inc()
 	// GC floor: segments below the checkpoint are redundant with the
 	// snapshot, but segments the in-memory change log still retains stay —
 	// they cost little and keep the on-disk history aligned with what a

@@ -40,8 +40,25 @@ import (
 	"sync"
 	"time"
 
+	"perm/internal/metrics"
 	"perm/internal/repl"
 	"perm/internal/wal/walfault"
+)
+
+// Process-wide WAL metrics. The fsync histogram is the one to watch on a
+// durability-bound workload; the batch histogram shows how well group commit
+// amortizes it (records made durable per physical fsync).
+var (
+	mFsyncs = metrics.Default.Counter("perm_wal_fsyncs_total",
+		"Physical WAL fsyncs")
+	mFsyncLatency = metrics.Default.Histogram("perm_wal_fsync_seconds",
+		"WAL fsync latency", 1e-9)
+	mGroupBatch = metrics.Default.Histogram("perm_wal_group_commit_records",
+		"Records made durable per physical fsync (group-commit batch size)", 1)
+	mRotations = metrics.Default.Counter("perm_wal_segment_rotations_total",
+		"WAL segment rotations (seals)")
+	mCheckpoints = metrics.Default.Counter("perm_wal_checkpoints_total",
+		"Checkpoints taken")
 )
 
 // ErrWALFailed is wrapped by every error the log returns after a write or
@@ -330,6 +347,7 @@ func (l *seglog) rotateLocked() error {
 		return fmt.Errorf("wal: close segment: %w", err)
 	}
 	l.sealed = append(l.sealed, segment{first: l.curFirst, path: l.curPath, bytes: l.written})
+	mRotations.Inc()
 	if h := l.hooks; h != nil && h.MidRotate != nil {
 		h.MidRotate()
 	}
@@ -345,12 +363,17 @@ func (l *seglog) fsyncLocked() error {
 	if l.durableLSN == l.lastLSN {
 		return nil
 	}
+	batch := l.lastLSN - l.durableLSN
 	var err error
 	if h := l.hooks; h != nil && h.SyncErr != nil {
 		err = h.SyncErr()
 	}
 	if err == nil {
+		t0 := time.Now()
 		err = l.f.Sync()
+		mFsyncLatency.Observe(int64(time.Since(t0)))
+		mFsyncs.Inc()
+		mGroupBatch.Observe(int64(batch))
 	}
 	if err != nil {
 		l.failLocked(fmt.Errorf("fsync: %w", err))
