@@ -418,3 +418,64 @@ func BenchmarkScratchKeys(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkParallelQuery (E9): intra-query parallelism on a 100k-row
+// provenance join + aggregation, across worker degrees. parallelism=1 is the
+// classic single-goroutine executor (the zero-overhead baseline); higher
+// degrees exercise the partition-wise parallel join under the serial
+// aggregation. Speedup tracks physical core count — on a single-core host the
+// curve is flat and measures exchange overhead instead.
+func BenchmarkParallelQuery(b *testing.B) {
+	db := perm.Open()
+	seed := db.NewSession()
+	if _, err := seed.Exec(`CREATE TABLE fact (k int, v int, s text)`); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := seed.Exec(`CREATE TABLE dim (k int, d text)`); err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	for off := 0; off < 100000; off += 1000 {
+		sb.Reset()
+		sb.WriteString(`INSERT INTO fact VALUES `)
+		for i := 0; i < 1000; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, 'r%d')", (off+i)%512, off+i, (off+i)%89)
+		}
+		if _, err := seed.Exec(sb.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sb.Reset()
+	sb.WriteString(`INSERT INTO dim VALUES `)
+	for i := 0; i < 512; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'd%d')", i, i)
+	}
+	if _, err := seed.Exec(sb.String()); err != nil {
+		b.Fatal(err)
+	}
+	seed.Close()
+
+	q := `SELECT PROVENANCE f.k % 64, count(*), sum(f.v), max(d.d) FROM fact f JOIN dim d ON f.k = d.k GROUP BY f.k % 64`
+	for _, deg := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallelism=%d", deg), func(b *testing.B) {
+			sess := db.NewSession()
+			defer sess.Close()
+			if _, err := sess.Exec(fmt.Sprintf(`SET parallelism = %d`, deg)); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -61,6 +61,7 @@ func main() {
 		heartbeat    = flag.Duration("heartbeat", time.Second, "replication heartbeat interval sent to followers")
 		cursorBatch  = flag.Int("cursor-batch", 0, "rows per streamed result batch frame (0 = default 256)")
 		workMem      = flag.Int64("work-mem", 0, "per-session memory budget in bytes for blocking operators; past it sorts/aggregates/set ops spill to disk (0 = engine default, -1 = unlimited)")
+		parallelism  = flag.Int("parallelism", 0, "default intra-query parallelism degree per session (0 = serial, -1 = all cores; sessions can still SET parallelism)")
 		tempDir      = flag.String("temp-dir", "", "directory for spill temp files (default: the OS temp directory)")
 		syncReplicas = flag.Int("sync-replicas", 0, "semi-synchronous replication: writes are acknowledged only after this many replicas have durably applied them (0 = async)")
 		syncTimeout  = flag.Duration("sync-timeout", 2*time.Second, "how long a write waits for its replica-acknowledgment quorum before failing with a typed error")
@@ -129,6 +130,7 @@ func main() {
 		HeartbeatInterval: *heartbeat,
 		CursorBatchRows:   *cursorBatch,
 		WorkMem:           *workMem,
+		Parallelism:       *parallelism,
 		TempDir:           *tempDir,
 		SyncReplicas:      *syncReplicas,
 		SyncTimeout:       *syncTimeout,

@@ -58,10 +58,29 @@ type shell struct {
 	// provenance result never materializes server-side. 0 streams without
 	// suspending.
 	fetch int
+	// parDeg is the raw -parallelism flag (0 = not given, negative = all
+	// cores). \load and \open replace the embedded database and with it
+	// the implicit session, so the flag's SET must be re-applied then.
+	parDeg int
+}
+
+// applyParallelism issues the -parallelism flag's SET against the current
+// database/connection. Called at startup and again whenever a meta command
+// swaps the embedded database out from under the session.
+func (s *shell) applyParallelism() {
+	if s.parDeg == 0 {
+		return
+	}
+	n := s.parDeg
+	if n < 0 {
+		n = 0 // negative flag = all cores (SET parallelism = 0)
+	}
+	s.run(fmt.Sprintf("SET parallelism = %d;", n))
 }
 
 func main() {
 	connect := flag.String("connect", "", "connect to a permserver at host:port instead of running embedded")
+	parallelism := flag.Int("parallelism", 0, "intra-query parallelism degree for this session (0 = serial, -1 = all cores)")
 	flag.Parse()
 
 	fmt.Println("Perm shell — provenance management system (SQL-PLE dialect)")
@@ -82,6 +101,8 @@ func main() {
 	} else {
 		sh.db = perm.Open()
 	}
+	sh.parDeg = *parallelism
+	sh.applyParallelism()
 	defer sh.out.Flush()
 
 	scanner := bufio.NewScanner(os.Stdin)
@@ -311,6 +332,7 @@ func (s *shell) meta(cmd string) bool {
 		}
 		s.db = db
 		fmt.Fprintf(s.out, "opened %s\n", fields[1])
+		s.applyParallelism()
 	case "\\set":
 		if len(fields) == 3 {
 			s.run(fmt.Sprintf("SET %s = '%s'", fields[1], fields[2]))
@@ -412,6 +434,7 @@ func (s *shell) load(args []string) {
 	}
 	s.db = db
 	fmt.Fprintf(s.out, "loaded %s\n", strings.Join(args, " "))
+	s.applyParallelism()
 }
 
 func (s *shell) listRelations() {

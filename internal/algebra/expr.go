@@ -440,6 +440,20 @@ func HasSubplan(e Expr) bool {
 	return found
 }
 
+// HasOuterRef reports whether e contains an OuterRef anywhere outside nested
+// subplans (walkExpr does not descend into Subplan plans, whose outer refs
+// bind to their own scope). Such expressions must evaluate on the statement's
+// context — parallel workers do not inherit the correlation stack.
+func HasOuterRef(e Expr) bool {
+	found := false
+	walkExpr(e, func(x Expr) {
+		if _, ok := x.(*OuterRef); ok {
+			found = true
+		}
+	})
+	return found
+}
+
 func walkExpr(e Expr, fn func(Expr)) {
 	if e == nil {
 		return

@@ -9,6 +9,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -196,6 +197,7 @@ func (db *DB) NewSession() *Session {
 			"work_mem":                     strconv.FormatInt(DefaultWorkMem, 10),
 			"trace":                        "off",
 			"slow_query_ms":                "-1",
+			"parallelism":                  "1",
 		},
 		cache: newPlanCache(),
 		mem:   executor.NewMemTracker(DefaultWorkMem, ""),
@@ -314,6 +316,45 @@ type Session struct {
 	lastTrace atomic.Pointer[Trace]
 	slowMs    atomic.Int64
 	slowSink  atomic.Pointer[func(SlowQuery)]
+	// parDeg memoizes the parallelism setting (SET parallelism; 0 = use
+	// GOMAXPROCS, resolved per statement) so execContextOn never takes the
+	// settings lock on the hot path.
+	parDeg atomic.Int32
+}
+
+// maxParallelism caps SET parallelism: more workers than this buys nothing
+// and each parallel operator pins a goroutine per worker.
+const maxParallelism = 64
+
+// parallelDegree resolves the session's parallelism setting to the concrete
+// worker count for one statement: 0 means "all the cores Go will schedule".
+func (s *Session) parallelDegree() int32 {
+	n := s.parDeg.Load()
+	if n == 0 {
+		n = int32(runtime.GOMAXPROCS(0))
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetParallelism sets the session's intra-query parallelism degree — the
+// programmatic form of SET parallelism (0 = GOMAXPROCS, 1 = serial), used by
+// the network server to apply its -parallelism flag to every connection's
+// session.
+func (s *Session) SetParallelism(n int) {
+	if n < 0 {
+		n = 1
+	}
+	if n > maxParallelism {
+		n = maxParallelism
+	}
+	s.settingsMu.Lock()
+	s.settings["parallelism"] = strconv.Itoa(n)
+	s.fingerprint = s.computeFingerprint()
+	s.settingsMu.Unlock()
+	s.parDeg.Store(int32(n))
 }
 
 // SetWorkMem sets the session's blocking-operator memory budget in bytes
@@ -391,8 +432,9 @@ func (s *Session) execContextOn(store *storage.Store) *executor.Context {
 		ctx.Interrupt = ch
 	}
 	if ns := s.deadline.Load(); ns != 0 {
-		ctx.Deadline = time.Unix(0, ns)
+		ctx.DeadlineNs = ns
 	}
+	ctx.Parallel = s.parallelDegree()
 	return ctx
 }
 
@@ -973,6 +1015,7 @@ func (s *Session) runSet(st *sql.SetStmt) (*Result, error) {
 		"work_mem":                     nil, // validated below (byte count)
 		"trace":                        {"on", "off"},
 		"slow_query_ms":                nil, // validated below (ms, -1 = off)
+		"parallelism":                  nil, // validated below (workers; 0 = GOMAXPROCS)
 	}
 	allowed, ok := valid[name]
 	if !ok {
@@ -1013,6 +1056,14 @@ func (s *Session) runSet(st *sql.SetStmt) (*Result, error) {
 			}
 		}
 		s.slowMs.Store(n)
+		val = strconv.FormatInt(n, 10)
+	}
+	if name == "parallelism" {
+		n, err := strconv.ParseInt(val, 10, 32)
+		if err != nil || n < 0 || n > maxParallelism {
+			return nil, fmt.Errorf("invalid value %q for parallelism (workers, 0-%d; 0 = GOMAXPROCS, 1 = serial)", st.Value, maxParallelism)
+		}
+		s.parDeg.Store(int32(n))
 		val = strconv.FormatInt(n, 10)
 	}
 	s.settingsMu.Lock()
@@ -1124,7 +1175,7 @@ func (s *Session) runShow(st *sql.ShowStmt) (*Result, error) {
 			drain = 0
 		}
 		return &Result{
-			Columns: []string{"sql", "cache_hit", "parse_us", "analyze_us", "rewrite_us", "plan_us", "open_us", "drain_us", "total_us", "rows", "mem_peak", "spill_files", "spill_bytes", "subplan_hits", "subplan_misses"},
+			Columns: []string{"sql", "cache_hit", "parse_us", "analyze_us", "rewrite_us", "plan_us", "open_us", "drain_us", "total_us", "rows", "mem_peak", "spill_files", "spill_bytes", "subplan_hits", "subplan_misses", "parallel_ops", "parallel_workers"},
 			Schema: algebra.Schema{
 				{Name: "sql", Type: value.KindString},
 				{Name: "cache_hit", Type: value.KindBool},
@@ -1141,6 +1192,8 @@ func (s *Session) runShow(st *sql.ShowStmt) (*Result, error) {
 				{Name: "spill_bytes", Type: value.KindInt},
 				{Name: "subplan_hits", Type: value.KindInt},
 				{Name: "subplan_misses", Type: value.KindInt},
+				{Name: "parallel_ops", Type: value.KindInt},
+				{Name: "parallel_workers", Type: value.KindInt},
 			},
 			Rows: []value.Row{{
 				value.NewString(tr.SQL),
@@ -1158,6 +1211,8 @@ func (s *Session) runShow(st *sql.ShowStmt) (*Result, error) {
 				value.NewInt(tr.SpillBytes),
 				value.NewInt(tr.SubplanHits),
 				value.NewInt(tr.SubplanMisses),
+				value.NewInt(tr.ParallelOps),
+				value.NewInt(tr.ParallelWorkers),
 			}},
 			Tag: "SHOW",
 		}, nil

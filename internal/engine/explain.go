@@ -133,6 +133,19 @@ func analyzedTree(plan algebra.Op, root *executor.OpStats) string {
 		if n.BuildRows > 0 {
 			fmt.Fprintf(&sb, " build=%d", n.BuildRows)
 		}
+		if n.Workers > 0 {
+			fmt.Fprintf(&sb, " workers=%d", n.Workers)
+			parts := make([]string, 0, len(n.WorkerRows))
+			for w := range n.WorkerRows {
+				var ns int64
+				if w < len(n.WorkerNs) {
+					ns = n.WorkerNs[w]
+				}
+				parts = append(parts, fmt.Sprintf("%d@%s", n.WorkerRows[w],
+					time.Duration(ns).Round(time.Microsecond)))
+			}
+			fmt.Fprintf(&sb, " per-worker=[%s]", strings.Join(parts, " "))
+		}
 		sb.WriteByte(')')
 		return sb.String()
 	})

@@ -34,6 +34,10 @@ var (
 		"Plan-cache misses (cacheable statements that were planned)")
 	mSlowQueries = metrics.Default.Counter("perm_engine_slow_queries_total",
 		"Statements at or over the session slow_query_ms threshold")
+	mParallelQueries = metrics.Default.Counter("perm_engine_parallel_queries_total",
+		"Statements in which at least one operator fanned out to parallel workers")
+	mParallelWorkers = metrics.Default.Counter("perm_engine_parallel_workers_total",
+		"Parallel worker goroutines launched across all statements")
 )
 
 // Trace is the stage-level profile of the session's most recent traced
@@ -54,6 +58,10 @@ type Trace struct {
 	SpillFiles, SpillBytes int64
 	// SubplanHits/SubplanMisses count uncorrelated-subplan memoization.
 	SubplanHits, SubplanMisses int64
+	// ParallelOps/ParallelWorkers count operators that fanned out to
+	// parallel workers and the total workers they launched (0/0 for serial
+	// statements and for parallel sessions whose operators all fell back).
+	ParallelOps, ParallelWorkers int64
 	// Stats is the per-operator tree (the EXPLAIN ANALYZE payload).
 	Stats *executor.OpStats
 }
@@ -137,6 +145,12 @@ func (s *Session) noteStreamDone(r *Rows) {
 	if r.err != nil {
 		mQueryErrors.Inc()
 	}
+	if r.stream != nil {
+		if ectx := r.stream.Context(); ectx != nil && ectx.ParallelOps > 0 {
+			mParallelQueries.Inc()
+			mParallelWorkers.Add(uint64(ectx.ParallelWorkers))
+		}
+	}
 	if r.obs == nil {
 		mQueries.Inc()
 		mQueryLatency.Observe(int64(r.timings.Total()))
@@ -174,6 +188,8 @@ func (s *Session) noteStreamDone(r *Rows) {
 		if o.ectx != nil {
 			tr.SubplanHits = int64(o.ectx.SubplanHits)
 			tr.SubplanMisses = int64(o.ectx.SubplanMisses)
+			tr.ParallelOps = int64(o.ectx.ParallelOps)
+			tr.ParallelWorkers = int64(o.ectx.ParallelWorkers)
 		}
 		s.lastTrace.Store(tr)
 	}

@@ -204,6 +204,19 @@ func TestTraceLifecycle(t *testing.T) {
 	if row[totalIdx].I < 0 {
 		t.Errorf("total_us = %d", row[totalIdx].I)
 	}
+	// Column list, schema and row must agree in arity: generic table
+	// renderers size by the column list and index cells by position, so a
+	// column added to the schema but not the list panics the client.
+	if len(res.Columns) != len(res.Schema) || len(row) != len(res.Columns) {
+		t.Fatalf("last_trace arity mismatch: %d columns, %d schema fields, %d row cells",
+			len(res.Columns), len(res.Schema), len(row))
+	}
+	if i := colIndex(t, res.Columns, "parallel_ops"); row[i].I != 0 {
+		t.Errorf("serial statement parallel_ops = %d, want 0", row[i].I)
+	}
+	if i := colIndex(t, res.Columns, "parallel_workers"); row[i].I != 0 {
+		t.Errorf("serial statement parallel_workers = %d, want 0", row[i].I)
+	}
 
 	// The trace relates to the *traced* statement: SHOW itself is untraced
 	// utility output, so the recorded SQL must still be the SELECT.

@@ -165,6 +165,13 @@ func (s *Session) computeFingerprint() string {
 	sort.Strings(names)
 	var b strings.Builder
 	for _, k := range names {
+		// Serial execution is the unmarked default: eliding parallelism=1
+		// keeps the per-statement cache-key string in the same allocation
+		// size class it had before the knob existed, while any non-serial
+		// degree (including 0 = all cores) still forks the key.
+		if k == "parallelism" && s.settings[k] == "1" {
+			continue
+		}
 		b.WriteString(k)
 		b.WriteByte('=')
 		b.WriteString(s.settings[k])

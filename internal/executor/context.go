@@ -43,10 +43,17 @@ type Context struct {
 	// ErrInterrupted. The network server arms it with the connection's kill
 	// channel; the in-process driver with the caller's context.
 	Interrupt <-chan struct{}
-	// Deadline, when non-zero, cancels the query once it passes — the
-	// timer-free form of per-query timeouts (one time.Now per poll, no
-	// goroutine or channel per statement).
-	Deadline time.Time
+	// DeadlineNs, when non-zero, cancels the query once the wall clock passes
+	// it (UnixNano) — the timer-free form of per-query timeouts (one time.Now
+	// per poll, no goroutine or channel per statement). Stored as nanoseconds
+	// rather than a time.Time to keep the Context inside its allocation size
+	// class now that Parallel rides along.
+	DeadlineNs int64
+	// Parallel is the statement's intra-query parallelism degree, resolved by
+	// the session (SET parallelism; 0 resolves to GOMAXPROCS before it gets
+	// here). Values <= 1 build the classic single-goroutine iterator tree;
+	// higher values let eligible operators fan work out to that many workers.
+	Parallel int32
 	// Params are the statement's bound `?` arguments, indexed by placeholder
 	// ordinal; algebra.Param expressions read them at evaluation time.
 	Params []value.Value
@@ -67,6 +74,13 @@ type Context struct {
 	// by EXPLAIN ANALYZE and SET trace at statement level.
 	SubplanHits   int32
 	SubplanMisses int32
+	// ParallelOps counts operators that actually fanned out to workers this
+	// statement (serial fallbacks do not count). Incremented only by
+	// coordinator Opens on the statement goroutine; the engine reads it for
+	// metrics and tracing after execution. ParallelWorkers is the total
+	// worker fan-out across those operators.
+	ParallelOps     int32
+	ParallelWorkers int32
 	// ticks counts tick() calls for the row-free cancellation polls.
 	ticks uint32
 }
@@ -91,7 +105,7 @@ func (c *Context) tick() error {
 // interrupted reports ErrInterrupted once the Interrupt channel has fired or
 // the deadline has passed.
 func (c *Context) interrupted() error {
-	if !c.Deadline.IsZero() && time.Now().After(c.Deadline) {
+	if c.DeadlineNs != 0 && time.Now().UnixNano() > c.DeadlineNs {
 		return ErrInterrupted
 	}
 	if c.Interrupt == nil {
@@ -156,6 +170,44 @@ func NewContext(store *storage.Store) *Context {
 		subplanCache: make(map[*algebra.Subplan]*subplanResult),
 		subplanIters: make(map[*algebra.Subplan]iterator),
 	}
+}
+
+// SetDeadline arms (or, with the zero time, clears) the context's wall-clock
+// deadline.
+func (c *Context) SetDeadline(t time.Time) {
+	if t.IsZero() {
+		c.DeadlineNs = 0
+		return
+	}
+	c.DeadlineNs = t.UnixNano()
+}
+
+// workerClone derives a context for one parallel worker goroutine. Workers
+// share the statement's immutable state (store, memory governor, interrupt
+// channel, deadline, bound parameters) but own everything mutable: scratch
+// buffers, tick counters, subplan caches, the outer-row stack, and the stats
+// owner — none of which is safe to share across goroutines. Parallel is 1:
+// subtrees a worker drives never fan out again.
+func (c *Context) workerClone() *Context {
+	return &Context{
+		Store:        c.Store,
+		subplanCache: make(map[*algebra.Subplan]*subplanResult),
+		subplanIters: make(map[*algebra.Subplan]iterator),
+		Mem:          c.Mem,
+		Interrupt:    c.Interrupt,
+		DeadlineNs:   c.DeadlineNs,
+		Parallel:     1,
+		Params:       c.Params,
+		RowBudget:    c.RowBudget,
+	}
+}
+
+// absorbWorker folds the statement-level counters a worker clone accumulated
+// back into the parent context. Called after the worker goroutine has been
+// joined (the caller provides the happens-before edge).
+func (c *Context) absorbWorker(w *Context) {
+	c.SubplanHits += w.SubplanHits
+	c.SubplanMisses += w.SubplanMisses
 }
 
 func (c *Context) pushOuter(row value.Row) { c.outer = append(c.outer, row) }

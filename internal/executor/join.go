@@ -6,6 +6,7 @@ import (
 	"hash/maphash"
 
 	"perm/internal/algebra"
+	"perm/internal/spill"
 	"perm/internal/sql"
 	"perm/internal/value"
 )
@@ -122,6 +123,11 @@ type buildRow struct {
 	matched bool
 }
 
+// buildRowFixedBytes approximates the per-row footprint of a materialized
+// build side beyond the row and key payloads: the buildRow struct itself plus
+// its share of the hash-table buckets.
+const buildRowFixedBytes = 96
+
 // --- hash join -------------------------------------------------------------------
 
 type hashJoinIter struct {
@@ -159,14 +165,22 @@ type hashJoinIter struct {
 	tailIdx int
 	inTail  bool
 	done    bool
+	// spill state: the build side is charged against work_mem; past the
+	// budget the whole join switches to grace partitioning (gracejoin.go) and
+	// the output streams from the merger instead of the probe loop.
+	acct   memAcct
+	reg    fileReg
+	merger *seqMerger
 }
 
 func (h *hashJoinIter) Open(ctx *Context) error {
+	h.release()
 	h.ctx = ctx
 	h.inTail, h.done = false, false
 	h.tailIdx = 0
 	h.curProbe = nil
 	h.curMatches = nil
+	h.acct.ctx = ctx
 	if h.leftKey == nil {
 		h.leftKey = make([]compiledExpr, len(h.keys))
 		h.rightKey = make([]compiledExpr, len(h.keys))
@@ -183,26 +197,55 @@ func (h *hashJoinIter) Open(ctx *Context) error {
 	if err := h.right.Open(ctx); err != nil {
 		return err
 	}
-	rows, err := drain(h.right, ctx)
-	if err != nil {
-		return err
+	// Stream the build side in, charging every retained row (its payload, its
+	// stable key copy, and the struct/bucket overhead). The moment the budget
+	// is crossed the join hands the buffered prefix — and both remaining
+	// inputs — to the grace path, which finishes on disk.
+	var rows []buildRow
+	total := 0
+	for {
+		if err := ctx.tick(); err != nil {
+			h.right.Close()
+			return err
+		}
+		row, err := h.right.Next()
+		if err != nil {
+			h.right.Close()
+			return err
+		}
+		if row == nil {
+			break
+		}
+		total++
+		if ctx.RowBudget > 0 && total > int(ctx.RowBudget) {
+			h.right.Close()
+			return fmt.Errorf("executor: intermediate result exceeds row budget of %d rows", ctx.RowBudget)
+		}
+		key, hashable, err := h.appendKey(h.keyScratch[:0], row, h.rightKey)
+		h.keyScratch = key
+		if err != nil {
+			h.right.Close()
+			return err
+		}
+		br := buildRow{row: row}
+		if hashable {
+			br.key = append([]byte(nil), key...)
+		}
+		rows = append(rows, br)
+		h.acct.grow(rowBytes(row) + int64(len(br.key)) + buildRowFixedBytes)
+		if h.acct.spillable() && h.acct.over() && len(rows) >= minBufferRows {
+			return h.openGrace(rows, total)
+		}
 	}
-	h.buildRows = make([]buildRow, len(rows))
+	h.right.Close()
+	h.buildRows = rows
 	h.table = make(map[uint64][]int32, len(rows))
 	if ctx.owner != nil {
 		ctx.owner.BuildRows = int64(len(rows))
 	}
-	for i, row := range rows {
-		h.buildRows[i].row = row
-		key, hashable, err := h.appendKey(h.keyScratch[:0], row, h.rightKey)
-		h.keyScratch = key
-		if err != nil {
-			return err
-		}
-		if hashable {
-			stable := append([]byte(nil), key...)
-			h.buildRows[i].key = stable
-			sum := maphash.Bytes(joinHashSeed, stable)
+	for i := range rows {
+		if rows[i].key != nil {
+			sum := maphash.Bytes(joinHashSeed, rows[i].key)
 			h.table[sum] = append(h.table[sum], int32(i))
 		}
 	}
@@ -242,6 +285,11 @@ func combineScratch(scratch *value.Row, l, r value.Row) value.Row {
 }
 
 func (h *hashJoinIter) Next() (value.Row, error) {
+	if h.merger != nil {
+		// Grace path: the join already ran partition by partition; the merger
+		// replays the outputs in exact serial emission order.
+		return h.merger.Next()
+	}
 	nRight := len(h.op.Right.Schema())
 	nLeft := len(h.op.Left.Schema())
 	for {
@@ -353,9 +401,18 @@ func (h *hashJoinIter) Next() (value.Row, error) {
 	}
 }
 
-func (h *hashJoinIter) Close() error {
+// release drops the build table, merger, spill files and accounted bytes.
+func (h *hashJoinIter) release() {
 	h.table = nil
 	h.buildRows = nil
+	h.merger.Close()
+	h.merger = nil
+	h.reg.closeAll()
+	h.acct.releaseAll()
+}
+
+func (h *hashJoinIter) Close() error {
+	h.release()
 	return h.left.Close()
 }
 
@@ -369,36 +426,86 @@ type nlJoinIter struct {
 	cond  compiledPred
 
 	rightRows []buildRow
-	comb      value.Row
-	curProbe  value.Row
-	curIdx    int
-	curMatch  bool
-	inTail    bool
-	tailIdx   int
-	done      bool
+	// Spill state: once the materialized right side crosses work_mem, every
+	// further row appends to one spill file in insertion order and probes
+	// stream the file after scanning the resident prefix — emission order is
+	// identical to the fully resident loop. spillMatched mirrors
+	// buildRow.matched for spilled rows, indexed by file ordinal.
+	acct         memAcct
+	reg          fileReg
+	spillFile    *spill.File
+	spillMatched []bool
+
+	comb       value.Row
+	curProbe   value.Row
+	curIdx     int
+	curMatch   bool
+	inFile     bool
+	fileOrd    int
+	inTail     bool
+	tailIdx    int
+	tailInFile bool
+	done       bool
 }
 
 func (n *nlJoinIter) Open(ctx *Context) error {
+	n.release()
 	n.ctx = ctx
-	n.done, n.inTail = false, false
-	n.tailIdx = 0
+	n.done, n.inTail, n.inFile, n.tailInFile = false, false, false, false
+	n.tailIdx, n.fileOrd = 0, 0
 	n.curProbe = nil
+	n.acct.ctx = ctx
 	if n.cond == nil && n.op.Cond != nil {
 		n.cond = compilePred(n.op.Cond)
 	}
 	if err := n.right.Open(ctx); err != nil {
 		return err
 	}
-	rows, err := drain(n.right, ctx)
-	if err != nil {
-		return err
+	var rec []byte
+	total := 0
+	for {
+		if err := ctx.tick(); err != nil {
+			n.right.Close()
+			return err
+		}
+		row, err := n.right.Next()
+		if err != nil {
+			n.right.Close()
+			return err
+		}
+		if row == nil {
+			break
+		}
+		total++
+		if ctx.RowBudget > 0 && total > int(ctx.RowBudget) {
+			n.right.Close()
+			return fmt.Errorf("executor: intermediate result exceeds row budget of %d rows", ctx.RowBudget)
+		}
+		if n.spillFile == nil && n.acct.spillable() && n.acct.over() && len(n.rightRows) >= minBufferRows {
+			f, err := ctx.Mem.Pool().Create()
+			if err != nil {
+				n.right.Close()
+				return err
+			}
+			n.reg.add(f)
+			n.spillFile = f
+		}
+		if n.spillFile != nil {
+			rec = spill.AppendRow(rec[:0], row)
+			if err := n.spillFile.Append(rec); err != nil {
+				n.right.Close()
+				return err
+			}
+			n.spillMatched = append(n.spillMatched, false)
+			n.acct.grow(1) // the matched flag stays resident per spilled row
+		} else {
+			n.rightRows = append(n.rightRows, buildRow{row: row})
+			n.acct.grow(rowBytes(row) + buildRowFixedBytes)
+		}
 	}
-	n.rightRows = make([]buildRow, len(rows))
-	for i, r := range rows {
-		n.rightRows[i].row = r
-	}
+	n.right.Close()
 	if ctx.owner != nil {
-		ctx.owner.BuildRows = int64(len(rows))
+		ctx.owner.BuildRows = int64(total)
 	}
 	return n.left.Open(ctx)
 }
@@ -421,6 +528,37 @@ func (n *nlJoinIter) Next() (value.Row, error) {
 					return value.Concat(value.NullRow(nLeft), br.row), nil
 				}
 			}
+			if n.spillFile != nil {
+				if !n.tailInFile {
+					if err := n.spillFile.StartRead(); err != nil {
+						return nil, err
+					}
+					n.tailInFile = true
+					n.fileOrd = 0
+				}
+				for {
+					if err := n.ctx.tick(); err != nil {
+						return nil, err
+					}
+					rec, err := n.spillFile.Next()
+					if err != nil {
+						return nil, err
+					}
+					if rec == nil {
+						break
+					}
+					ord := n.fileOrd
+					n.fileOrd++
+					if n.spillMatched[ord] {
+						continue
+					}
+					row, _, err := spill.DecodeRow(rec)
+					if err != nil {
+						return nil, err
+					}
+					return value.Concat(value.NullRow(nLeft), row), nil
+				}
+			}
 			n.done = true
 			return nil, nil
 		}
@@ -439,45 +577,107 @@ func (n *nlJoinIter) Next() (value.Row, error) {
 			}
 			n.curProbe = probe
 			n.curIdx = 0
+			n.inFile = false
 			n.curMatch = false
 		}
-		for n.curIdx < len(n.rightRows) {
-			// Per-candidate poll: one probe row can scan the whole right side
-			// without a match, so the outer-loop poll alone is not enough.
-			if err := n.ctx.tick(); err != nil {
-				return nil, err
+		if !n.inFile {
+			for n.curIdx < len(n.rightRows) {
+				// Per-candidate poll: one probe row can scan the whole right side
+				// without a match, so the outer-loop poll alone is not enough.
+				if err := n.ctx.tick(); err != nil {
+					return nil, err
+				}
+				br := &n.rightRows[n.curIdx]
+				n.curIdx++
+				ok := true
+				var combined value.Row
+				if n.cond != nil {
+					combined = combineScratch(&n.comb, n.curProbe, br.row)
+					var err error
+					ok, err = n.cond(combined, n.ctx)
+					if err != nil {
+						return nil, err
+					}
+				}
+				if !ok {
+					continue
+				}
+				n.curMatch = true
+				br.matched = true
+				switch n.op.Kind {
+				case algebra.JoinSemi:
+					probe := n.curProbe
+					n.curProbe = nil
+					return probe, nil
+				case algebra.JoinAnti:
+					n.curProbe = nil
+					goto nextProbe
+				default:
+					if combined == nil {
+						return value.Concat(n.curProbe, br.row), nil
+					}
+					n.comb = nil // transfer scratch ownership to the caller
+					return combined, nil
+				}
 			}
-			br := &n.rightRows[n.curIdx]
-			n.curIdx++
-			ok := true
-			var combined value.Row
-			if n.cond != nil {
-				combined = combineScratch(&n.comb, n.curProbe, br.row)
-				var err error
-				ok, err = n.cond(combined, n.ctx)
+			if n.spillFile != nil {
+				// Resident prefix exhausted: stream the spilled suffix in
+				// insertion order (the file position carries across emitted
+				// rows; only a new probe rewinds it).
+				if err := n.spillFile.StartRead(); err != nil {
+					return nil, err
+				}
+				n.inFile = true
+				n.fileOrd = 0
+			}
+		}
+		if n.inFile {
+			for {
+				if err := n.ctx.tick(); err != nil {
+					return nil, err
+				}
+				rec, err := n.spillFile.Next()
 				if err != nil {
 					return nil, err
 				}
-			}
-			if !ok {
-				continue
-			}
-			n.curMatch = true
-			br.matched = true
-			switch n.op.Kind {
-			case algebra.JoinSemi:
-				probe := n.curProbe
-				n.curProbe = nil
-				return probe, nil
-			case algebra.JoinAnti:
-				n.curProbe = nil
-				goto nextProbe
-			default:
-				if combined == nil {
-					return value.Concat(n.curProbe, br.row), nil
+				if rec == nil {
+					break
 				}
-				n.comb = nil // transfer scratch ownership to the caller
-				return combined, nil
+				ord := n.fileOrd
+				n.fileOrd++
+				row, _, err := spill.DecodeRow(rec)
+				if err != nil {
+					return nil, err
+				}
+				ok := true
+				var combined value.Row
+				if n.cond != nil {
+					combined = combineScratch(&n.comb, n.curProbe, row)
+					ok, err = n.cond(combined, n.ctx)
+					if err != nil {
+						return nil, err
+					}
+				}
+				if !ok {
+					continue
+				}
+				n.curMatch = true
+				n.spillMatched[ord] = true
+				switch n.op.Kind {
+				case algebra.JoinSemi:
+					probe := n.curProbe
+					n.curProbe = nil
+					return probe, nil
+				case algebra.JoinAnti:
+					n.curProbe = nil
+					goto nextProbe
+				default:
+					if combined == nil {
+						return value.Concat(n.curProbe, row), nil
+					}
+					n.comb = nil // transfer scratch ownership to the caller
+					return combined, nil
+				}
 			}
 		}
 		{
@@ -499,8 +699,17 @@ func (n *nlJoinIter) Next() (value.Row, error) {
 	}
 }
 
-func (n *nlJoinIter) Close() error {
+// release drops the materialized right side, spill file and accounted bytes.
+func (n *nlJoinIter) release() {
 	n.rightRows = nil
+	n.spillMatched = nil
+	n.spillFile = nil
+	n.reg.closeAll()
+	n.acct.releaseAll()
+}
+
+func (n *nlJoinIter) Close() error {
+	n.release()
 	return n.left.Close()
 }
 

@@ -47,6 +47,15 @@ type OpStats struct {
 	// stream the right side per outer row).
 	BuildRows int64
 
+	// Workers is the fan-out degree of a parallel operator (0 for serial
+	// operators, and for parallel operators that fell back to the serial
+	// path). WorkerRows/WorkerNs are the per-worker output row counts and
+	// wall times, indexed by worker; they are written only after the
+	// workers are joined, so instrumented reads never race.
+	Workers    int
+	WorkerRows []int64
+	WorkerNs   []int64
+
 	baseFiles int64
 	baseBytes int64
 	based     bool

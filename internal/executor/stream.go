@@ -29,11 +29,26 @@ type Stream struct {
 	err    error
 }
 
+// Context returns the executor context the stream runs under. Callers use it
+// after the drain to read coordinator-side counters (subplan cache hits,
+// parallel fan-outs); it is not safe to mutate while rows are flowing.
+func (s *Stream) Context() *Context { return s.ctx }
+
 // Open builds the iterator tree for plan and opens it under ctx, returning
 // the live stream. The schema (and thus result columns) is available
 // immediately; rows follow on demand.
 func Open(ctx *Context, plan algebra.Op) (*Stream, error) {
-	it, err := build(plan)
+	var it iterator
+	var err error
+	if ctx.Parallel > 1 {
+		// Statement roots with a parallelism degree build through buildPar,
+		// which grafts parallel operators wherever a subtree is eligible.
+		// Results are identical either way; ineligible or too-small subtrees
+		// fall back to the serial iterators at Open.
+		it, err = buildPar(plan, nil)
+	} else {
+		it, err = build(plan)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +66,13 @@ func Open(ctx *Context, plan algebra.Op) (*Stream, error) {
 // SET trace; everything else takes the unwrapped Open path.
 func OpenInstrumented(ctx *Context, plan algebra.Op) (*Stream, *OpStats, error) {
 	sentinel := &OpStats{}
-	it, err := buildInto(plan, sentinel)
+	var it iterator
+	var err error
+	if ctx.Parallel > 1 {
+		it, err = buildPar(plan, sentinel)
+	} else {
+		it, err = buildInto(plan, sentinel)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

@@ -68,6 +68,12 @@ type Config struct {
 	// spills to disk past it. 0 keeps the engine default; negative means
 	// unlimited.
 	WorkMem int64
+	// Parallelism, when non-zero, is the default intra-query parallelism
+	// degree for every connection's session (permserver -parallelism):
+	// each session starts with SET parallelism = Parallelism and clients
+	// may still override per session. 0 keeps the engine default (serial);
+	// negative means "all cores" (SET parallelism = 0 semantics).
+	Parallelism int
 	// TempDir, when set, is where sessions create their spill files
 	// (permserver -temp-dir); "" means the OS temp directory. Spill files
 	// are removed when their query ends, and a session teardown — client
@@ -545,6 +551,13 @@ func (s *Server) serveConn(nc net.Conn, kill <-chan struct{}) {
 	}
 	if s.cfg.TempDir != "" {
 		sess.SetTempDir(s.cfg.TempDir)
+	}
+	if s.cfg.Parallelism != 0 {
+		n := s.cfg.Parallelism
+		if n < 0 {
+			n = 0 // negative config = all cores (parallelism 0)
+		}
+		sess.SetParallelism(n)
 	}
 	if s.cfg.SlowQueryMs > 0 {
 		sess.SetSlowQueryMs(s.cfg.SlowQueryMs)
