@@ -67,6 +67,7 @@ func main() {
 		syncTimeout  = flag.Duration("sync-timeout", 2*time.Second, "how long a write waits for its replica-acknowledgment quorum before failing with a typed error")
 		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus metrics and pprof on this address (e.g. 127.0.0.1:9090); empty disables")
 		slowQueryMs  = flag.Int64("slow-query-ms", 0, "log statements taking at least this many milliseconds (0 = disabled; sessions can still SET slow_query_ms)")
+		vacuumEvery  = flag.Duration("vacuum-interval", time.Second, "background MVCC vacuum cadence: reclaims row versions no pinned snapshot can still see")
 		logFormat    = flag.String("log-format", "text", "log output format: text | json")
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
 	)
@@ -141,6 +142,13 @@ func main() {
 		cfg.Logf = logger.Printf
 	}
 	srv := server.New(db, cfg)
+
+	// Background version vacuum: writers append row versions; this reclaims
+	// the ones no pinned snapshot (statement or open transaction) can reach.
+	// It reads the store through the DB on every pass, so a replica
+	// re-bootstrap's store swap is picked up automatically.
+	stopVacuum := db.StartVacuum(*vacuumEvery)
+	defer stopVacuum()
 
 	// Every server is a managed cluster member: the harness restores the
 	// persisted fencing epoch from -data-dir and serves coordinator-issued

@@ -2,6 +2,7 @@ package driver
 
 import (
 	"context"
+	"database/sql"
 	sqldriver "database/sql/driver"
 	"errors"
 	"fmt"
@@ -130,6 +131,7 @@ var _ sqldriver.QueryerContext = (*conn)(nil)
 var _ sqldriver.ExecerContext = (*conn)(nil)
 var _ sqldriver.Pinger = (*conn)(nil)
 var _ sqldriver.Validator = (*conn)(nil)
+var _ sqldriver.ConnBeginTx = (*conn)(nil)
 
 // defaultFetchSize is the cursor batch the driver requests per round trip
 // when streaming a query result: large enough to amortize the request
@@ -176,9 +178,43 @@ func (c *conn) Close() error {
 	return c.local.Close()
 }
 
-// Begin implements driver.Conn. The engine executes with autocommit only.
+// Begin implements driver.Conn.
 func (c *conn) Begin() (sqldriver.Tx, error) {
-	return nil, fmt.Errorf("perm driver: transactions are not supported")
+	return c.BeginTx(context.Background(), sqldriver.TxOptions{})
+}
+
+// BeginTx implements driver.ConnBeginTx: BEGIN opens a snapshot-isolation
+// transaction on this connection's session; Commit/Rollback send COMMIT and
+// ROLLBACK through the same path as any statement. Snapshot isolation covers
+// every isolation level up to repeatable read (each is weaker); SERIALIZABLE
+// would over-promise — first-committer-wins admits write skew — so it is
+// refused rather than silently downgraded.
+func (c *conn) BeginTx(ctx context.Context, opts sqldriver.TxOptions) (sqldriver.Tx, error) {
+	switch sql.IsolationLevel(opts.Isolation) {
+	case sql.LevelDefault, sql.LevelReadUncommitted, sql.LevelReadCommitted,
+		sql.LevelRepeatableRead, sql.LevelSnapshot:
+	default:
+		return nil, fmt.Errorf("perm driver: isolation level %s is not supported (snapshot isolation is the strongest offered)",
+			sql.IsolationLevel(opts.Isolation))
+	}
+	if _, err := c.exec(ctx, "BEGIN", "", nil); err != nil {
+		return nil, err
+	}
+	return &tx{c: c}, nil
+}
+
+// tx finishes an open transaction. database/sql serializes it against the
+// connection's statements, exactly like the engine's session contract wants.
+type tx struct{ c *conn }
+
+func (t *tx) Commit() error {
+	_, err := t.c.exec(context.Background(), "COMMIT", "", nil)
+	return err
+}
+
+func (t *tx) Rollback() error {
+	_, err := t.c.exec(context.Background(), "ROLLBACK", "", nil)
+	return err
 }
 
 // IsValid implements driver.Validator, so the pool retires connections whose
@@ -370,6 +406,8 @@ func remoteErr(err error) error {
 			return fmt.Errorf("%w (%s)", ErrReadOnly, serr.Message)
 		case wire.ErrCodeStaleEpoch:
 			return fmt.Errorf("%w (%s)", ErrStaleEpoch, serr.Message)
+		case wire.ErrCodeWriteConflict:
+			return fmt.Errorf("%w (%s)", ErrWriteConflict, serr.Message)
 		}
 	}
 	return err
@@ -386,6 +424,11 @@ func (c *conn) checkReadOnly(sqlText string) error {
 		// Reads and session-local statements. SET stays allowed: session
 		// settings (contribution semantics, rewrite strategies) shape how
 		// reads are answered and mutate nothing.
+		return nil
+	case "begin", "start", "commit", "end", "rollback", "abort":
+		// Transaction control is allowed: a read-only snapshot transaction is
+		// perfectly useful on a replica, and any write inside it is rejected
+		// statement by statement anyway.
 		return nil
 	}
 	return fmt.Errorf("%w (readonly connection)", ErrReadOnly)

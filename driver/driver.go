@@ -64,10 +64,19 @@
 // provenance result — drain or close every *sql.Rows promptly, since an
 // open result set pins its connection's server portal.
 //
+// # Transactions
+//
+// db.Begin / db.BeginTx open a real server-side transaction (BEGIN on the
+// connection's session): statements inside it read one MVCC snapshot, buffer
+// their writes, and Commit publishes them atomically under first-committer-
+// wins validation — a losing Commit fails with ErrWriteConflict and the
+// transaction is already rolled back, so retry from Begin. Snapshot isolation
+// is the strongest level offered; BeginTx refuses sql.LevelSerializable and
+// above rather than silently weakening it. Statements outside a transaction
+// execute with autocommit.
+//
 // # Semantics and limits
 //
-//   - Statements execute with autocommit; Begin returns an error since the
-//     engine has no transactions.
 //   - Result.LastInsertId is not supported; RowsAffected comes from the
 //     command tag.
 //   - Session settings (SET provenance_contribution = 'copy', …) work per
@@ -102,6 +111,13 @@ var ErrReadOnly = engine.ErrReadOnly
 // statement through a perm:// multi-host pool) lands on the current primary.
 // Match it with errors.Is.
 var ErrStaleEpoch = engine.ErrStaleEpoch
+
+// ErrWriteConflict is the typed error a transaction's Commit fails with when
+// first-committer-wins validation found a concurrent committed writer on a
+// row this transaction also wrote. The transaction is already rolled back;
+// retry it from Begin. Match it with errors.Is — it works identically for
+// embedded and remote connections (the wire error carries a typed code).
+var ErrWriteConflict = engine.ErrWriteConflict
 
 // Driver is the database/sql driver for Perm.
 type Driver struct{}

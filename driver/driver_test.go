@@ -454,14 +454,71 @@ func TestExecResultAndColumnTypes(t *testing.T) {
 	}
 }
 
-func TestTransactionsUnsupported(t *testing.T) {
+func TestTransactions(t *testing.T) {
 	db, err := sql.Open("perm", "mem://")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer db.Close()
-	if _, err := db.Begin(); err == nil {
-		t.Fatal("Begin succeeded; the engine has no transactions")
+	if _, err := db.Exec(`CREATE TABLE acct (id int, bal int)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO acct VALUES (1, 100), (2, 50)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Committed transaction: both effects land atomically.
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE acct SET bal = bal - 30 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`UPDATE acct SET bal = bal + 30 WHERE id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	// Read-your-writes inside the transaction.
+	var bal int
+	if err := tx.QueryRow(`SELECT bal FROM acct WHERE id = 2`).Scan(&bal); err != nil {
+		t.Fatal(err)
+	}
+	if bal != 80 {
+		t.Fatalf("in-transaction read: bal = %d, want 80", bal)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	if err := db.QueryRow(`SELECT sum(bal) FROM acct`).Scan(&total); err != nil {
+		t.Fatal(err)
+	}
+	if total != 150 {
+		t.Fatalf("after commit: sum = %d, want 150", total)
+	}
+
+	// Rolled-back transaction: no effect survives.
+	tx, err = db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`DELETE FROM acct`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := db.QueryRow(`SELECT count(*) FROM acct`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("after rollback: %d rows, want 2", n)
+	}
+
+	// SERIALIZABLE would over-promise under snapshot isolation; refused.
+	if _, err := db.BeginTx(context.Background(), &sql.TxOptions{Isolation: sql.LevelSerializable}); err == nil {
+		t.Fatal("BeginTx(serializable) succeeded; snapshot isolation cannot honor it")
 	}
 }
 

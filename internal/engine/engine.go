@@ -320,6 +320,12 @@ type Session struct {
 	// GOMAXPROCS, resolved per statement) so execContextOn never takes the
 	// settings lock on the hot path.
 	parDeg atomic.Int32
+	// txn is the session's open explicit transaction (nil in autocommit).
+	// Guarded because the shared implicit session executes statements from
+	// several goroutines; the transaction itself is single-writer by the
+	// session's one-statement-at-a-time contract.
+	txnMu sync.Mutex
+	txn   *storage.Txn
 }
 
 // maxParallelism caps SET parallelism: more workers than this buys nothing
@@ -424,7 +430,12 @@ func (s *Session) execContext() *executor.Context {
 	return s.execContextOn(s.db.Store())
 }
 
-// execContextOn is execContext against a pinned store (see analyzeOn).
+// execContextOn is execContext against a pinned store (see analyzeOn). Every
+// context carries a read position: inside an explicit transaction the
+// transaction's snapshot (plus its own buffered writes), otherwise a
+// freshly pinned statement snapshot the caller must release with
+// Context.Release once the statement's last read is done — the pin holds
+// the version vacuum's horizon.
 func (s *Session) execContextOn(store *storage.Store) *executor.Context {
 	ctx := executor.NewContext(store)
 	ctx.Mem = s.mem
@@ -435,6 +446,16 @@ func (s *Session) execContextOn(store *storage.Store) *executor.Context {
 		ctx.DeadlineNs = ns
 	}
 	ctx.Parallel = s.parallelDegree()
+	if txn := s.currentTxn(); txn != nil && txn.Store() == store {
+		// The transaction owns the snapshot pin; Release on this context is a
+		// no-op and COMMIT/ROLLBACK drop the pin.
+		ctx.Txn = txn
+		ctx.SnapLSN = txn.Snap()
+	} else {
+		snap := store.PinSnapshot()
+		ctx.SnapLSN = snap
+		ctx.SetUnpin(func() { store.UnpinSnapshot(snap) })
+	}
 	return ctx
 }
 
@@ -445,6 +466,9 @@ func (s *Session) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	// A transaction abandoned at disconnect rolls back — and releases its
+	// snapshot pin, or the version vacuum could never advance past it.
+	s.rollbackOpenTxn()
 	s.cache.reset()
 	// Remove any spill files still on disk: a result stream abandoned
 	// without Close (disconnects, shutdown kills) must not leak temp files
@@ -575,7 +599,16 @@ func (s *Session) executeStatement(st sql.Statement, args []value.Value) (*Resul
 			return nil, fmt.Errorf("%s rejected: %w", verb, ErrReadOnly)
 		}
 	}
+	if err := s.noDDLInTxn(st); err != nil {
+		return nil, err
+	}
 	switch x := st.(type) {
+	case *sql.BeginStmt:
+		return s.runBegin()
+	case *sql.CommitStmt:
+		return s.runCommit()
+	case *sql.RollbackStmt:
+		return s.runRollback()
 	case *sql.SelectStmt:
 		return s.runSelect(x, args)
 	case *sql.CreateTableStmt:
@@ -816,9 +849,14 @@ func (s *Session) runDrop(d *sql.DropStmt) (*Result, error) {
 }
 
 func (s *Session) runInsert(ins *sql.InsertStmt, args []value.Value) (*Result, error) {
-	table := s.db.Store().Table(ins.Table)
+	store := s.db.Store()
+	table := store.Table(ins.Table)
 	if table == nil {
 		return nil, fmt.Errorf("table %q does not exist", ins.Table)
+	}
+	txn, err := s.txnFor(store)
+	if err != nil {
+		return nil, err
 	}
 	def := table.Def()
 	// Map the column list.
@@ -848,9 +886,10 @@ func (s *Session) runInsert(ins *sql.InsertStmt, args []value.Value) (*Result, e
 		}
 		rows = sub.Rows
 	} else {
-		an := analyzer.New(s.db.Catalog())
+		an := analyzer.New(store.Catalog())
 		an.Params = paramKinds(args)
-		ctx := s.execContext()
+		ctx := s.execContextOn(store)
+		defer ctx.Release()
 		ctx.Params = args
 		for i, exprRow := range ins.Rows {
 			if len(exprRow) != len(target) {
@@ -881,18 +920,29 @@ func (s *Session) runInsert(ins *sql.InsertStmt, args []value.Value) (*Result, e
 		}
 		full[i] = fr
 	}
+	if txn != nil {
+		// Buffered until COMMIT: no row-count refresh here — the commit
+		// mirrors it once the rows are actually visible.
+		n, err := txn.Insert(table, full)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Tag: fmt.Sprintf("INSERT %d", n)}, nil
+	}
 	n, err := table.InsertBatch(full)
 	if err != nil {
 		return nil, err
 	}
-	s.db.Catalog().SetRowCount(ins.Table, table.RowCount())
+	store.Catalog().SetRowCount(ins.Table, table.RowCount())
 	return &Result{Tag: fmt.Sprintf("INSERT %d", n)}, nil
 }
 
 // compilePredicate resolves a WHERE clause against a table for DELETE/UPDATE
 // and lowers it to a compiled evaluator, so full-heap scans pay the
-// expression-tree dispatch once instead of per row.
-func (s *Session) compilePredicate(where sql.Expr, def *catalog.TableDef, args []value.Value) (func(value.Row) (bool, error), error) {
+// expression-tree dispatch once instead of per row. The evaluator closes over
+// ctx (the statement's context, so subqueries in the WHERE clause read at the
+// statement's snapshot — and through its transaction, when one is open).
+func (s *Session) compilePredicate(ctx *executor.Context, where sql.Expr, def *catalog.TableDef, args []value.Value) (func(value.Row) (bool, error), error) {
 	if where == nil {
 		return nil, nil
 	}
@@ -900,45 +950,65 @@ func (s *Session) compilePredicate(where sql.Expr, def *catalog.TableDef, args [
 	for i, c := range def.Columns {
 		sch[i] = algebra.Column{Name: c.Name, Table: def.Name, Type: c.Type}
 	}
-	an := analyzer.New(s.db.Catalog())
+	an := analyzer.New(ctx.Store.Catalog())
 	an.Params = paramKinds(args)
 	cond, err := an.AnalyzeExpr(where, sch)
 	if err != nil {
 		return nil, err
 	}
 	pred := executor.CompilePredicate(cond)
-	ctx := s.execContext()
-	ctx.Params = args
 	return func(row value.Row) (bool, error) {
 		return pred(row, ctx)
 	}, nil
 }
 
 func (s *Session) runDelete(del *sql.DeleteStmt, args []value.Value) (*Result, error) {
-	table := s.db.Store().Table(del.Table)
+	store := s.db.Store()
+	table := store.Table(del.Table)
 	if table == nil {
 		return nil, fmt.Errorf("table %q does not exist", del.Table)
 	}
-	// A nil predicate (no WHERE) keeps storage's O(1) truncate fast path.
-	pred, err := s.compilePredicate(del.Where, table.Def(), args)
+	txn, err := s.txnFor(store)
 	if err != nil {
 		return nil, err
+	}
+	ctx := s.execContextOn(store)
+	defer ctx.Release()
+	ctx.Params = args
+	pred, err := s.compilePredicate(ctx, del.Where, table.Def(), args)
+	if err != nil {
+		return nil, err
+	}
+	if txn != nil {
+		n, err := txn.Delete(table, pred)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Tag: fmt.Sprintf("DELETE %d", n)}, nil
 	}
 	n, err := table.Delete(pred)
 	if err != nil {
 		return nil, err
 	}
-	s.db.Catalog().SetRowCount(del.Table, table.RowCount())
+	store.Catalog().SetRowCount(del.Table, table.RowCount())
 	return &Result{Tag: fmt.Sprintf("DELETE %d", n)}, nil
 }
 
 func (s *Session) runUpdate(up *sql.UpdateStmt, args []value.Value) (*Result, error) {
-	table := s.db.Store().Table(up.Table)
+	store := s.db.Store()
+	table := store.Table(up.Table)
 	if table == nil {
 		return nil, fmt.Errorf("table %q does not exist", up.Table)
 	}
+	txn, err := s.txnFor(store)
+	if err != nil {
+		return nil, err
+	}
 	def := table.Def()
-	pred, err := s.compilePredicate(up.Where, def, args)
+	ctx := s.execContextOn(store)
+	defer ctx.Release()
+	ctx.Params = args
+	pred, err := s.compilePredicate(ctx, up.Where, def, args)
 	if err != nil {
 		return nil, err
 	}
@@ -946,7 +1016,7 @@ func (s *Session) runUpdate(up *sql.UpdateStmt, args []value.Value) (*Result, er
 	for i, c := range def.Columns {
 		sch[i] = algebra.Column{Name: c.Name, Table: def.Name, Type: c.Type}
 	}
-	an := analyzer.New(s.db.Catalog())
+	an := analyzer.New(store.Catalog())
 	an.Params = paramKinds(args)
 	type setter struct {
 		idx  int
@@ -964,9 +1034,7 @@ func (s *Session) runUpdate(up *sql.UpdateStmt, args []value.Value) (*Result, er
 		}
 		setters = append(setters, setter{idx: idx, expr: executor.CompileExpr(e)})
 	}
-	ctx := s.execContext()
-	ctx.Params = args
-	n, err := table.Update(pred, func(row value.Row) (value.Row, error) {
+	apply := func(row value.Row) (value.Row, error) {
 		// Poll for cancellation here too: with no WHERE clause there is no
 		// ticking predicate, and this loop visits every row.
 		if err := ctx.Tick(); err != nil {
@@ -981,7 +1049,13 @@ func (s *Session) runUpdate(up *sql.UpdateStmt, args []value.Value) (*Result, er
 			out[st.idx] = v
 		}
 		return out, nil
-	})
+	}
+	var n int
+	if txn != nil {
+		n, err = txn.Update(table, pred, apply)
+	} else {
+		n, err = table.Update(pred, apply)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -1213,6 +1287,33 @@ func (s *Session) runShow(st *sql.ShowStmt) (*Result, error) {
 				value.NewInt(tr.SubplanMisses),
 				value.NewInt(tr.ParallelOps),
 				value.NewInt(tr.ParallelWorkers),
+			}},
+			Tag: "SHOW",
+		}, nil
+	}
+	if name == "mvcc_status" {
+		ms := s.db.Store().MVCCStatus()
+		return &Result{
+			Columns: []string{"visible_lsn", "horizon_lsn", "pins", "slots", "versions", "vacuum_runs", "versions_removed", "write_conflicts"},
+			Schema: algebra.Schema{
+				{Name: "visible_lsn", Type: value.KindInt},
+				{Name: "horizon_lsn", Type: value.KindInt},
+				{Name: "pins", Type: value.KindInt},
+				{Name: "slots", Type: value.KindInt},
+				{Name: "versions", Type: value.KindInt},
+				{Name: "vacuum_runs", Type: value.KindInt},
+				{Name: "versions_removed", Type: value.KindInt},
+				{Name: "write_conflicts", Type: value.KindInt},
+			},
+			Rows: []value.Row{{
+				value.NewInt(int64(ms.VisibleLSN)),
+				value.NewInt(int64(ms.HorizonLSN)),
+				value.NewInt(int64(ms.Pins)),
+				value.NewInt(int64(ms.Slots)),
+				value.NewInt(int64(ms.Versions)),
+				value.NewInt(int64(ms.VacuumRuns)),
+				value.NewInt(int64(ms.VacuumRemoved)),
+				value.NewInt(int64(ms.WriteConflicts)),
 			}},
 			Tag: "SHOW",
 		}, nil

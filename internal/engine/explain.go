@@ -80,6 +80,7 @@ func (s *Session) explain(sel *sql.SelectStmt, analyze bool) (*Explanation, erro
 
 	if analyze {
 		ctx := s.execContextOn(store)
+		defer ctx.Release()
 		t2 := time.Now()
 		stream, root, err := executor.OpenInstrumented(ctx, opt)
 		if err != nil {

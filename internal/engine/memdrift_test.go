@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestWorkerErrorMidSpillNoAccountingDrift is the memory-accounting audit pin
+// for SHOW memory_status under parallel statements: when a worker dies
+// mid-spill — here a residual join condition that divides by zero on a
+// matched pair, long after the join's build side went to disk — every
+// per-worker memAcct must release exactly what it held. Any drift leaks into
+// the session-shared tracker and silently shrinks every later statement's
+// effective work_mem, so the test runs the failing statement repeatedly and
+// asserts the tracked count returns to zero each time, at a spilling serial
+// degree and a per-worker-spilling parallel degree.
+func TestWorkerErrorMidSpillNoAccountingDrift(t *testing.T) {
+	db := seedParallelDB(t)
+
+	// other.v covers [0,500) ∪ [1000,1500) ∪ ... — b.v = 1200 has an
+	// equi-match, so the residual condition is reached and errors there.
+	// The budget sits above the ~540 KB materialized build side (so the
+	// partition-wise join engages rather than falling back to serial) and
+	// below coordinator-build + one worker re-charge (so each worker's
+	// private join account overflows and spills through the grace path).
+	const q = `SELECT b.k, o.s FROM big b JOIN other o ON b.v = o.v AND b.v / (b.v - 1200) >= 0`
+	const budget = 700 << 10
+
+	for _, deg := range []int{1, 4} {
+		s := db.NewSession()
+		s.SetTempDir(t.TempDir())
+		mustExecSpill(t, s, fmt.Sprintf(`SET parallelism = %d`, deg))
+		mustExecSpill(t, s, fmt.Sprintf(`SET work_mem = %d`, budget))
+
+		for i := 0; i < 3; i++ {
+			_, err := s.Execute(q)
+			if err == nil || !strings.Contains(err.Error(), "division by zero") {
+				t.Fatalf("parallelism=%d run %d: want division-by-zero error, got %v", deg, i, err)
+			}
+			ms := s.MemStatus()
+			if ms.Tracked != 0 {
+				t.Fatalf("parallelism=%d run %d: tracked bytes after failed statement = %d, want 0 (per-worker account drift)", deg, i, ms.Tracked)
+			}
+		}
+		ms := s.MemStatus()
+		if ms.SpillFiles == 0 {
+			t.Fatalf("parallelism=%d: statement never spilled — the test lost its mid-spill coverage: %+v", deg, ms)
+		}
+
+		// The session must be fully usable afterwards, with the whole budget:
+		// the same join without the poisoned residual answers correctly.
+		res := mustExecSpill(t, s, `SELECT count(*) FROM big b JOIN other o ON b.v = o.v`)
+		if res.Rows[0][0].I == 0 {
+			t.Fatalf("parallelism=%d: follow-up join returned no rows", deg)
+		}
+		if ms := s.MemStatus(); ms.Tracked != 0 {
+			t.Fatalf("parallelism=%d: tracked bytes after follow-up statement = %d, want 0", deg, ms.Tracked)
+		}
+		s.Close()
+	}
+}

@@ -124,6 +124,9 @@ func (r *Rows) finish() {
 	r.done = true
 	if r.stream != nil {
 		r.stream.Close()
+		// Drop the statement's snapshot pin: the stream has delivered (or
+		// abandoned) its last row, so the version vacuum may advance past it.
+		r.stream.Context().Release()
 		r.timings.Execute += time.Since(r.opened)
 		r.tag = fmt.Sprintf("SELECT %d", r.stream.Rows())
 		if r.sess != nil {
@@ -307,6 +310,7 @@ func (s *Session) openSelect(sel *sql.SelectStmt, store *storage.Store, args []v
 	ctx := s.execContextOn(store)
 	ctx.Params = args
 	if err := s.openStream(rows, ctx, plan); err != nil {
+		ctx.Release()
 		return nil, nil, err
 	}
 	rows.Schema = rows.stream.Schema()
@@ -367,6 +371,7 @@ func (s *Session) openCached(e *planCacheEntry, store *storage.Store, args []val
 	ctx.Params = args
 	rows := &Rows{CacheHit: true, Rewrites: decisions}
 	if err := s.openStream(rows, ctx, e.plan); err != nil {
+		ctx.Release()
 		return nil, err
 	}
 	rows.Schema = rows.stream.Schema()

@@ -23,6 +23,18 @@ var ErrInterrupted = errors.New("executor: query interrupted")
 // rows for correlated evaluation, and the cache for uncorrelated subplans.
 type Context struct {
 	Store *storage.Store
+	// SnapLSN is the statement's pinned snapshot position: scans materialize
+	// exactly the row versions visible at it, however many writers commit
+	// while the statement runs. Zero means "the store's current visible
+	// LSN" (detached/test contexts that never pinned).
+	SnapLSN uint64
+	// Txn, when non-nil, is the session's open transaction: scans read
+	// through it so the statement sees the transaction's own buffered
+	// writes on top of its snapshot.
+	Txn *storage.Txn
+	// unpin releases the statement's snapshot pin; Release calls it exactly
+	// once. Worker clones never carry it — the coordinator owns the pin.
+	unpin func()
 	// outer is the stack of correlation rows; OuterRef binds to the top.
 	outer []value.Row
 	// subplanCache memoizes uncorrelated subplan results by plan identity.
@@ -88,6 +100,36 @@ type Context struct {
 // Tick exposes the cancellation poll to engine-level DML loops (UPDATE
 // setters, and any other per-row work that bypasses the iterator machinery).
 func (c *Context) Tick() error { return c.tick() }
+
+// SetUnpin installs the statement's snapshot-release hook (the engine pins
+// a snapshot LSN per statement and must unpin it when the statement's last
+// reader is done, or the version vacuum could never advance).
+func (c *Context) SetUnpin(f func()) { c.unpin = f }
+
+// Release releases the statement's snapshot pin. Idempotent; safe on
+// contexts that never pinned.
+func (c *Context) Release() {
+	if c.unpin != nil {
+		c.unpin()
+		c.unpin = nil
+	}
+}
+
+// TableRows resolves the named table and returns the rows this statement
+// sees: the open transaction's read-your-writes view when one is active,
+// otherwise the versions visible at the pinned snapshot LSN. Every scan
+// must come through here — a scan that read the live table directly would
+// observe concurrent writers mid-statement.
+func (c *Context) TableRows(name string) ([]value.Row, error) {
+	t := c.Store.Table(name)
+	if t == nil {
+		return nil, fmt.Errorf("executor: table %q does not exist", name)
+	}
+	if c.Txn != nil {
+		return c.Txn.TableRows(t), nil
+	}
+	return t.SnapshotAt(c.SnapLSN), nil
+}
 
 // tick is the cancellation poll for loops that can spin without producing a
 // row (filters rejecting everything, join probes that never match): the
@@ -191,6 +233,8 @@ func (c *Context) SetDeadline(t time.Time) {
 func (c *Context) workerClone() *Context {
 	return &Context{
 		Store:        c.Store,
+		SnapLSN:      c.SnapLSN,
+		Txn:          c.Txn,
 		subplanCache: make(map[*algebra.Subplan]*subplanResult),
 		subplanIters: make(map[*algebra.Subplan]iterator),
 		Mem:          c.Mem,

@@ -27,6 +27,17 @@ const (
 	// minSortRunRows floors an external-sort run, so a tiny budget cannot
 	// degenerate into one run per row (and a file per row).
 	minSortRunRows = 256
+	// minSortRunBytes floors an external-sort run in bytes: below it, the
+	// per-run costs (a spill file with its write and read buffers, a slot in
+	// every merge pass, a fresh decode of each row it carries) dominate the
+	// row payload, and a tiny work_mem degenerates into allocation churn —
+	// hundreds of near-empty runs plus reduction passes over all of them.
+	// Runs are sized to the budget (half of work_mem, the sorting operator's
+	// fair share of a tracker other operators draw on too) but never below
+	// this floor; it is the one place the sort knowingly overshoots a
+	// micro-budget, trading a bounded transient buffer for an order of
+	// magnitude fewer spill files. See sortRunTargetBytes.
+	minSortRunBytes = 128 << 10
 	// mergeFanIn caps how many spill files a merge holds open at once;
 	// larger sets merge in passes.
 	mergeFanIn = 64
@@ -38,6 +49,20 @@ const (
 	// considers partitioning.
 	minBufferRows = 256
 )
+
+// sortRunTargetBytes is the byte size an external-sort run aims for before
+// flushing: half the work_mem budget, floored at minSortRunBytes. The
+// budget share keeps a spilling sort from buffering past its fair fraction
+// of the (session-shared) tracker; the floor keeps micro-budgets from
+// producing runs so small that file and merge-pass overhead dominates —
+// the documented spill-path allocation churn at tiny budgets.
+func sortRunTargetBytes(budget int64) int64 {
+	t := budget / 2
+	if t < minSortRunBytes {
+		t = minSortRunBytes
+	}
+	return t
+}
 
 // spillHash hashes a canonical key with a level-dependent seed, so recursive
 // re-partitioning redistributes what a parent level hashed together.

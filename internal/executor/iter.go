@@ -18,15 +18,16 @@ type scanIter struct {
 }
 
 func (s *scanIter) Open(ctx *Context) error {
-	t := ctx.Store.Table(s.op.Table)
-	if t == nil {
-		return fmt.Errorf("executor: table %q does not exist", s.op.Table)
+	// The context resolves the rows visible to THIS statement: the versions
+	// at its pinned snapshot LSN (or its transaction's read-your-writes
+	// view). Steady-state reads alias the table's shared materialized view
+	// without copying; the rows themselves are immutable and downstream
+	// operators must never write into them.
+	rows, err := ctx.TableRows(s.op.Table)
+	if err != nil {
+		return err
 	}
-	// Snapshot aliases the table's live row slice without copying: storage
-	// mutations are copy-on-write (see storage.Table.Snapshot), so the scan
-	// streams the shared slice directly. The rows themselves are immutable;
-	// downstream operators must never write into them.
-	s.rows = t.Snapshot()
+	s.rows = rows
 	s.pos = 0
 	return nil
 }
@@ -258,7 +259,13 @@ func (s *sortIter) Open(ctx *Context) error {
 		n := rowBytes(row) + rowBytes(keys)
 		s.acct.grow(n)
 		batchBytes += n
-		if s.acct.spillable() && s.acct.over() && len(all) >= minSortRunRows {
+		// Flush a run only once the local batch is budget-sized (and past the
+		// row floor): the shared tracker being over — possibly from other
+		// operators' bytes — must not shear this sort's runs down to the row
+		// floor, or a tiny budget writes a spill file per few KiB of rows
+		// and pays merge passes over all of them.
+		if s.acct.spillable() && s.acct.over() && len(all) >= minSortRunRows &&
+			batchBytes >= sortRunTargetBytes(ctx.Mem.Budget()) {
 			if err := flushRun(); err != nil {
 				return err
 			}

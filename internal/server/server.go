@@ -795,6 +795,9 @@ func errCodeOf(err error) uint64 {
 	if errors.Is(err, engine.ErrStaleEpoch) {
 		return wire.ErrCodeStaleEpoch
 	}
+	if errors.Is(err, engine.ErrWriteConflict) {
+		return wire.ErrCodeWriteConflict
+	}
 	return wire.ErrCodeGeneric
 }
 

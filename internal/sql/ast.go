@@ -296,6 +296,21 @@ type AnalyzeStmt struct{ Table string }
 
 func (*AnalyzeStmt) stmt() {}
 
+// BeginStmt starts an explicit transaction (BEGIN [TRANSACTION | WORK]).
+type BeginStmt struct{}
+
+func (*BeginStmt) stmt() {}
+
+// CommitStmt commits the open transaction (COMMIT | END [TRANSACTION | WORK]).
+type CommitStmt struct{}
+
+func (*CommitStmt) stmt() {}
+
+// RollbackStmt aborts the open transaction (ROLLBACK | ABORT [TRANSACTION | WORK]).
+type RollbackStmt struct{}
+
+func (*RollbackStmt) stmt() {}
+
 // --- Expressions -------------------------------------------------------------
 
 // Literal is a constant.

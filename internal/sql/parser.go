@@ -154,6 +154,14 @@ func (p *Parser) isKeyword(kw string) bool {
 	return t.Type == IDENT && t.Text == kw
 }
 
+// acceptTxnNoise consumes the optional TRANSACTION/WORK noise word after
+// BEGIN, COMMIT, ROLLBACK and their aliases.
+func (p *Parser) acceptTxnNoise() {
+	if !p.acceptKeyword("transaction") {
+		p.acceptKeyword("work")
+	}
+}
+
 // acceptKeyword consumes the keyword if present.
 func (p *Parser) acceptKeyword(kw string) bool {
 	if p.isKeyword(kw) {
@@ -230,6 +238,25 @@ func (p *Parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &ShowStmt{Name: name}, nil
+	case "begin", "start":
+		p.next()
+		if t.Text == "start" {
+			// START only in the form START TRANSACTION.
+			if err := p.expectKeyword("transaction"); err != nil {
+				return nil, err
+			}
+		} else {
+			p.acceptTxnNoise()
+		}
+		return &BeginStmt{}, nil
+	case "commit", "end":
+		p.next()
+		p.acceptTxnNoise()
+		return &CommitStmt{}, nil
+	case "rollback", "abort":
+		p.next()
+		p.acceptTxnNoise()
+		return &RollbackStmt{}, nil
 	case "analyze", "analyse":
 		p.next()
 		st := &AnalyzeStmt{}

@@ -132,6 +132,12 @@ func formatStatement(b *strings.Builder, st Statement) {
 			b.WriteByte(' ')
 			b.WriteString(quoteIdent(s.Table))
 		}
+	case *BeginStmt:
+		b.WriteString("BEGIN")
+	case *CommitStmt:
+		b.WriteString("COMMIT")
+	case *RollbackStmt:
+		b.WriteString("ROLLBACK")
 	default:
 		fmt.Fprintf(b, "/* unknown statement %T */", st)
 	}

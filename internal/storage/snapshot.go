@@ -17,21 +17,21 @@ import (
 // Save is an online, consistent backup. It runs in two phases:
 //
 //  1. collect — under the store lock (shared, so queries keep running) and
-//     the snapshot gate (exclusive, so no row mutation can interleave), it
-//     captures the row-slice header of every table plus the catalog state.
-//     This is O(#tables), microseconds, and the only moment writers wait.
+//     the apply gate (so no mutation's apply can interleave), it captures
+//     the visible rows of every table plus the catalog state. Tables whose
+//     materialization cache is warm contribute a slice header; only
+//     recently written tables pay a version walk. This is the only moment
+//     writers wait.
 //  2. encode — the gob stream is written outside all locks. The captured
-//     slice headers stay valid because every mutation is copy-on-write with
-//     respect to previously returned snapshots (see the aliasing contract on
-//     Table.Snapshot); the encoder only reads, so serialization is
-//     allocation-free on the storage side even for large provenance tables.
+//     slices stay valid because materialized views and their rows are
+//     immutable (mutations create new versions, they never touch old ones);
+//     the encoder only reads.
 //
-// The result is a point-in-time image across all tables at statement
-// granularity: each mutation holds the gate for its whole apply, so no
-// statement's write is ever half-visible. (Multi-statement logical writes
-// are NOT atomic under backup — the engine has no transactions — so a
-// snapshot may fall between two statements of one client workflow.)
-// Concurrent readers are never blocked at all.
+// The result is a point-in-time image across all tables at the captured
+// LSN: each apply holds the gate for its whole critical section — a
+// transaction commit for all its tables at once — so no statement's (or
+// transaction's) write is ever half-visible. Concurrent readers are never
+// blocked at all.
 
 // snapshotDTO is the on-disk representation.
 type snapshotDTO struct {
@@ -154,6 +154,7 @@ func (s *Store) Restore(r io.Reader) error {
 		}
 	}
 	s.log.Reset(dto.LSN)
+	s.visible.Store(dto.LSN)
 	if dto.Origin != 0 {
 		s.origin.Store(dto.Origin)
 	}
@@ -170,7 +171,9 @@ func (s *Store) loadTable(def *catalog.TableDef) (*Table, error) {
 	return s.attach(def), nil
 }
 
-// load type-checks and installs rows without logging a change record.
+// load type-checks and installs rows without logging a change record. The
+// versions are stamped created=0 — a bulk-loaded row predates every
+// pinnable snapshot, exactly as the snapshot's LSN says it does.
 func (t *Table) load(rows []value.Row) error {
 	checked := make([]value.Row, len(rows))
 	for i, r := range rows {
@@ -182,6 +185,10 @@ func (t *Table) load(rows []value.Row) error {
 	}
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
-	t.applyRows(checked, nil)
+	t.apply(nil, func([]lsnRange) {
+		for _, r := range checked {
+			t.slots = append(t.slots, &rowVersion{row: r})
+		}
+	})
 	return nil
 }

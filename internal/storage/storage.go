@@ -1,7 +1,8 @@
 // Package storage implements the in-memory heap storage engine under the
-// Perm catalog: append-only row slices per table with tombstone deletes,
-// type-checked inserts, full-scan cursors, and a store that ties table data
-// to the catalog the way PostgreSQL's heap ties to its system catalogs.
+// Perm catalog: multi-versioned row slots per table with snapshot-LSN
+// visibility, type-checked inserts, full-scan cursors, snapshot-isolation
+// transactions, and a store that ties table data to the catalog the way
+// PostgreSQL's heap ties to its system catalogs.
 package storage
 
 import (
@@ -16,35 +17,47 @@ import (
 	"perm/internal/value"
 )
 
-// Table holds the rows of one base relation. It is safe for concurrent use;
-// scans take a snapshot of the current row slice, so readers never observe a
-// partially applied mutation.
+// Table holds the rows of one base relation as a slice of version slots:
+// each slot is the newest version of one row, with superseded versions
+// chained behind it (see mvcc.go). It is safe for concurrent use; readers
+// materialize the versions visible at their snapshot LSN and never block on
+// writers.
 //
 // Mutations run in two phases under writeMu (which serializes writers per
 // table): first the decision phase evaluates predicates and update
-// expressions against a snapshot WITHOUT holding mu — so a WHERE subquery
-// may scan any table, including this one, without deadlocking — then the
-// apply phase briefly takes the snapshot gate (shared) and mu (exclusive) to
-// swap the new row slice in. writeMu makes the snapshot stable for the
-// duration of the decision phase, so nothing is decided against stale rows.
+// expressions against the live versions WITHOUT holding mu — so a WHERE
+// subquery may scan any table, including this one, without deadlocking —
+// then the apply phase takes the store gate, appends the change record (which
+// assigns the mutation's LSNs), stamps and installs versions under mu, and
+// publishes the new visible LSN. Readers pinned at earlier LSNs keep seeing
+// exactly the versions their snapshot could see.
 type Table struct {
 	writeMu sync.Mutex
 	mu      sync.RWMutex
 	def     *catalog.TableDef
-	rows    []value.Row
-	// gate, when non-nil, is the owning store's snapshot gate: the apply
-	// phase holds it shared so Store.Save can briefly exclude all writers and
-	// collect a point-in-time snapshot across every table (see
-	// Store.collect). No store or table lookups happen under it.
-	gate *sync.RWMutex
+	slots   []*rowVersion
+	// lastMod is the LSN of the last change applied to THIS table (under
+	// mu). Any snapshot at or past it sees the table's current contents,
+	// which is what lets the materialization cache serve steady-state reads
+	// zero-copy.
+	lastMod uint64
+	// cache is the table's materialized read view (mvcc.go).
+	cache atomic.Pointer[matRows]
+	// gate, when non-nil, is the owning store's apply gate: every apply
+	// phase holds it exclusively, so record append, version stamping and the
+	// visible-LSN publication happen atomically with respect to every other
+	// applier and to snapshot collection (Store.collect).
+	gate *sync.Mutex
 	// log, when non-nil, is the owning store's change log. Mutations append
-	// their record inside the same gate-shared critical section that swaps
-	// the row slice in, so a snapshot (gate exclusive) always captures a row
-	// state and a log position that agree exactly.
+	// their record inside the gate-held apply, so a persistence snapshot
+	// always captures a row state and a log position that agree exactly.
 	log *repl.ChangeLog
 	// store, when non-nil, is the owning store — mutations consult its
 	// durability gate before deciding and wait on it before acknowledging.
 	store *Store
+	// localSeq is the LSN space of a detached table (no owning store):
+	// version stamps come from it and it doubles as the visible position.
+	localSeq atomic.Uint64
 }
 
 // NewTable creates an empty table for the definition.
@@ -81,23 +94,13 @@ func (t *Table) checkRow(row value.Row) (value.Row, error) {
 	return out, nil
 }
 
-// applyRows is the apply phase of a mutation: it installs the new row slice
-// under the gate (shared) and mu (exclusive), and appends the mutation's
-// change record — in the same gate-shared critical section, so snapshot
-// collection can never observe the rows without the record or vice versa. A
-// nil rec applies silently (no-op mutations are not logged). Callers hold
-// writeMu.
-func (t *Table) applyRows(rows []value.Row, rec *repl.Record) {
-	if t.gate != nil {
-		t.gate.RLock()
-		defer t.gate.RUnlock()
-	}
-	t.mu.Lock()
-	t.rows = rows
-	t.mu.Unlock()
-	if rec != nil && t.log != nil {
-		appendRecord(t.log, *rec)
-	}
+// lsnRange says which rows of a (possibly split) change record landed at
+// which LSN: record rows [lo:hi) carry lsn. Version stamps come from these,
+// so a split mutation's versions match the log records a replica will replay
+// one by one.
+type lsnRange struct {
+	lsn    uint64
+	lo, hi int
 }
 
 // maxRecordRows and maxRecordBytes cap one change record: a single huge
@@ -107,8 +110,8 @@ func (t *Table) applyRows(rows []value.Row, rec *repl.Record) {
 // — a record that cannot frame would wedge every subscription on it
 // forever. The byte bound is approximate (string payloads dominate); 8 MiB
 // leaves an 8× margin under the 64 MiB frame limit. The split happens
-// inside one apply critical section, so snapshots still see all or none of
-// it.
+// inside one gate-held apply, so snapshots and readers still see all or
+// none of it.
 const (
 	maxRecordRows  = 4096
 	maxRecordBytes = 8 << 20
@@ -123,22 +126,26 @@ func approxRowBytes(row value.Row) int {
 	return n
 }
 
-// appendRecord routes a record to the log: records without an LSN (primary
-// mutations) are assigned the next ones, splitting oversized row sets;
-// records carrying an LSN (a replica replaying the primary's feed — already
-// split by the primary) must land at exactly that position. The replica's
-// apply loop verifies continuity before mutating, so a failed AppendAt here
-// means that check was bypassed — a programming error — and the record is
-// dropped rather than corrupting the LSN space.
-func appendRecord(log *repl.ChangeLog, rec repl.Record) {
+// appendRecord routes a record to the log and reports which LSNs its rows
+// landed at: records without an LSN (primary mutations) are assigned the
+// next ones, splitting oversized row sets; records carrying an LSN (a
+// replica replaying the primary's feed — already split by the primary) must
+// land at exactly that position. The replica's apply loop verifies
+// continuity before mutating, so a failed AppendAt here means that check was
+// bypassed — a programming error — and the record is dropped (nil return,
+// the caller skips its apply) rather than corrupting the LSN space.
+func appendRecord(log *repl.ChangeLog, rec repl.Record) []lsnRange {
 	if rec.LSN != 0 {
-		_ = log.AppendAt(rec)
-		return
+		if err := log.AppendAt(rec); err != nil {
+			return nil
+		}
+		return []lsnRange{{lsn: rec.LSN, lo: 0, hi: len(rec.Rows)}}
 	}
 	if len(rec.Rows) == 0 {
 		log.Append(rec)
-		return
+		return []lsnRange{{lsn: log.LastLSN()}}
 	}
+	var ranges []lsnRange
 	for i := 0; i < len(rec.Rows); {
 		j, bytes := i, 0
 		for j < len(rec.Rows) && j-i < maxRecordRows {
@@ -156,15 +163,80 @@ func appendRecord(log *repl.ChangeLog, rec repl.Record) {
 		}
 		if i == 0 && j == len(rec.Rows) {
 			log.Append(rec) // common case: no split
-			return
+			return []lsnRange{{lsn: log.LastLSN(), lo: 0, hi: len(rec.Rows)}}
 		}
 		sub := repl.Record{Kind: rec.Kind, Table: rec.Table, Rows: rec.Rows[i:j]}
 		if rec.OldRows != nil {
 			sub.OldRows = rec.OldRows[i:j]
 		}
 		log.Append(sub)
+		ranges = append(ranges, lsnRange{lsn: log.LastLSN(), lo: i, hi: j})
 		i = j
 	}
+	return ranges
+}
+
+// apply is the apply phase of a mutation: under the store gate it appends
+// the change record (assigning LSNs), lets stamp install/stamp versions
+// under mu with those LSNs, and publishes the new visible position. A nil
+// rec applies silently with no LSN (bulk load). Callers hold writeMu. The
+// return value is false only when a replica-positioned record was refused by
+// the log, in which case nothing was applied.
+func (t *Table) apply(rec *repl.Record, stamp func(ranges []lsnRange)) bool {
+	if t.gate != nil {
+		t.gate.Lock()
+		defer t.gate.Unlock()
+	}
+	var ranges []lsnRange
+	if rec != nil {
+		if t.log != nil {
+			if ranges = appendRecord(t.log, *rec); ranges == nil {
+				return false
+			}
+		} else {
+			ranges = []lsnRange{{lsn: t.localSeq.Load() + 1, lo: 0, hi: len(rec.Rows)}}
+		}
+	}
+	t.mu.Lock()
+	stamp(ranges)
+	if len(ranges) > 0 {
+		t.lastMod = ranges[len(ranges)-1].lsn
+	}
+	t.mu.Unlock()
+	if t.store != nil {
+		t.store.visible.Store(t.log.LastLSN())
+	} else if len(ranges) > 0 {
+		t.localSeq.Store(ranges[len(ranges)-1].lsn)
+	}
+	return true
+}
+
+// insertLocked appends one new version per row, stamped per LSN range.
+// Callers are inside an apply's stamp callback (mu held).
+func (t *Table) insertLocked(rows []value.Row, ranges []lsnRange) {
+	for _, rg := range ranges {
+		for i := rg.lo; i < rg.hi; i++ {
+			t.slots = append(t.slots, &rowVersion{row: rows[i], created: rg.lsn})
+		}
+	}
+}
+
+// liveVersions returns the table's live row versions (newest per slot, not
+// deleted) and their slot indices, in slot order. Callers hold writeMu, so
+// the result is stable until they apply: only writers stamp versions, and
+// writeMu excludes them.
+func (t *Table) liveVersions() ([]*rowVersion, []int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	live := make([]*rowVersion, 0, len(t.slots))
+	idxs := make([]int, 0, len(t.slots))
+	for i, v := range t.slots {
+		if v.deleted == 0 {
+			live = append(live, v)
+			idxs = append(idxs, i)
+		}
+	}
+	return live, idxs
 }
 
 // writeAllowed reports the owning store's sticky durability failure, if
@@ -177,8 +249,8 @@ func (t *Table) writeAllowed() error {
 }
 
 // waitDurable blocks until the mutation this call follows is durable under
-// the owning store's policy. Called after the apply critical section, so an
-// fsync wait never blocks snapshot collection or other tables' writers.
+// the owning store's policy. Called after the gate-held apply, so an fsync
+// wait never blocks snapshot collection, readers, or other tables' writers.
 func (t *Table) waitDurable() error {
 	if t.store == nil {
 		return nil
@@ -210,7 +282,7 @@ func (t *Table) InsertBatch(rows []value.Row) (int, error) {
 	}
 	t.writeMu.Lock()
 	rec := &repl.Record{Kind: repl.KindInsert, Table: t.def.Name, Rows: checked}
-	t.applyRows(append(t.snapshotLocked(), checked...), rec)
+	t.apply(rec, func(ranges []lsnRange) { t.insertLocked(checked, ranges) })
 	t.writeMu.Unlock()
 	if err := t.waitDurable(); err != nil {
 		return 0, err
@@ -218,46 +290,10 @@ func (t *Table) InsertBatch(rows []value.Row) (int, error) {
 	return len(checked), nil
 }
 
-// snapshotLocked reads the current rows for a mutation's decision phase.
-// Callers hold writeMu, so the result cannot change until they apply.
-func (t *Table) snapshotLocked() []value.Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.rows
-}
-
-// Snapshot returns the current rows WITHOUT copying.
-//
-// Aliasing contract: the returned slice header aliases the table's live row
-// slice, which is safe because every mutation is copy-on-write with respect
-// to previously returned snapshots:
-//
-//   - Insert/InsertBatch append past the snapshot's length; a concurrent
-//     append that grows the backing array never writes into the prefix a
-//     snapshot can see, and an in-place append only writes beyond its length.
-//   - Delete rebuilds the kept rows into a fresh backing array (t.rows[:0:0]).
-//   - Update writes every surviving row into a freshly allocated slice.
-//
-// Row values themselves are immutable once stored. Callers (scans, ANALYZE,
-// persistence) therefore must treat both the slice and its rows as read-only;
-// the executor relies on this to stream tables with zero copies.
-func (t *Table) Snapshot() []value.Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.rows
-}
-
-// RowCount returns the current number of rows.
-func (t *Table) RowCount() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.rows)
-}
-
 // Delete removes all rows for which pred returns true and reports how many
 // were removed. A nil pred removes every row. pred runs in the decision
-// phase — outside the table's read-write lock — so it may itself query this
-// table (DELETE ... WHERE x IN (SELECT ... FROM same_table)).
+// phase — outside the table's locks — so it may itself query this table
+// (DELETE ... WHERE x IN (SELECT ... FROM same_table)).
 func (t *Table) Delete(pred func(value.Row) (bool, error)) (int, error) {
 	if err := t.writeAllowed(); err != nil {
 		return 0, err
@@ -275,41 +311,42 @@ func (t *Table) Delete(pred func(value.Row) (bool, error)) (int, error) {
 func (t *Table) delete(pred func(value.Row) (bool, error)) (int, error) {
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
-	if pred == nil {
-		rows := t.snapshotLocked()
-		if len(rows) == 0 {
-			return 0, nil
+	live, _ := t.liveVersions()
+	targets := live
+	if pred != nil {
+		targets = targets[:0:0]
+		for _, v := range live {
+			ok, err := pred(v.row)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				targets = append(targets, v)
+			}
 		}
-		rec := &repl.Record{Kind: repl.KindDelete, Table: t.def.Name, Rows: rows}
-		t.applyRows(nil, rec)
-		return len(rows), nil
 	}
-	rows := t.snapshotLocked()
-	kept := rows[:0:0]
-	var removed []value.Row
-	for _, r := range rows {
-		ok, err := pred(r)
-		if err != nil {
-			return 0, err
-		}
-		if ok {
-			removed = append(removed, r)
-			continue
-		}
-		kept = append(kept, r)
-	}
-	if len(removed) == 0 {
+	if len(targets) == 0 {
 		return 0, nil
 	}
-	rec := &repl.Record{Kind: repl.KindDelete, Table: t.def.Name, Rows: removed}
-	t.applyRows(kept, rec)
-	return len(removed), nil
+	images := make([]value.Row, len(targets))
+	for i, v := range targets {
+		images[i] = v.row
+	}
+	rec := &repl.Record{Kind: repl.KindDelete, Table: t.def.Name, Rows: images}
+	t.apply(rec, func(ranges []lsnRange) {
+		for _, rg := range ranges {
+			for i := rg.lo; i < rg.hi; i++ {
+				targets[i].deleted = rg.lsn
+			}
+		}
+	})
+	return len(targets), nil
 }
 
 // Update applies fn to every row matching pred, replacing the row with fn's
 // result after type checking. It reports how many rows changed. Like
-// Delete's pred, both callbacks run outside the table lock and may query any
-// table, including this one.
+// Delete's pred, both callbacks run outside the table locks and may query
+// any table, including this one.
 func (t *Table) Update(pred func(value.Row) (bool, error), fn func(value.Row) (value.Row, error)) (int, error) {
 	if err := t.writeAllowed(); err != nil {
 		return 0, err
@@ -327,25 +364,25 @@ func (t *Table) Update(pred func(value.Row) (bool, error), fn func(value.Row) (v
 func (t *Table) update(pred func(value.Row) (bool, error), fn func(value.Row) (value.Row, error)) (int, error) {
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
-	rows := t.snapshotLocked()
-	out := make([]value.Row, len(rows))
+	live, idxs := t.liveVersions()
+	var targets []*rowVersion
+	var tidx []int
 	// The change record carries old/new image pairs in table-scan order, the
 	// order a replica re-scans in when it replays the record.
 	var oldImages, newImages []value.Row
-	for i, r := range rows {
+	for i, v := range live {
 		match := true
 		if pred != nil {
-			ok, err := pred(r)
+			ok, err := pred(v.row)
 			if err != nil {
 				return 0, err
 			}
 			match = ok
 		}
 		if !match {
-			out[i] = r
 			continue
 		}
-		nr, err := fn(r)
+		nr, err := fn(v.row)
 		if err != nil {
 			return 0, err
 		}
@@ -353,15 +390,24 @@ func (t *Table) update(pred func(value.Row) (bool, error), fn func(value.Row) (v
 		if err != nil {
 			return 0, err
 		}
-		out[i] = checked
-		oldImages = append(oldImages, r)
+		targets = append(targets, v)
+		tidx = append(tidx, idxs[i])
+		oldImages = append(oldImages, v.row)
 		newImages = append(newImages, checked)
 	}
 	if len(newImages) == 0 {
 		return 0, nil
 	}
 	rec := &repl.Record{Kind: repl.KindUpdate, Table: t.def.Name, Rows: newImages, OldRows: oldImages}
-	t.applyRows(out, rec)
+	t.apply(rec, func(ranges []lsnRange) {
+		for _, rg := range ranges {
+			for i := rg.lo; i < rg.hi; i++ {
+				old := targets[i]
+				old.deleted = rg.lsn
+				t.slots[tidx[i]] = &rowVersion{row: newImages[i], created: rg.lsn, next: old}
+			}
+		}
+	})
 	return len(newImages), nil
 }
 
@@ -369,21 +415,36 @@ func (t *Table) update(pred func(value.Row) (bool, error), fn func(value.Row) (v
 //
 // Two locks protect it: mu guards the catalog/tables pairing (DDL holds it
 // exclusively so the catalog and the heap map never disagree), and gate
-// orders row mutations against snapshot collection — writers hold it shared,
-// Save's collect phase holds it exclusively for the microseconds it takes to
-// capture every table's row-slice header, which is all a point-in-time
-// snapshot needs under the copy-on-write aliasing contract of
-// Table.Snapshot.
+// serializes apply phases — record append, version stamping and the
+// visible-LSN publication of one mutation (or one transaction commit)
+// happen as a unit, so readers pinning the visible position always see
+// whole changes and snapshot collection captures an exact LSN. Readers
+// never take the gate: they pin the visible LSN and materialize versions
+// under per-table read locks.
 type Store struct {
 	mu      sync.RWMutex
-	gate    sync.RWMutex
+	gate    sync.Mutex
 	catalog *catalog.Catalog
 	tables  map[string]*Table
 	// log is the store's logical change log. DML appends under the gate
-	// (shared) from Table.applyRows; DDL appends under mu (exclusive) here.
-	// Snapshot collection holds mu (shared) AND gate (exclusive), so the LSN
-	// it captures is exact: no mutation of either kind can be half-recorded.
+	// from Table.apply; DDL appends under mu (exclusive) AND the gate.
+	// Snapshot collection holds mu (shared) and gate, so the LSN it captures
+	// is exact: no mutation of either kind can be half-recorded.
 	log *repl.ChangeLog
+	// visible is the published snapshot position: the LSN up to which every
+	// change is fully stamped and installed. Readers pin it (PinSnapshot);
+	// appliers advance it as the last step of their gate-held apply. It
+	// equals log.LastLSN() whenever the gate is free.
+	visible atomic.Uint64
+	// pinMu guards pins, the multiset of snapshot LSNs readers currently
+	// hold (mvcc.go); the vacuum horizon is their minimum.
+	pinMu sync.Mutex
+	pins  map[uint64]int
+	// vacuumRuns/vacuumRemoved/conflicts are the MVCC observability
+	// counters behind SHOW mvcc_status.
+	vacuumRuns    atomic.Uint64
+	vacuumRemoved atomic.Uint64
+	conflicts     atomic.Uint64
 	// origin identifies the history this store's LSNs belong to: random at
 	// creation, adopted from the snapshot on Restore. Two stores share an
 	// origin exactly when one descends from the other's history, so a
@@ -466,6 +527,7 @@ func NewStore() *Store {
 		catalog: catalog.New(),
 		tables:  make(map[string]*Table),
 		log:     repl.NewChangeLog(),
+		pins:    make(map[uint64]int),
 	}
 	s.origin.Store(newOrigin())
 	return s
@@ -493,6 +555,15 @@ func (s *Store) Catalog() *catalog.Catalog { return s.catalog }
 // Log exposes the store's change log (replication, tests).
 func (s *Store) Log() *repl.ChangeLog { return s.log }
 
+// logDDL appends a catalog-change record under the gate and publishes the
+// new visible position. Callers hold s.mu.
+func (s *Store) logDDL(rec repl.Record) {
+	s.gate.Lock()
+	appendRecord(s.log, rec)
+	s.visible.Store(s.log.LastLSN())
+	s.gate.Unlock()
+}
+
 // CreateTable registers the definition and allocates the heap. Catalog entry
 // and heap appear atomically with respect to snapshot collection.
 func (s *Store) CreateTable(def *catalog.TableDef) (*Table, error) {
@@ -516,7 +587,7 @@ func (s *Store) createTable(def *catalog.TableDef, lsn uint64) (*Table, error) {
 		return nil, err
 	}
 	t := s.attach(def)
-	appendRecord(s.log, repl.Record{LSN: lsn, Kind: repl.KindCreateTable, Table: def.Name, Columns: def.Columns})
+	s.logDDL(repl.Record{LSN: lsn, Kind: repl.KindCreateTable, Table: def.Name, Columns: def.Columns})
 	return t, nil
 }
 
@@ -548,7 +619,7 @@ func (s *Store) dropTable(name string, lsn uint64) error {
 		return err
 	}
 	delete(s.tables, keyOf(name))
-	appendRecord(s.log, repl.Record{LSN: lsn, Kind: repl.KindDropTable, Table: name})
+	s.logDDL(repl.Record{LSN: lsn, Kind: repl.KindDropTable, Table: name})
 	return nil
 }
 
@@ -571,7 +642,7 @@ func (s *Store) createView(def *catalog.ViewDef, lsn uint64) error {
 	if err := s.catalog.CreateView(def); err != nil {
 		return err
 	}
-	appendRecord(s.log, repl.Record{LSN: lsn, Kind: repl.KindCreateView, Table: def.Name, ViewText: def.Text, Columns: def.Columns})
+	s.logDDL(repl.Record{LSN: lsn, Kind: repl.KindCreateView, Table: def.Name, ViewText: def.Text, Columns: def.Columns})
 	return nil
 }
 
@@ -592,7 +663,7 @@ func (s *Store) dropView(name string, lsn uint64) error {
 	if err := s.catalog.DropView(name); err != nil {
 		return err
 	}
-	appendRecord(s.log, repl.Record{LSN: lsn, Kind: repl.KindDropView, Table: name})
+	s.logDDL(repl.Record{LSN: lsn, Kind: repl.KindDropView, Table: name})
 	return nil
 }
 
@@ -615,11 +686,11 @@ func (s *Store) Analyze(name string) error {
 	return s.WaitDurable()
 }
 
-// analyze does the statistics refresh and logs it. The record is appended
-// outside the gate (statistics are advisory and influence plan choice, never
-// results), so a replica's ANALYZE may interleave slightly differently with
-// concurrent DML than the primary's did — its statistics can differ
-// transiently, its data cannot.
+// analyze does the statistics refresh and logs it. The scan runs over the
+// currently visible rows (statistics are advisory and influence plan
+// choice, never results), so a replica's ANALYZE may interleave slightly
+// differently with concurrent DML than the primary's did — its statistics
+// can differ transiently, its data cannot.
 func (s *Store) analyze(name string, lsn uint64) error {
 	names := []string{name}
 	if name == "" {
@@ -644,7 +715,10 @@ func (s *Store) analyze(name string, lsn uint64) error {
 			s.catalog.SetDistinctFrac(n, col.Name, float64(len(seen))/float64(len(rows)))
 		}
 	}
+	s.gate.Lock()
 	appendRecord(s.log, repl.Record{LSN: lsn, Kind: repl.KindAnalyze, Table: name})
+	s.visible.Store(s.log.LastLSN())
+	s.gate.Unlock()
 	return nil
 }
 
@@ -652,9 +726,10 @@ func (s *Store) analyze(name string, lsn uint64) error {
 
 // ApplyChange replays one change record from a primary's feed: it performs
 // the mutation and appends the record to this store's own log at the
-// primary's LSN, atomically with respect to snapshot collection. Records
-// must arrive in LSN order (the caller — internal/server's follower —
-// verifies continuity against Log().LastLSN() before applying).
+// primary's LSN, atomically with respect to snapshot collection and
+// concurrent readers. Records must arrive in LSN order (the caller —
+// internal/server's follower — verifies continuity against Log().LastLSN()
+// before applying).
 //
 // DML against a relation this store does not have is skipped silently: the
 // primary logs mutations decided against a table heap that a concurrent DROP
@@ -684,9 +759,7 @@ func (s *Store) ApplyChange(rec repl.Record) error {
 		// target. Like DML on a dropped table, that replays as a logged
 		// no-op rather than a divergence.
 		if rec.Table != "" && s.Table(rec.Table) == nil {
-			s.mu.Lock()
-			appendRecord(s.log, rec)
-			s.mu.Unlock()
+			s.logSkipped(rec)
 			return nil
 		}
 		return s.analyze(rec.Table, rec.LSN)
@@ -696,9 +769,7 @@ func (s *Store) ApplyChange(rec repl.Record) error {
 			// Mutation against a dropped table: a no-op on the primary's
 			// visible state too. Keep the LSN space dense by logging the
 			// skip.
-			s.mu.Lock()
-			appendRecord(s.log, rec)
-			s.mu.Unlock()
+			s.logSkipped(rec)
 			return nil
 		}
 		if err := t.applyChange(rec); err != nil {
@@ -716,63 +787,88 @@ func (s *Store) ApplyChange(rec repl.Record) error {
 	return fmt.Errorf("storage: unknown change record kind %d", rec.Kind)
 }
 
-// applyChange replays one DML record on the table.
+// logSkipped records a replayed change whose target relation is gone,
+// keeping the LSN space dense.
+func (s *Store) logSkipped(rec repl.Record) {
+	s.mu.Lock()
+	s.logDDL(rec)
+	s.mu.Unlock()
+}
+
+// applyChange replays one DML record on the table: it matches the record's
+// row images against the live versions exactly as the primary's scan
+// decided them, then stamps versions at the record's LSN.
 func (t *Table) applyChange(rec repl.Record) error {
 	t.writeMu.Lock()
 	defer t.writeMu.Unlock()
-	rows := t.snapshotLocked()
-	var next []value.Row
 	switch rec.Kind {
 	case repl.KindInsert:
-		next = append(rows, rec.Rows...)
+		t.apply(&rec, func(ranges []lsnRange) { t.insertLocked(rec.Rows, ranges) })
+		return nil
 	case repl.KindDelete:
-		var err error
-		if next, err = removeImages(rows, rec.Rows); err != nil {
+		targets, err := t.matchImages(rec.Rows)
+		if err != nil {
 			return fmt.Errorf("table %q: %v", t.def.Name, err)
 		}
+		t.apply(&rec, func(ranges []lsnRange) {
+			for _, rg := range ranges {
+				for i := rg.lo; i < rg.hi; i++ {
+					targets[i].deleted = rg.lsn
+				}
+			}
+		})
+		return nil
 	case repl.KindUpdate:
-		var err error
-		if next, err = replaceImages(rows, rec.OldRows, rec.Rows); err != nil {
+		targets, tidx, news, err := t.matchReplacements(rec.OldRows, rec.Rows)
+		if err != nil {
 			return fmt.Errorf("table %q: %v", t.def.Name, err)
 		}
+		t.apply(&rec, func(ranges []lsnRange) {
+			for _, rg := range ranges {
+				for i := rg.lo; i < rg.hi; i++ {
+					old := targets[i]
+					old.deleted = rg.lsn
+					t.slots[tidx[i]] = &rowVersion{row: news[i], created: rg.lsn, next: old}
+				}
+			}
+		})
+		return nil
 	}
-	t.applyRows(next, &rec)
-	return nil
+	return fmt.Errorf("storage: unexpected DML record kind %d", rec.Kind)
 }
 
-// removeImages deletes the given row images from rows by multiset match in
-// table order — the order the primary's scan removed them in, so the
+// matchImages resolves deleted row images to live versions by multiset match
+// in slot order — the order the primary's scan removed them in, so the
 // surviving rows come out byte-identical to the primary's.
-func removeImages(rows, images []value.Row) ([]value.Row, error) {
+func (t *Table) matchImages(images []value.Row) ([]*rowVersion, error) {
 	pending := make(map[string]int, len(images))
 	var keyBuf []byte
 	for _, img := range images {
 		keyBuf = img.AppendKey(keyBuf[:0])
 		pending[string(keyBuf)]++
 	}
-	kept := rows[:0:0]
-	matched := 0
-	for _, r := range rows {
-		keyBuf = r.AppendKey(keyBuf[:0])
+	live, _ := t.liveVersions()
+	targets := make([]*rowVersion, 0, len(images))
+	for _, v := range live {
+		keyBuf = v.row.AppendKey(keyBuf[:0])
 		if n := pending[string(keyBuf)]; n > 0 {
 			pending[string(keyBuf)] = n - 1
-			matched++
-			continue
+			targets = append(targets, v)
 		}
-		kept = append(kept, r)
 	}
-	if matched != len(images) {
-		return nil, fmt.Errorf("replica diverged: %d of %d deleted row images not found", len(images)-matched, len(images))
+	if len(targets) != len(images) {
+		return nil, fmt.Errorf("replica diverged: %d of %d deleted row images not found", len(images)-len(targets), len(images))
 	}
-	return kept, nil
+	return targets, nil
 }
 
-// replaceImages substitutes old row images with their parallel new images,
-// matching in table order like removeImages. Duplicate old images consume
-// their new images in order, reproducing the primary's scan exactly.
-func replaceImages(rows, olds, news []value.Row) ([]value.Row, error) {
+// matchReplacements resolves updated old-row images to live versions,
+// matching in slot order like matchImages. Duplicate old images consume
+// their new images in order, reproducing the primary's scan exactly. The
+// returned news are reordered into slot order alongside their targets.
+func (t *Table) matchReplacements(olds, news []value.Row) ([]*rowVersion, []int, []value.Row, error) {
 	if len(olds) != len(news) {
-		return nil, fmt.Errorf("replica diverged: update record with %d old and %d new images", len(olds), len(news))
+		return nil, nil, nil, fmt.Errorf("replica diverged: update record with %d old and %d new images", len(olds), len(news))
 	}
 	queue := make(map[string][]int, len(olds))
 	var keyBuf []byte
@@ -780,22 +876,23 @@ func replaceImages(rows, olds, news []value.Row) ([]value.Row, error) {
 		keyBuf = img.AppendKey(keyBuf[:0])
 		queue[string(keyBuf)] = append(queue[string(keyBuf)], i)
 	}
-	out := make([]value.Row, len(rows))
-	matched := 0
-	for i, r := range rows {
-		keyBuf = r.AppendKey(keyBuf[:0])
-		if idxs := queue[string(keyBuf)]; len(idxs) > 0 {
-			out[i] = news[idxs[0]]
-			queue[string(keyBuf)] = idxs[1:]
-			matched++
-			continue
+	live, idxs := t.liveVersions()
+	var targets []*rowVersion
+	var tidx []int
+	var ordered []value.Row
+	for i, v := range live {
+		keyBuf = v.row.AppendKey(keyBuf[:0])
+		if q := queue[string(keyBuf)]; len(q) > 0 {
+			ordered = append(ordered, news[q[0]])
+			queue[string(keyBuf)] = q[1:]
+			targets = append(targets, v)
+			tidx = append(tidx, idxs[i])
 		}
-		out[i] = r
 	}
-	if matched != len(olds) {
-		return nil, fmt.Errorf("replica diverged: %d of %d updated row images not found", len(olds)-matched, len(olds))
+	if len(targets) != len(olds) {
+		return nil, nil, nil, fmt.Errorf("replica diverged: %d of %d updated row images not found", len(olds)-len(targets), len(olds))
 	}
-	return out, nil
+	return targets, tidx, ordered, nil
 }
 
 func keyOf(name string) string {

@@ -147,6 +147,11 @@ const (
 	// or a write acknowledged by a primary that has since been fenced. The
 	// typed code is what turns split-brain into a visible, retryable error.
 	ErrCodeStaleEpoch uint64 = 4
+	// ErrCodeWriteConflict reports a COMMIT aborted by first-committer-wins
+	// validation: a concurrent transaction changed a row this one also
+	// wrote. The transaction is already rolled back server-side; the typed
+	// code lets clients retry the whole transaction automatically.
+	ErrCodeWriteConflict uint64 = 5
 )
 
 // Hello is the client's opening message.
